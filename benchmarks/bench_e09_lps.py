@@ -1,0 +1,20 @@
+"""Experiment E9: LPS: direct interpreter vs Theorem-3 translation (Section 5)
+
+pytest-benchmark wrapper around the shared cases in ``common.py``;
+see ``benchmarks/harness.py`` for the table-printing runner and
+DESIGN.md for the experiment index.
+"""
+
+import pytest
+
+from common import EXPERIMENTS
+
+CASES = EXPERIMENTS["E9"]()
+IDS = [f"{c['workload']}::{c['strategy']}" for c in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_e09_lps(benchmark, case):
+    result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
+    benchmark.extra_info["facts"] = case["metric"](result)
+    benchmark.extra_info["strategy"] = case["strategy"]

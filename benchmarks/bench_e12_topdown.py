@@ -1,0 +1,20 @@
+"""Experiment E12: top-down tabling vs magic vs bottom-up
+
+pytest-benchmark wrapper around the shared cases in ``common.py``;
+see ``benchmarks/harness.py`` for the table-printing runner and
+DESIGN.md for the experiment index.
+"""
+
+import pytest
+
+from common import EXPERIMENTS
+
+CASES = EXPERIMENTS["E12"]()
+IDS = [f"{c['workload']}::{c['strategy']}" for c in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_e12_topdown(benchmark, case):
+    result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
+    benchmark.extra_info["facts"] = case["metric"](result)
+    benchmark.extra_info["strategy"] = case["strategy"]

@@ -1,0 +1,97 @@
+"""Benchmark harness: regenerate every experiment table.
+
+The PODS'87 paper is a theory paper with no numeric tables; its
+evaluative content is the worked examples and the efficiency claims
+around semi-naive evaluation and magic sets.  This harness times every
+case of experiments E1–E11 (see DESIGN.md) and prints one table per
+experiment: workload, strategy, facts derived, wall time, and the
+speedup of each strategy over the first strategy listed for the same
+workload.
+
+Run:  python benchmarks/harness.py                 # all experiments
+      python benchmarks/harness.py E2 E4           # a subset
+      python benchmarks/harness.py --json out.json # machine-readable
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from common import EXPERIMENT_TITLES, EXPERIMENTS
+
+
+def time_case(case: dict, repeats: int = 3) -> tuple[float, int]:
+    """Best-of-N wall time and the facts metric of one case."""
+    best = float("inf")
+    metric = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = case["run"]()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        metric = case["metric"](result)
+    return best, metric
+
+
+def run_experiment(name: str) -> list[dict]:
+    rows = []
+    baseline_by_workload: dict[str, float] = {}
+    for case in EXPERIMENTS[name]():
+        seconds, facts = time_case(case)
+        workload = case["workload"]
+        baseline = baseline_by_workload.setdefault(workload, seconds)
+        rows.append(
+            {
+                "workload": workload,
+                "strategy": case["strategy"],
+                "facts": facts,
+                "seconds": seconds,
+                "speedup": baseline / seconds if seconds else float("inf"),
+            }
+        )
+    return rows
+
+
+def print_experiment(name: str) -> list[dict]:
+    print(f"\n=== {name}: {EXPERIMENT_TITLES[name]} ===")
+    header = f"{'workload':<28} {'strategy':<18} {'facts':>8} {'seconds':>9} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    rows = run_experiment(name)
+    for row in rows:
+        print(
+            f"{row['workload']:<28} {row['strategy']:<18} "
+            f"{row['facts']:>8} {row['seconds']:>9.4f} {row['speedup']:>7.2f}x"
+        )
+    return rows
+
+
+def main(argv: list[str]) -> None:
+    json_path = None
+    if "--json" in argv:
+        index = argv.index("--json")
+        try:
+            json_path = argv[index + 1]
+        except IndexError:
+            raise SystemExit("--json needs a file path")
+        argv = argv[:index] + argv[index + 2 :]
+    names = argv or list(EXPERIMENTS)
+    results: dict[str, list[dict]] = {}
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(f"unknown experiment {name!r}; have {list(EXPERIMENTS)}")
+        results[name] = print_experiment(name)
+    if json_path:
+        payload = {
+            name: {"title": EXPERIMENT_TITLES[name], "rows": rows}
+            for name, rows in results.items()
+        }
+        with open(json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {json_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,81 @@
+"""Section 5: LPS versus LDL1.
+
+Runs Kuper's ``disj`` and ``subset`` examples under the direct LPS
+interpreter and under the Theorem-3 translation into LDL1, checks the
+extensions agree, and demonstrates the Proposition: LDL1 builds models
+(sets of sets) that no LPS program can express.
+
+Run:  python examples/lps_comparison.py
+"""
+
+from repro import LDL
+from repro.lps import (
+    LPSProgram,
+    LPSRule,
+    Quantifier,
+    evaluate_lps,
+    evaluate_translated,
+    translate,
+)
+from repro.parser import parse_atom
+from repro.program.rule import Atom, Literal
+from repro.terms.pretty import format_atom, format_program
+from repro.terms.term import Var
+from repro.terms.universe import set_depth
+
+
+def lps_program() -> LPSProgram:
+    disj = LPSRule(
+        parse_atom("disj(X, Y)"),
+        [Quantifier("Ex", "X"), Quantifier("Ey", "Y")],
+        [Literal(Atom("!=", (Var("Ex"), Var("Ey"))))],
+    )
+    subset = LPSRule(
+        parse_atom("subs(X, Y)"),
+        [Quantifier("Ex", "X")],
+        [Literal(Atom("member", (Var("Ex"), Var("Y"))))],
+        set_typed={"Y"},
+    )
+    return LPSProgram([disj, subset])
+
+
+def compare() -> None:
+    print("== disj/subset: direct LPS vs Theorem-3 translation ==")
+    program = lps_program()
+    facts = [
+        parse_atom("s({1, 2})"),
+        parse_atom("s({2, 3})"),
+        parse_atom("s({4})"),
+        parse_atom("s({})"),
+    ]
+    direct = evaluate_lps(program, facts)
+    translated = evaluate_translated(program, facts)
+    for pred in ("disj", "subs"):
+        direct_ext = {format_atom(a) for a in direct.atoms(pred)}
+        translated_ext = {format_atom(a) for a in translated.database.atoms(pred)}
+        marker = "==" if direct_ext == translated_ext else "!="
+        print(f"  {pred}: direct {len(direct_ext)} facts {marker} translated")
+        for fact in sorted(direct_ext)[:4]:
+            print("     e.g.", fact)
+    print("== the translated LDL1 rules for disj ==")
+    print(format_program(translate(LPSProgram([lps_program().rules[0]]))))
+
+
+def richer_models() -> None:
+    print("== Proposition: LDL1 models escape D ∪ P(D) ==")
+    db = LDL(
+        """
+        q(1).
+        p(<X>) <- q(X).
+        w(<X>) <- p(X).
+        """
+    )
+    ((nested,),) = db.extension("w")
+    print("  w's argument:", nested)
+    depth = set_depth(next(iter(db.database().atoms("w"))).args[0])
+    print(f"  set-nesting depth {depth}: no LPS model (depth <= 1) matches.")
+
+
+if __name__ == "__main__":
+    compare()
+    richer_models()

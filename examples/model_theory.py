@@ -1,0 +1,116 @@
+"""Walk through the paper's model-theory counterexamples (§2.3-2.4).
+
+Every claim is checked programmatically as it is printed: which
+interpretations are models, why intersections fail, why one program has
+no model at all, and how the domination order sorts out minimality.
+
+Run:  python examples/model_theory.py
+"""
+
+from repro.parser import parse_atom, parse_rules
+from repro.semantics import (
+    all_models,
+    has_model,
+    improves_on,
+    is_model,
+    minimal_models_over,
+)
+from repro.semantics.fixpoint_theory import tp_with_grouping
+from repro.terms.pretty import format_atom
+
+
+def atoms(*sources):
+    return frozenset(parse_atom(s) for s in sources)
+
+
+def show(interpretation):
+    return "{" + ", ".join(sorted(format_atom(a) for a in interpretation)) + "}"
+
+
+def intersection_failure() -> None:
+    print("== §2.3: the intersection of two models need not be a model ==")
+    program = parse_rules("p(<X>) <- q(X).")
+    a = atoms("q(1)", "q(2)", "p({1, 2})")
+    b = atoms("q(2)", "q(3)", "p({2, 3})")
+    print("  A =", show(a), "model?", is_model(program, a))
+    print("  B =", show(b), "model?", is_model(program, b))
+    print(
+        "  A ∩ B =", show(a & b), "model?", is_model(program, a & b),
+        "(missing p({2}))",
+    )
+    assert is_model(program, a) and is_model(program, b)
+    assert not is_model(program, a & b)
+
+
+def no_model() -> None:
+    print("== §2.3: a program with no model (Russell-Whitehead flavor) ==")
+    program = parse_rules("p(<X>) <- p(X). p(1).")
+    candidates = [
+        parse_atom(src)
+        for src in ("p({1})", "p({{1}})", "p({1, {1}})", "p({{1}, {1, {1}}})")
+    ]
+    print("  p(<X>) <- p(X).  p(1).")
+    print("  any model over a nested-set candidate universe?",
+          has_model(program, candidates))
+    assert not has_model(program, candidates)
+    # show the divergence: each T_P application grows the grouped set
+    current = atoms("p(1)")
+    for step in range(3):
+        current = frozenset(current | tp_with_grouping(program, current))
+        print(f"  after {step + 1} naive step(s): {show(current)}")
+
+
+def multiple_minimal_models() -> None:
+    print("== §2.3: a positive program with several minimal models ==")
+    program = parse_rules(
+        """
+        p(<X>) <- q(X).
+        q(Y) <- w(S, Y), p(S).
+        q(1).
+        w({1}, 7).
+        """
+    )
+    m = atoms("q(1)", "w({1}, 7)")
+    print("  M =", show(m), "model?", is_model(program, m))
+    m1 = m | atoms("q(2)", "p({1, 2})")
+    m2 = m | atoms("q(3)", "p({1, 3})")
+    print("  M1 =", show(m1), "model?", is_model(program, m1))
+    print("  M2 =", show(m2), "model?", is_model(program, m2))
+    candidates = [
+        parse_atom(s)
+        for s in (
+            "q(2)", "q(3)", "q(7)",
+            "p({1})", "p({1, 2})", "p({1, 3})", "p({1, 7})", "p({2})",
+        )
+    ]
+    minimal = minimal_models_over(program, candidates)
+    print(f"  minimal models over the pool: {len(minimal)} (no unique minimum)")
+    assert len(minimal) > 1
+
+
+def domination_minimality() -> None:
+    print("== §2.4: minimality via domination, not set inclusion ==")
+    program = parse_rules(
+        """
+        q(1).
+        p(<X>) <- q(X).
+        q(2) <- p({1, 2}).
+        """
+    )
+    m1 = atoms("q(1)", "q(2)", "p({1, 2})")
+    m2 = atoms("q(1)", "p({1})")
+    print("  M1 =", show(m1), "model?", is_model(program, m1))
+    print("  M2 =", show(m2), "model?", is_model(program, m2))
+    print("  M2 improves on M1 (M2−M1 ≤ M1−M2)?", improves_on(m2, m1))
+    print("  M1 improves on M2?", improves_on(m1, m2))
+    assert improves_on(m2, m1) and not improves_on(m1, m2)
+    # note: neither model is ⊆-comparable to the other, so classical
+    # set-inclusion minimality cannot choose between them.
+    assert not (m1 <= m2 or m2 <= m1)
+
+
+if __name__ == "__main__":
+    intersection_failure()
+    no_model()
+    multiple_minimal_models()
+    domination_minimality()

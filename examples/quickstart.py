@@ -1,0 +1,91 @@
+"""Quickstart: the LDL1 public API in five minutes.
+
+Covers the paper's Section 1 feature tour — recursion, stratified
+negation, set grouping, and set enumeration — through the high-level
+:class:`repro.LDL` session.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LDL
+
+
+def recursion() -> None:
+    print("== recursion: ancestor (simple program) ==")
+    db = LDL(
+        """
+        ancestor(X, Y) <- parent(X, Y).
+        ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+        """
+    )
+    db.facts("parent", [("ann", "bob"), ("bob", "carl"), ("carl", "dee")])
+    for answer in db.query("? ancestor(ann, X)."):
+        print("  ann is an ancestor of", answer["X"])
+
+
+def negation() -> None:
+    print("== stratified negation: exclusive ancestors ==")
+    db = LDL(
+        """
+        ancestor(X, Y) <- parent(X, Y).
+        ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+        excl_ancestor(X, Y, Z) <- ancestor(X, Y), person(Z), ~ancestor(X, Z).
+        """
+    )
+    db.facts("parent", [("ann", "bob"), ("bob", "carl"), ("dee", "emma")])
+    db.facts("person", [("ann",), ("bob",), ("carl",), ("dee",), ("emma",)])
+    print("  ancestors of someone, excluding ancestors of carl:")
+    for answer in db.query("? excl_ancestor(X, Y, carl)."):
+        print(f"    {answer['X']} -> {answer['Y']}")
+
+
+def grouping() -> None:
+    print("== set grouping: parts per supplier ==")
+    db = LDL("supplier_parts(S, <P>) <- supplies(S, P).")
+    db.facts(
+        "supplies",
+        [("acme", "bolt"), ("acme", "nut"), ("acme", "washer"), ("zeta", "bolt")],
+    )
+    for supplier, parts in db.extension("supplier_parts"):
+        print(f"  {supplier} supplies {sorted(parts)}")
+
+
+def set_enumeration() -> None:
+    print("== set enumeration: book deals under 100 ==")
+    db = LDL(
+        """
+        book_deal({X, Y}) <- book(X, Px), book(Y, Py), X != Y, Px + Py < 100.
+        """
+    )
+    db.facts("book", [("tractatus", 35), ("organon", 50), ("ethics", 60)])
+    for (deal,) in db.extension("book_deal"):
+        print("  deal:", sorted(deal))
+
+
+def magic_queries() -> None:
+    print("== magic sets: querying only what is relevant ==")
+    db = LDL(
+        """
+        ancestor(X, Y) <- parent(X, Y).
+        ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+        """
+    )
+    db.facts("parent", [(f"p{i}", f"p{i + 1}") for i in range(50)])
+    db.facts("parent", [(f"q{i}", f"q{i + 1}") for i in range(50)])
+    result = db.query_magic("? ancestor(p40, X).")
+    print("  answers:", [a.args[1].value for a in result.answer_atoms()])
+    print(
+        "  facts touched by magic:",
+        result.total_facts,
+        "(a full bottom-up model would hold",
+        db.model().total_facts,
+        "facts)",
+    )
+
+
+if __name__ == "__main__":
+    recursion()
+    negation()
+    grouping()
+    set_enumeration()
+    magic_queries()

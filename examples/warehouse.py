@@ -1,0 +1,106 @@
+"""A small end-to-end application: warehouse stock management.
+
+Shows the pieces a downstream user combines: CSV data loading,
+set-valued relations, grouping, stratified negation, incremental
+updates as shipments arrive and leave, and derivation trees to audit
+an answer.
+
+Run:  python examples/warehouse.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.data import load_delimited
+from repro.engine.explain import explain
+from repro.engine.incremental import IncrementalModel
+from repro.parser import parse_atom, parse_rules
+from repro.terms.pretty import format_atom
+
+RULES = parse_rules(
+    """
+    % route(A, B): trucks drive from warehouse A to warehouse B
+    reachable(A, B) <- route(A, B).
+    reachable(A, B) <- route(A, C), reachable(C, B).
+
+    % an item is obtainable at W if some warehouse reachable from W
+    % (or W itself) stocks it
+    here(W, I) <- stocked(W, I).
+    obtainable(W, I) <- here(W, I).
+    obtainable(W, I) <- reachable(W, V), here(V, I).
+
+    % inventory: the set of items obtainable per warehouse
+    inventory(W, <I>) <- obtainable(W, I).
+
+    % items nobody stocks anywhere reachable: per-warehouse gaps
+    wanted(W, I) <- demand(W, I).
+    gap(W, I) <- wanted(W, I), ~obtainable(W, I).
+    """
+)
+
+STOCK_CSV = """east,bolts
+east,nuts
+west,washers
+north,gaskets
+"""
+
+ROUTES_CSV = """east,west
+west,north
+"""
+
+DEMAND_CSV = """east,washers
+east,turbines
+north,bolts
+"""
+
+
+def load(tmp: Path) -> IncrementalModel:
+    (tmp / "stock.csv").write_text(STOCK_CSV)
+    (tmp / "routes.csv").write_text(ROUTES_CSV)
+    (tmp / "demand.csv").write_text(DEMAND_CSV)
+    facts = (
+        load_delimited(tmp / "stock.csv", "stocked")
+        + load_delimited(tmp / "routes.csv", "route")
+        + load_delimited(tmp / "demand.csv", "demand")
+    )
+    return IncrementalModel(RULES, facts)
+
+
+def report(model: IncrementalModel, title: str) -> None:
+    print(f"== {title} ==")
+    for atom in model.database.sorted_atoms("inventory"):
+        warehouse, items = atom.args
+        print(f"  {warehouse.value}: {sorted(i.value for i in items)}")
+    gaps = model.database.sorted_atoms("gap")
+    if gaps:
+        print("  gaps:", ", ".join(format_atom(a) for a in gaps))
+    else:
+        print("  gaps: none")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmpdir:
+        model = load(Path(tmpdir))
+    report(model, "initial state (from CSV)")
+
+    print()
+    stats = model.add_facts([parse_atom("stocked(north, turbines)")])
+    print(f"(north receives turbines — {stats.mode} update, "
+          f"{stats.affected_predicates} predicates affected)")
+    report(model, "after the turbine shipment")
+
+    print()
+    stats = model.remove_facts([parse_atom("route(west, north)")])
+    print(f"(the west->north route closes — {stats.mode} update)")
+    report(model, "after losing the route")
+
+    print()
+    print("== why does east still obtain washers? ==")
+    derivation = explain(
+        RULES, model.database, parse_atom("obtainable(east, washers)")
+    )
+    print(derivation.format())
+
+
+if __name__ == "__main__":
+    main()

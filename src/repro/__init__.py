@@ -1,0 +1,58 @@
+"""LDL1: a logic database language with finite sets and stratified negation.
+
+Reproduction of Beeri, Naqvi, Ramakrishnan, Shmueli, Tsur,
+"Sets and Negation in a Logic Database Language (LDL1)", PODS 1987.
+
+Quickstart::
+
+    from repro import LDL
+
+    db = LDL('''
+        ancestor(X, Y) <- parent(X, Y).
+        ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+    ''')
+    db.facts("parent", [("ann", "bob"), ("bob", "carl")])
+    db.query("? ancestor(ann, X).")
+"""
+
+from repro.api import LDL, from_term, to_term
+from repro.engine import (
+    Database,
+    IncrementalModel,
+    TopDownEvaluator,
+    evaluate,
+    evaluate_topdown,
+    explain,
+)
+from repro.errors import LDLError
+from repro.magic import evaluate_magic, magic_rewrite
+from repro.parser import parse_program, parse_query, parse_rules
+from repro.program import Program, Query, Rule, analyze, stratify
+from repro.semantics import is_model, wellfounded
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "IncrementalModel",
+    "LDL",
+    "TopDownEvaluator",
+    "analyze",
+    "LDLError",
+    "Program",
+    "Query",
+    "Rule",
+    "evaluate",
+    "evaluate_magic",
+    "evaluate_topdown",
+    "explain",
+    "is_model",
+    "from_term",
+    "magic_rewrite",
+    "parse_program",
+    "parse_query",
+    "parse_rules",
+    "stratify",
+    "to_term",
+    "wellfounded",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the LDL1 command-line interface."""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,204 @@
+"""High-level session API for the LDL1 system.
+
+:class:`LDL` is the facade a downstream user works with: load rules in
+concrete syntax (LDL1 or LDL1.5), add facts from plain Python values,
+and run queries under any evaluation strategy::
+
+    from repro import LDL
+
+    db = LDL('''
+        ancestor(X, Y) <- parent(X, Y).
+        ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+    ''')
+    db.facts("parent", [("ann", "bob"), ("bob", "carl")])
+    db.query("? ancestor(ann, X).")
+    # [{'X': 'bob'}, {'X': 'carl'}]
+    db.query("? ancestor(ann, X).", strategy="magic")  # same answers
+
+Python values convert to terms (ints/floats/strs to constants,
+(frozen)sets to set values, tuples to tuple terms) and back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal as TypingLiteral, Sequence
+
+from repro.engine.database import Database
+from repro.engine.evaluator import EvaluationResult, evaluate
+from repro.errors import EvaluationError
+from repro.magic.evaluate import MagicResult, evaluate_magic
+from repro.parser.parser import parse_program, parse_query
+from repro.program.rule import Atom, Program, Query
+from repro.terms.term import Const, Func, SetVal, Term
+
+Strategy = TypingLiteral["naive", "seminaive", "magic"]
+
+
+def to_term(value) -> Term:
+    """Convert a Python value to a ground LDL1 term.
+
+    int/float/str become constants, (frozen)sets become set values,
+    tuples become ``tuple(...)`` terms; terms pass through.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, (set, frozenset)):
+        return SetVal(to_term(v) for v in value)
+    if isinstance(value, tuple):
+        if len(value) == 1:
+            return to_term(value[0])
+        return Func("tuple", tuple(to_term(v) for v in value))
+    if isinstance(value, bool):
+        raise TypeError("booleans are not LDL1 constants")
+    if isinstance(value, (int, float, str)):
+        return Const(value)
+    raise TypeError(f"cannot convert {value!r} to an LDL1 term")
+
+
+def from_term(term: Term):
+    """Convert a ground term back to a Python value.
+
+    Constants unwrap to their payload, set values to frozensets, tuple
+    terms to tuples; other compound terms stay as terms.
+    """
+    if isinstance(term, Const):
+        return term.value
+    if isinstance(term, SetVal):
+        return frozenset(from_term(e) for e in term)
+    if isinstance(term, Func) and term.functor == "tuple":
+        return tuple(from_term(a) for a in term.args)
+    return term
+
+
+class LDL:
+    """An LDL1 database session: rules + facts + query evaluation."""
+
+    def __init__(
+        self,
+        source: str = "",
+        ldl15: bool = False,
+        alternative_semantics: bool = False,
+    ) -> None:
+        self._program = Program()
+        self._edb: list[Atom] = []
+        self._pending_queries: list[Query] = []
+        self._ldl15 = ldl15
+        self._alternative = alternative_semantics
+        self._cached_result: EvaluationResult | None = None
+        if source:
+            self.load(source)
+
+    # -- building the database -------------------------------------------
+
+    def load(self, source: str) -> "LDL":
+        """Parse and append rules; queries in the source are stored and
+        available via :meth:`run_pending_queries`."""
+        parsed = parse_program(source)
+        self._program = self._program + parsed.program
+        self._pending_queries.extend(parsed.queries)
+        self._invalidate()
+        return self
+
+    def fact(self, pred: str, *values) -> "LDL":
+        """Add one fact from Python values: ``db.fact("parent", "a", "b")``."""
+        self._edb.append(Atom(pred, tuple(to_term(v) for v in values)))
+        self._invalidate()
+        return self
+
+    def facts(self, pred: str, rows: Iterable[Sequence]) -> "LDL":
+        """Add many facts: ``db.facts("edge", [(1, 2), (2, 3)])``."""
+        for row in rows:
+            self._edb.append(Atom(pred, tuple(to_term(v) for v in row)))
+        self._invalidate()
+        return self
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> "LDL":
+        """Add pre-built ground atoms (e.g. from a workload generator)."""
+        self._edb.extend(atoms)
+        self._invalidate()
+        return self
+
+    def _invalidate(self) -> None:
+        self._cached_result = None
+
+    @property
+    def pending_queries(self) -> tuple[Query, ...]:
+        """Queries that arrived inside loaded sources, in order."""
+        return tuple(self._pending_queries)
+
+    @property
+    def program(self) -> Program:
+        """The loaded rules, compiled to base LDL1 if needed."""
+        if self._ldl15:
+            from repro.transform import compile_ldl15
+
+            return compile_ldl15(self._program, alternative=self._alternative)
+        return self._program
+
+    # -- evaluation --------------------------------------------------------
+
+    def model(self, strategy: Strategy = "seminaive") -> EvaluationResult:
+        """Compute (and cache) the standard minimal model."""
+        if strategy == "magic":
+            raise EvaluationError("magic evaluation is per-query; use query()")
+        if self._cached_result is None or self._cached_result.strategy != strategy:
+            self._cached_result = evaluate(
+                self.program, edb=self._edb, strategy=strategy
+            )
+        return self._cached_result
+
+    def database(self, strategy: Strategy = "seminaive") -> Database:
+        return self.model(strategy).database
+
+    def query(
+        self, text: str | Query, strategy: Strategy = "seminaive"
+    ) -> list[dict]:
+        """Answer a query; returns one dict of Python values per answer."""
+        query = text if isinstance(text, Query) else parse_query(text)
+        if strategy == "magic":
+            bindings = self.query_magic(query).answers()
+        else:
+            bindings = self.model(strategy).answers(query)
+        return [
+            {name: from_term(value) for name, value in binding.items()}
+            for binding in bindings
+        ]
+
+    def query_magic(self, text: str | Query) -> MagicResult:
+        """Answer a query by magic-sets rewriting; returns the full
+        :class:`MagicResult` (database, stats, rewritten program)."""
+        query = text if isinstance(text, Query) else parse_query(text)
+        return evaluate_magic(self.program, query, edb=self._edb)
+
+    def run_pending_queries(self, strategy: Strategy = "seminaive"):
+        """Answer every query that arrived via :meth:`load`, in order."""
+        return [
+            (query, self.query(query, strategy=strategy))
+            for query in self._pending_queries
+        ]
+
+    def explain(self, fact_text: str, strategy: Strategy = "seminaive"):
+        """A derivation tree for a fact of the model, or None.
+
+        ``fact_text`` is a ground atom in concrete syntax, e.g.
+        ``"ancestor(ann, carl)"``; see
+        :class:`repro.engine.explain.Derivation`.
+        """
+        from repro.engine.explain import explain
+        from repro.parser.parser import parse_atom
+        from repro.terms.term import evaluate_ground
+
+        atom = parse_atom(fact_text.rstrip(". \n"))
+        fact = Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))
+        return explain(self.program, self.database(strategy), fact)
+
+    def extension(self, pred: str, strategy: Strategy = "seminaive") -> list[tuple]:
+        """The computed extension of one predicate as Python tuples."""
+        db = self.database(strategy)
+        return sorted(
+            (tuple(from_term(a) for a in atom.args) for atom in db.atoms(pred)),
+            key=repr,
+        )
+
+    def __repr__(self) -> str:
+        return f"LDL({len(self._program)} rules, {len(self._edb)} facts)"

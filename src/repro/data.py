@@ -1,0 +1,103 @@
+"""Loading extensional data from delimited files.
+
+A deductive database is only useful if base relations can come from
+somewhere; this module reads CSV/TSV files into ground atoms.  Cell
+values are typed by shape: integers and floats become numeric
+constants, everything else a symbol.  A cell of the form
+``{a; b; c}`` becomes a set of such scalars (empty: ``{}``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import EvaluationError
+from repro.program.rule import Atom
+from repro.terms.term import Const, SetVal, Term
+
+
+def _scalar(text: str) -> Term:
+    text = text.strip()
+    if not text:
+        raise EvaluationError("empty cell in data file")
+    try:
+        return Const(int(text))
+    except ValueError:
+        pass
+    try:
+        return Const(float(text))
+    except ValueError:
+        pass
+    return Const(text)
+
+
+def parse_cell(text: str) -> Term:
+    """Convert one cell to a ground term (scalar or ``{a; b}`` set)."""
+    stripped = text.strip()
+    if stripped.startswith("{") and stripped.endswith("}"):
+        inner = stripped[1:-1].strip()
+        if not inner:
+            return SetVal()
+        return SetVal(_scalar(part) for part in inner.split(";"))
+    return _scalar(stripped)
+
+
+def load_delimited(
+    path: str | Path, pred: str, delimiter: str | None = None
+) -> list[Atom]:
+    """Read ``path`` into ``pred`` facts, one per row.
+
+    ``delimiter`` defaults by extension: tab for ``.tsv``, comma
+    otherwise.  All rows must have the same width (the predicate's
+    arity).  Blank lines and ``#`` comment lines are skipped.
+    """
+    path = Path(path)
+    if delimiter is None:
+        delimiter = "\t" if path.suffix.lower() == ".tsv" else ","
+    atoms: list[Atom] = []
+    arity: int | None = None
+    with path.open(newline="") as handle:
+        for row_number, row in enumerate(csv.reader(handle, delimiter=delimiter), 1):
+            if not row or (row[0].lstrip().startswith("#")):
+                continue
+            if all(not cell.strip() for cell in row):
+                continue
+            if arity is None:
+                arity = len(row)
+            elif len(row) != arity:
+                raise EvaluationError(
+                    f"{path}:{row_number}: expected {arity} columns, got {len(row)}"
+                )
+            atoms.append(Atom(pred, tuple(parse_cell(cell) for cell in row)))
+    return atoms
+
+
+def dump_delimited(
+    atoms: Iterable[Atom], path: str | Path, delimiter: str | None = None
+) -> int:
+    """Write ground atoms (one predicate) back to a delimited file.
+
+    Sets serialize as ``{a; b}``.  Returns the row count.
+    """
+    path = Path(path)
+    if delimiter is None:
+        delimiter = "\t" if path.suffix.lower() == ".tsv" else ","
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        for atom in atoms:
+            writer.writerow([_cell_text(arg) for arg in atom.args])
+            count += 1
+    return count
+
+
+def _cell_text(term: Term) -> str:
+    if isinstance(term, Const):
+        return str(term.value)
+    if isinstance(term, SetVal):
+        return "{" + "; ".join(_cell_text(e) for e in term) + "}"
+    from repro.terms.pretty import format_term
+
+    return format_term(term)

@@ -1,0 +1,48 @@
+"""Bottom-up evaluation engine: storage, matching, built-ins, fixpoints."""
+
+from repro.engine.builtins import MAX_ENUMERATED_SET, solve_builtin
+from repro.engine.database import Database
+from repro.engine.evaluator import (
+    EvaluationResult,
+    LayerStats,
+    answer_query,
+    evaluate,
+)
+from repro.engine.fixpoint import FixpointStats, naive_fixpoint, seminaive_fixpoint
+from repro.engine.explain import Derivation, explain
+from repro.engine.grouping import apply_grouping_rule, apply_grouping_rules
+from repro.engine.incremental import IncrementalModel, UpdateStats
+from repro.engine.match import Binding, ground_atom, match_atom, match_term
+from repro.engine.relation import Relation
+from repro.engine.solve import head_facts, order_body, solve_body
+from repro.engine.topdown import TopDownEvaluator, TopDownStats, evaluate_topdown
+
+__all__ = [
+    "Binding",
+    "Database",
+    "Derivation",
+    "IncrementalModel",
+    "UpdateStats",
+    "explain",
+    "EvaluationResult",
+    "FixpointStats",
+    "LayerStats",
+    "MAX_ENUMERATED_SET",
+    "Relation",
+    "TopDownEvaluator",
+    "TopDownStats",
+    "answer_query",
+    "evaluate_topdown",
+    "apply_grouping_rule",
+    "apply_grouping_rules",
+    "evaluate",
+    "ground_atom",
+    "head_facts",
+    "match_atom",
+    "match_term",
+    "naive_fixpoint",
+    "order_body",
+    "seminaive_fixpoint",
+    "solve_body",
+    "solve_builtin",
+]

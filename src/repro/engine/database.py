@@ -1,0 +1,110 @@
+"""A database of U-facts: one :class:`Relation` per predicate.
+
+The database is the ``M`` of the paper's ``R(M)`` operator — a set of
+U-facts — organized per predicate for indexed access.  Predicates are
+keyed by name only; the first fact fixes the arity and later arity
+mismatches raise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.engine.relation import ArgTuple, Relation
+from repro.program.rule import Atom
+from repro.terms.term import Term
+
+
+class Database:
+    """Mutable set of ground atoms with per-predicate indexed storage."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, facts: Iterable[Atom] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for atom in facts:
+            self.add(atom)
+
+    def relation(self, pred: str, arity: int | None = None) -> Relation:
+        """The relation for ``pred``, creating it when ``arity`` given."""
+        rel = self._relations.get(pred)
+        if rel is None:
+            if arity is None:
+                raise KeyError(f"unknown predicate {pred!r}")
+            rel = Relation(pred, arity)
+            self._relations[pred] = rel
+        return rel
+
+    def has_relation(self, pred: str) -> bool:
+        return pred in self._relations
+
+    def add(self, atom: Atom) -> bool:
+        """Insert a ground atom; returns True when new."""
+        if not atom.is_ground():
+            raise ValueError(f"cannot store non-ground atom {atom!r}")
+        return self.relation(atom.pred, atom.arity).add(atom.args)
+
+    def add_tuple(self, pred: str, args: ArgTuple) -> bool:
+        return self.relation(pred, len(args)).add(args)
+
+    def __contains__(self, atom: Atom) -> bool:
+        rel = self._relations.get(atom.pred)
+        return rel is not None and atom.args in rel
+
+    def tuples(self, pred: str) -> Iterable[ArgTuple]:
+        rel = self._relations.get(pred)
+        return iter(rel) if rel is not None else ()
+
+    def lookup(
+        self, pred: str, positions: tuple[int, ...], key: ArgTuple
+    ) -> Iterable[ArgTuple]:
+        rel = self._relations.get(pred)
+        if rel is None:
+            return ()
+        return rel.lookup(positions, key)
+
+    def count(self, pred: str | None = None) -> int:
+        """Number of facts for one predicate, or in total."""
+        if pred is not None:
+            rel = self._relations.get(pred)
+            return len(rel) if rel is not None else 0
+        return sum(len(rel) for rel in self._relations.values())
+
+    def predicates(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def atoms(self, pred: str | None = None) -> Iterator[Atom]:
+        """Iterate stored facts as atoms, optionally for one predicate."""
+        preds = (pred,) if pred is not None else self.predicates()
+        for name in preds:
+            rel = self._relations.get(name)
+            if rel is None:
+                continue
+            for args in rel:
+                yield Atom(name, args)
+
+    def sorted_atoms(self, pred: str | None = None) -> list[Atom]:
+        """Deterministically ordered facts (for printing and tests)."""
+        return sorted(self.atoms(pred), key=lambda a: a.sort_key())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone._relations = {
+            pred: rel.copy() for pred, rel in self._relations.items()
+        }
+        return clone
+
+    def as_set(self) -> frozenset[Atom]:
+        return frozenset(self.atoms())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Database) and self.as_set() == other.as_set()
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{pred}:{len(rel)}" for pred, rel in sorted(self._relations.items())
+        )
+        return f"Database({parts})"

@@ -1,0 +1,145 @@
+"""Layer-by-layer bottom-up evaluation (paper Theorem 1).
+
+Given an admissible program P with layering ``L1, ..., Ln`` and a set
+of U-facts ``M0``, computes ``Mn = Ln(...L1(M0))``: each layer first
+applies its grouping rules once over the facts from below (the R1 step
+of Lemma 3.2.3), then runs its remaining rules to fixpoint (R2).  The
+result is a minimal model of P w.r.t. M0; for positive programs it is
+the unique minimal model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal as TypingLiteral, Sequence
+
+from repro.engine.database import Database
+from repro.engine.fixpoint import FixpointStats, naive_fixpoint, seminaive_fixpoint
+from repro.engine.grouping import apply_grouping_rules
+from repro.engine.match import Binding, match_atom
+from repro.errors import EvaluationError
+from repro.program.rule import Atom, Program, Query, Rule
+from repro.program.stratify import Layering, stratify, validate_layering
+from repro.program.wellformed import check_program
+from repro.terms.term import evaluate_ground
+
+Strategy = TypingLiteral["naive", "seminaive"]
+
+
+@dataclass
+class LayerStats:
+    """Per-layer work counters."""
+
+    layer: int
+    grouping_facts: int = 0
+    fixpoint: FixpointStats = field(default_factory=FixpointStats)
+
+
+@dataclass
+class EvaluationResult:
+    """The computed minimal model plus bookkeeping."""
+
+    database: Database
+    layering: Layering
+    layer_stats: list[LayerStats]
+    strategy: Strategy
+
+    @property
+    def total_facts(self) -> int:
+        return len(self.database)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.fixpoint.iterations for s in self.layer_stats)
+
+    @property
+    def total_firings(self) -> int:
+        return sum(s.fixpoint.rule_firings for s in self.layer_stats)
+
+    def answers(self, query: Query) -> list[Binding]:
+        """All bindings of the query's variables against the model."""
+        return answer_query(self.database, query)
+
+    def answer_atoms(self, query: Query) -> list[Atom]:
+        """Matching facts, deterministically ordered."""
+        out = []
+        for args in self.database.tuples(query.atom.pred):
+            for _ in match_atom(query.atom, args, {}):
+                out.append(Atom(query.atom.pred, args))
+                break
+        return sorted(out, key=lambda a: a.sort_key())
+
+
+def _install_facts(db: Database, program: Program) -> None:
+    for rule in program.facts():
+        head = rule.head
+        try:
+            args = tuple(evaluate_ground(a) for a in head.args)
+        except EvaluationError as exc:
+            raise EvaluationError(
+                f"fact {head!r} does not denote a U-fact: {exc}"
+            ) from exc
+        db.add(Atom(head.pred, args))
+
+
+def evaluate(
+    program: Program,
+    edb: Iterable[Atom] = (),
+    strategy: Strategy = "seminaive",
+    layering: Layering | None = None,
+    check: bool = True,
+    planner: str = "static",
+) -> EvaluationResult:
+    """Compute the standard minimal model of ``program`` over ``edb``.
+
+    ``layering`` overrides the canonical stratification (it is validated
+    first); Theorem 2 guarantees the result does not depend on the
+    choice.  ``strategy`` selects the fixpoint algorithm within layers;
+    ``planner="sized"`` enables cardinality-aware join ordering.
+    """
+    if check:
+        check_program(program)
+    if layering is None:
+        layering = stratify(program)
+    elif not validate_layering(program, layering):
+        raise EvaluationError("supplied layering violates the layering conditions")
+    if strategy not in ("naive", "seminaive"):
+        raise EvaluationError(f"unknown strategy {strategy!r}")
+
+    db = Database(edb)
+    _install_facts(db, program)
+
+    run_fixpoint = naive_fixpoint if strategy == "naive" else seminaive_fixpoint
+    layer_stats: list[LayerStats] = []
+    for i in range(len(layering)):
+        stats = LayerStats(layer=i)
+        rules = [
+            r for r in layering.rules_in_layer(program, i) if not r.is_fact()
+        ]
+        grouping_rules = [r for r in rules if r.is_grouping()]
+        other_rules = [r for r in rules if not r.is_grouping()]
+        for fact in apply_grouping_rules(grouping_rules, db):
+            if db.add(fact):
+                stats.grouping_facts += 1
+        if other_rules:
+            stats.fixpoint = run_fixpoint(db, other_rules, planner=planner)
+        layer_stats.append(stats)
+    return EvaluationResult(db, layering, layer_stats, strategy)
+
+
+def answer_query(db: Database, query: Query) -> list[Binding]:
+    """Match a query atom against the database; sorted distinct bindings."""
+    answers: list[Binding] = []
+    seen: set[frozenset] = set()
+    for args in db.tuples(query.atom.pred):
+        for binding in match_atom(query.atom, args, {}):
+            key = frozenset(binding.items())
+            if key not in seen:
+                seen.add(key)
+                answers.append(binding)
+    answers.sort(
+        key=lambda b: tuple(
+            (name, value.sort_key()) for name, value in sorted(b.items())
+        )
+    )
+    return answers

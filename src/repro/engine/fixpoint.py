@@ -1,0 +1,136 @@
+"""Naive and semi-naive fixpoint evaluation of non-grouping rules.
+
+Implements the paper's ``R(M)`` operator (Section 3.2) for a set of
+rules without head grouping: the naive strategy recomputes every rule
+against the full database each iteration (the literal ``R_{i+1}(M)``
+definition); the semi-naive strategy restricts one recursive body
+occurrence per rule application to the facts newly derived in the
+previous round, avoiding rediscovery.  Both reach the same fixpoint;
+the benchmark suite quantifies the difference (experiment E1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.database import Database
+from repro.engine.solve import head_facts, order_body, solve_body
+from repro.names import is_builtin_predicate
+from repro.program.rule import Atom, Rule
+
+
+@dataclass
+class FixpointStats:
+    """Work counters for one fixpoint run (feeds the benchmarks)."""
+
+    iterations: int = 0
+    rule_firings: int = 0
+    facts_derived: int = 0
+
+    def merge(self, other: "FixpointStats") -> None:
+        self.iterations += other.iterations
+        self.rule_firings += other.rule_firings
+        self.facts_derived += other.facts_derived
+
+
+def _sizes(db: Database, planner: str) -> dict[str, int] | None:
+    if planner != "sized":
+        return None
+    return {pred: db.count(pred) for pred in db.predicates()}
+
+
+def naive_fixpoint(
+    db: Database, rules: Sequence[Rule], planner: str = "static"
+) -> FixpointStats:
+    """Run all rules to fixpoint, naive strategy.  Mutates ``db``.
+
+    ``planner="sized"`` reorders bodies by current relation
+    cardinalities each iteration (experiment E15).
+    """
+    stats = FixpointStats()
+    plans = [order_body(rule.body) for rule in rules]
+    while True:
+        stats.iterations += 1
+        sizes = _sizes(db, planner)
+        if sizes is not None:
+            plans = [order_body(rule.body, sizes=sizes) for rule in rules]
+        batch: list[Atom] = []
+        for rule, plan in zip(rules, plans):
+            for fact in head_facts(rule.head, solve_body(db, rule.body, plan)):
+                stats.rule_firings += 1
+                batch.append(fact)
+        new = sum(1 for fact in batch if db.add(fact))
+        stats.facts_derived += new
+        if not new:
+            return stats
+
+
+def seminaive_fixpoint(
+    db: Database, rules: Sequence[Rule], planner: str = "static"
+) -> FixpointStats:
+    """Run all rules to fixpoint, semi-naive strategy.  Mutates ``db``.
+
+    Round 0 evaluates every rule against the full database; later
+    rounds re-evaluate a rule once per positive body occurrence of a
+    predicate that changed, with that occurrence restricted to the
+    previous round's delta.
+    """
+    stats = FixpointStats()
+
+    stats.iterations += 1
+    delta: dict[str, list[tuple]] = {}
+    for rule in rules:
+        plan = order_body(rule.body, sizes=_sizes(db, planner))
+        derived = list(head_facts(rule.head, solve_body(db, rule.body, plan)))
+        stats.rule_firings += len(derived)
+        for fact in derived:
+            if db.add(fact):
+                stats.facts_derived += 1
+                delta.setdefault(fact.pred, []).append(fact.args)
+
+    stats.merge(seminaive_rounds(db, rules, delta, planner=planner))
+    return stats
+
+
+def seminaive_rounds(
+    db: Database,
+    rules: Sequence[Rule],
+    delta: dict[str, list[tuple]],
+    planner: str = "static",
+) -> FixpointStats:
+    """Continue a semi-naive fixpoint from an explicit delta.
+
+    ``db`` must already contain the delta's facts; only derivations
+    using at least one delta fact are explored — the entry point for
+    incremental insertion (:mod:`repro.engine.incremental`).
+    """
+    stats = FixpointStats()
+    occurrence_index: list[tuple[Rule, int]] = []
+    for rule in rules:
+        for i, lit in enumerate(rule.body):
+            if lit.positive and not is_builtin_predicate(lit.atom.pred):
+                occurrence_index.append((rule, i))
+
+    while delta:
+        stats.iterations += 1
+        next_delta: dict[str, list[tuple]] = {}
+        for rule, occurrence in occurrence_index:
+            pred = rule.body[occurrence].atom.pred
+            changed = delta.get(pred)
+            if not changed:
+                continue
+            plan = order_body(
+                rule.body, first=occurrence, sizes=_sizes(db, planner)
+            )
+            bindings = solve_body(
+                db, rule.body, plan, overrides={occurrence: changed}
+            )
+            derived = list(head_facts(rule.head, bindings))
+            stats.rule_firings += len(derived)
+            for fact in derived:
+                if db.add(fact):
+                    stats.facts_derived += 1
+                    next_delta.setdefault(fact.pred, []).append(fact.args)
+        delta = next_delta
+    return stats

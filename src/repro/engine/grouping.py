@@ -1,0 +1,78 @@
+"""Evaluation of grouping rules (paper Section 3.2, Lemma 3.2.3).
+
+A grouping rule ``p(t1, ..., <Y>, ..., tn) <- body`` is applied *once*
+per layer, over the facts of the layers below: bindings of the body are
+partitioned into equivalence classes by the interpreted values of the
+non-grouped head terms (the paper's ``theta1 == theta2`` relation), and
+each non-empty class contributes one fact whose grouped argument is the
+finite set of ``Y`` values in the class.
+
+Empty classes contribute nothing — the formula is true with no head
+fact "when the set of elements to be grouped is empty" — and finiteness
+is automatic over a finite database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.database import Database
+from repro.engine.solve import solve_body
+from repro.errors import EvaluationError, NotInUniverseError
+from repro.program.rule import Atom, Rule
+from repro.terms.pretty import format_rule
+from repro.terms.term import SetVal, Term, Var, evaluate_ground
+
+
+def apply_grouping_rule(rule: Rule, db: Database) -> Iterator[Atom]:
+    """Yield the facts derived by one grouping rule over ``db``.
+
+    This is the paper's ``r(M)`` for rules with a ``<X>`` head
+    occurrence: ``p Sigma_j`` for every equivalence class ``Sigma_j``
+    with a non-empty, finite grouped set.
+    """
+    positions = rule.head.group_positions()
+    if len(positions) != 1:
+        raise EvaluationError(
+            f"not a base-LDL1 grouping rule: {format_rule(rule)}"
+        )
+    group_position = positions[0]
+    group_inner = rule.head.args[group_position].inner
+    if not isinstance(group_inner, Var):
+        raise EvaluationError(
+            f"grouping over a non-variable (compile LDL1.5 first): {format_rule(rule)}"
+        )
+    group_var = group_inner.name
+    other_terms: list[tuple[int, Term]] = [
+        (i, arg) for i, arg in enumerate(rule.head.args) if i != group_position
+    ]
+
+    groups: dict[tuple[Term, ...], set[Term]] = {}
+    for binding in solve_body(db, rule.body):
+        if group_var not in binding:
+            raise EvaluationError(
+                f"grouped variable {group_var} unbound by body: {format_rule(rule)}"
+            )
+        try:
+            key = tuple(
+                evaluate_ground(arg.substitute(binding)) for _, arg in other_terms
+            )
+            value = evaluate_ground(binding[group_var])
+        except (NotInUniverseError, EvaluationError):
+            continue
+        groups.setdefault(key, set()).add(value)
+
+    for key, values in groups.items():
+        args: list[Term] = [None] * len(rule.head.args)  # type: ignore[list-item]
+        for (i, _), value in zip(other_terms, key):
+            args[i] = value
+        args[group_position] = SetVal(values)
+        yield Atom(rule.head.pred, tuple(args))
+
+
+def apply_grouping_rules(rules, db: Database) -> list[Atom]:
+    """Apply every grouping rule once over ``db`` (the R1(M) step)."""
+    derived: list[Atom] = []
+    for rule in rules:
+        derived.extend(apply_grouping_rule(rule, db))
+    return derived

@@ -1,0 +1,194 @@
+"""Incremental maintenance of the standard model under EDB updates.
+
+A deductive database is rarely evaluated once: base facts arrive and
+retire.  This module maintains the computed minimal model across
+updates without full recomputation:
+
+* the *affected cone* of an update is the set of predicates that
+  transitively depend on a changed predicate (dependency-graph
+  ancestors); everything outside the cone keeps its extension —
+  stratification guarantees it cannot change;
+* pure insertions whose cone is internally monotone (no grouping head
+  and no negation *on cone predicates* among the cone's rules)
+  continue the semi-naive fixpoint with the new facts as the delta;
+* anything else (deletions, or cones crossing grouping/negation)
+  clears the cone's derived predicates and re-runs the layered
+  evaluation restricted to cone rules, over the untouched context.
+
+Both paths produce exactly the model a from-scratch evaluation would
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import networkx as nx
+
+from repro.engine.database import Database
+from repro.engine.fixpoint import (
+    FixpointStats,
+    seminaive_fixpoint,
+    seminaive_rounds,
+)
+from repro.engine.grouping import apply_grouping_rules
+from repro.errors import EvaluationError
+from repro.names import is_builtin_predicate
+from repro.program.dependency import dependency_graph
+from repro.program.rule import Atom, Program
+from repro.program.stratify import Layering, stratify
+from repro.program.wellformed import check_program
+from repro.terms.term import evaluate_ground
+
+
+@dataclass
+class UpdateStats:
+    """What one update cost."""
+
+    mode: str = "none"  # "delta" | "recompute" | "none"
+    affected_predicates: int = 0
+    facts_removed: int = 0
+    fixpoint: FixpointStats = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.fixpoint is None:
+            self.fixpoint = FixpointStats()
+
+
+class IncrementalModel:
+    """A materialized standard model that absorbs EDB updates."""
+
+    def __init__(
+        self, program: Program, edb: Iterable[Atom] = (), check: bool = True
+    ) -> None:
+        if check:
+            check_program(program)
+        self.program = program
+        self.layering: Layering = stratify(program)
+        self._graph = dependency_graph(program)
+        self._idb = program.idb_predicates()
+        self._edb_facts: set[Atom] = set()
+        self.database = Database()
+        self.last_update = UpdateStats()
+        self._install_program_facts()
+        if edb:
+            self.add_facts(edb)
+        else:
+            self._recompute(set(self.program.predicates()))
+
+    # -- public API -------------------------------------------------------
+
+    def add_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
+        """Insert base facts and repair the model."""
+        new = [self._canonical(a) for a in atoms]
+        new = [a for a in new if a not in self._edb_facts]
+        if not new:
+            self.last_update = UpdateStats(mode="none")
+            return self.last_update
+        for atom in new:
+            if atom.pred in self._idb:
+                raise EvaluationError(
+                    f"cannot insert into derived predicate {atom.pred!r}"
+                )
+            self._edb_facts.add(atom)
+        changed = {a.pred for a in new}
+        cone = self._affected_cone(changed)
+        if self._delta_safe(cone):
+            delta: dict[str, list[tuple]] = {}
+            for atom in new:
+                if self.database.add(atom):
+                    delta.setdefault(atom.pred, []).append(atom.args)
+            stats = seminaive_rounds(
+                self.database, self._cone_rules(cone), delta
+            )
+            self.last_update = UpdateStats(
+                mode="delta",
+                affected_predicates=len(cone),
+                fixpoint=stats,
+            )
+        else:
+            self.last_update = self._recompute(cone)
+        return self.last_update
+
+    def remove_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
+        """Delete base facts and repair the model."""
+        victims = [self._canonical(a) for a in atoms]
+        victims = [a for a in victims if a in self._edb_facts]
+        if not victims:
+            self.last_update = UpdateStats(mode="none")
+            return self.last_update
+        for atom in victims:
+            self._edb_facts.discard(atom)
+        changed = {a.pred for a in victims}
+        self.last_update = self._recompute(self._affected_cone(changed))
+        return self.last_update
+
+    def as_set(self) -> frozenset[Atom]:
+        return self.database.as_set()
+
+    # -- internals ---------------------------------------------------------
+
+    def _canonical(self, atom: Atom) -> Atom:
+        return Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))
+
+    def _install_program_facts(self) -> None:
+        for rule in self.program.facts():
+            fact = self._canonical(rule.head)
+            if fact.pred not in self._idb:
+                self._edb_facts.add(fact)
+
+    def _affected_cone(self, changed: set[str]) -> set[str]:
+        """Changed predicates plus everything depending on them."""
+        cone = set(changed)
+        for pred in changed:
+            if pred in self._graph:
+                cone |= nx.ancestors(self._graph, pred)
+        return cone
+
+    def _cone_rules(self, cone: set[str]):
+        return [
+            r
+            for r in self.program.proper_rules()
+            if r.head.pred in cone
+        ]
+
+    def _delta_safe(self, cone: set[str]) -> bool:
+        """Insertion is monotone within the cone: no grouping heads and
+        no negation on cone predicates among the cone's rules."""
+        for rule in self._cone_rules(cone):
+            if rule.is_grouping():
+                return False
+            for lit in rule.negative_body():
+                if lit.atom.pred in cone:
+                    return False
+        return True
+
+    def _recompute(self, cone: set[str]) -> UpdateStats:
+        """Rebuild the cone's derived predicates over the fixed context."""
+        stats = UpdateStats(mode="recompute", affected_predicates=len(cone))
+        # keep everything outside the cone; rebuild the inside.
+        fresh = Database()
+        for atom in self.database.atoms():
+            if atom.pred not in cone:
+                fresh.add(atom)
+            elif atom.pred in self._idb:
+                stats.facts_removed += 1
+            # changed EDB facts are reinstated from _edb_facts below
+        for atom in self._edb_facts:
+            fresh.add(atom)
+        self.database = fresh
+        for i in range(len(self.layering)):
+            layer_rules = [
+                r
+                for r in self.layering.rules_in_layer(self.program, i)
+                if not r.is_fact() and r.head.pred in cone
+            ]
+            grouping = [r for r in layer_rules if r.is_grouping()]
+            other = [r for r in layer_rules if not r.is_grouping()]
+            for fact in apply_grouping_rules(grouping, self.database):
+                self.database.add(fact)
+            if other:
+                stats.fixpoint.merge(seminaive_fixpoint(self.database, other))
+        self.last_update = stats
+        return stats

@@ -1,0 +1,181 @@
+"""One-way matching of rule terms against ground U-elements.
+
+Matching drives bottom-up evaluation: body literals are matched against
+stored facts to extend a binding (the paper's "applicable" bindings of
+Section 3.2).  Matching is *nondeterministic* for set constructs:
+
+* an enumerated set pattern ``{t1, ..., tn}`` matches a ground set S
+  when the items can be assigned elements of S covering all of S
+  (duplicate items may share an element — ``{X, Y}`` matches ``{1}``);
+* ``{t1, ..., tn | R}`` additionally binds ``R`` to the uncovered rest
+  of S (items may also overlap the rest);
+* ``scons(t, T)`` matches S by choosing ``t`` in S and ``T`` as either
+  ``S - {t}`` or S itself (both satisfy ``{t} | T = S``).
+
+Each success is yielded as a *new* binding dict extending the input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import EvaluationError, NotInUniverseError
+from repro.program.rule import Atom
+from repro.terms.term import (
+    SCONS,
+    Const,
+    Func,
+    GroupTerm,
+    SetPattern,
+    SetVal,
+    Term,
+    Var,
+    evaluate_ground,
+)
+
+Binding = dict[str, Term]
+
+
+def match_term(
+    pattern: Term, value: Term, binding: Mapping[str, Term]
+) -> Iterator[Binding]:
+    """Yield extensions of ``binding`` making ``pattern`` equal ``value``.
+
+    ``value`` must be a canonical ground U-element.  When the pattern is
+    already ground it is evaluated (folding ``scons``/arithmetic) and
+    compared; patterns that evaluate outside U simply fail (the binding
+    is not applicable, Section 3.2).
+    """
+    if isinstance(pattern, Var):
+        bound = binding.get(pattern.name)
+        if bound is None:
+            new = dict(binding)
+            new[pattern.name] = value
+            yield new
+        elif bound == value:
+            yield dict(binding)
+        return
+    if isinstance(pattern, Const):
+        if pattern == value:
+            yield dict(binding)
+        return
+    if isinstance(pattern, SetVal):
+        if pattern == value:
+            yield dict(binding)
+        return
+    if isinstance(pattern, GroupTerm):
+        raise EvaluationError(
+            f"grouping term {pattern!r} cannot be matched; compile LDL1.5 first"
+        )
+    if pattern.is_ground():
+        try:
+            if evaluate_ground(pattern.substitute(binding)) == value:
+                yield dict(binding)
+        except NotInUniverseError:
+            return
+        except EvaluationError:
+            return
+        return
+    if isinstance(pattern, Func):
+        if pattern.functor == SCONS:
+            yield from _match_scons(pattern, value, binding)
+            return
+        if (
+            isinstance(value, Func)
+            and value.functor == pattern.functor
+            and len(value.args) == len(pattern.args)
+        ):
+            yield from _match_sequence(pattern.args, value.args, binding)
+        return
+    if isinstance(pattern, SetPattern):
+        yield from _match_set_pattern(pattern, value, binding)
+        return
+    raise EvaluationError(f"cannot match pattern {pattern!r}")
+
+
+def _match_sequence(
+    patterns: tuple[Term, ...], values: tuple[Term, ...], binding: Mapping[str, Term]
+) -> Iterator[Binding]:
+    if not patterns:
+        yield dict(binding)
+        return
+    head_pattern, *rest_patterns = patterns
+    head_value, *rest_values = values
+    for extended in match_term(head_pattern, head_value, binding):
+        yield from _match_sequence(
+            tuple(rest_patterns), tuple(rest_values), extended
+        )
+
+
+def _match_scons(pattern: Func, value: Term, binding: Mapping[str, Term]) -> Iterator[Binding]:
+    if not isinstance(value, SetVal) or len(pattern.args) != 2:
+        return
+    element_pattern, tail_pattern = pattern.args
+    seen: set[frozenset] = set()
+    for element in value:
+        for extended in match_term(element_pattern, element, binding):
+            for tail in (SetVal(value.elements - {element}), value):
+                for result in match_term(tail_pattern, tail, extended):
+                    key = frozenset(result.items())
+                    if key not in seen:
+                        seen.add(key)
+                        yield result
+
+
+def _match_set_pattern(
+    pattern: SetPattern, value: Term, binding: Mapping[str, Term]
+) -> Iterator[Binding]:
+    if not isinstance(value, SetVal):
+        return
+    elements = tuple(value)
+    seen: set[frozenset] = set()
+
+    def assign(
+        items: tuple[Term, ...], covered: frozenset[Term], current: Binding
+    ) -> Iterator[tuple[Binding, frozenset[Term]]]:
+        if not items:
+            yield current, covered
+            return
+        first, *rest = items
+        for element in elements:
+            for extended in match_term(first, element, current):
+                yield from assign(tuple(rest), covered | {element}, extended)
+
+    for assignment, covered in assign(pattern.items, frozenset(), dict(binding)):
+        if pattern.rest is None:
+            if covered != value.elements:
+                continue
+            key = frozenset(assignment.items())
+            if key not in seen:
+                seen.add(key)
+                yield assignment
+        else:
+            rest_value = SetVal(value.elements - covered)
+            for result in match_term(pattern.rest, rest_value, assignment):
+                key = frozenset(result.items())
+                if key not in seen:
+                    seen.add(key)
+                    yield result
+
+
+def match_atom(
+    pattern: Atom, fact_args: tuple[Term, ...], binding: Mapping[str, Term]
+) -> Iterator[Binding]:
+    """Match a body atom's arguments against a stored fact tuple."""
+    if len(pattern.args) != len(fact_args):
+        return
+    yield from _match_sequence(pattern.args, fact_args, binding)
+
+
+def ground_atom(atom: Atom, binding: Mapping[str, Term]) -> Atom | None:
+    """Instantiate ``atom`` under ``binding`` and canonicalize to a U-fact.
+
+    Returns None when the result is not ground or falls outside the
+    universe (the binding is then not applicable to this atom).
+    """
+    instantiated = atom.substitute(binding)
+    try:
+        args = tuple(evaluate_ground(a) for a in instantiated.args)
+    except (NotInUniverseError, EvaluationError):
+        return None
+    return Atom(atom.pred, args)

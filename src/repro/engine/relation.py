@@ -1,0 +1,77 @@
+"""In-memory relations with lazily built hash indexes.
+
+A :class:`Relation` stores the extension of one predicate as a set of
+ground argument tuples.  Joins during rule evaluation probe the
+relation with a subset of argument positions bound; the relation builds
+and maintains a hash index per distinct bound-position signature the
+first time it is probed, turning nested-loop joins into index joins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.terms.term import Term
+
+ArgTuple = tuple[Term, ...]
+
+
+class Relation:
+    """The set of ground argument tuples of one predicate."""
+
+    __slots__ = ("pred", "arity", "_tuples", "_indexes")
+
+    def __init__(self, pred: str, arity: int) -> None:
+        self.pred = pred
+        self.arity = arity
+        self._tuples: set[ArgTuple] = set()
+        self._indexes: dict[tuple[int, ...], dict[ArgTuple, list[ArgTuple]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[ArgTuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, args: ArgTuple) -> bool:
+        return args in self._tuples
+
+    def add(self, args: ArgTuple) -> bool:
+        """Insert a tuple; returns True when it is new."""
+        if args in self._tuples:
+            return False
+        if len(args) != self.arity:
+            raise ValueError(
+                f"{self.pred}: arity {self.arity} but got {len(args)} args"
+            )
+        self._tuples.add(args)
+        for positions, index in self._indexes.items():
+            key = tuple(args[i] for i in positions)
+            index.setdefault(key, []).append(args)
+        return True
+
+    def add_all(self, tuples: Iterable[ArgTuple]) -> int:
+        """Insert many tuples; returns how many were new."""
+        return sum(1 for t in tuples if self.add(t))
+
+    def lookup(self, positions: tuple[int, ...], key: ArgTuple) -> Iterable[ArgTuple]:
+        """Tuples whose projection on ``positions`` equals ``key``.
+
+        Builds (and thereafter maintains) a hash index for the position
+        signature on first use.  An empty signature scans everything.
+        """
+        if not positions:
+            return self._tuples
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for args in self._tuples:
+                index_key = tuple(args[i] for i in positions)
+                index.setdefault(index_key, []).append(args)
+            self._indexes[positions] = index
+        return index.get(key, ())
+
+    def copy(self) -> "Relation":
+        clone = Relation(self.pred, self.arity)
+        clone._tuples = set(self._tuples)
+        return clone

@@ -1,0 +1,213 @@
+"""Rule-body evaluation: literal ordering and binding enumeration.
+
+Given a database M and a rule body, enumerate the *applicable* bindings
+of Section 3.2 — assignments under which every positive literal is a
+U-fact in M, every negative literal a U-fact absent from M, and every
+built-in true.  Literals are reordered by a greedy planner so that:
+
+* negative literals and test-only built-ins run as soon as their
+  variables are bound (they are cheap filters and negation *requires*
+  bound variables),
+* equality runs as soon as one side is bound,
+* positive literals are chosen by how many argument positions are
+  already bound (index-join friendliness),
+* generative set built-ins (``partition``, subset enumeration) run only
+  once their required arguments are bound.
+
+The planner refuses bodies where a negative literal can never have all
+variables bound — the safety checker rejects those rules up front.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.engine.builtins import solve_builtin
+from repro.engine.database import Database
+from repro.engine.match import Binding, ground_atom, match_atom
+from repro.errors import EvaluationError, SafetyError
+from repro.names import is_builtin_predicate
+from repro.program.modes import modes_for
+from repro.program.rule import Literal
+from repro.terms.pretty import format_literal
+from repro.terms.term import Term, evaluate_ground
+
+#: relation-override hook: maps a body-literal *original index* to an
+#: alternative tuple source (e.g. the semi-naive delta).
+SourceOverrides = dict[int, Iterable[tuple[Term, ...]]]
+
+
+def order_body(
+    literals: Sequence[Literal],
+    initially_bound: frozenset[str] = frozenset(),
+    first: int | None = None,
+    sizes: dict[str, int] | None = None,
+) -> tuple[int, ...]:
+    """Return an evaluation order (original indices) for a rule body.
+
+    ``first`` forces one literal to the front (the semi-naive delta
+    occurrence).  ``sizes`` (predicate → cardinality) switches the
+    positive-literal heuristic from "most bound arguments" to an
+    estimated scan cost ``|relation| / 4^bound_args`` — the
+    statistics-aware planner of experiment E15.  Raises
+    :class:`SafetyError` when no safe order exists.
+    """
+    remaining = set(range(len(literals)))
+    bound = set(initially_bound)
+    plan: list[int] = []
+
+    def eligible_class(index: int) -> int | None:
+        lit = literals[index]
+        lit_vars = lit.atom.variables()
+        if lit.negative:
+            return 0 if lit_vars <= bound else None
+        pred = lit.atom.pred
+        if not is_builtin_predicate(pred):
+            return 2
+        if lit_vars <= bound:
+            return 0
+        for mode in modes_for(pred):
+            required: set[str] = set()
+            for pos in mode.requires:
+                if pos < len(lit.atom.args):
+                    required |= lit.atom.args[pos].variables()
+            if required <= bound:
+                return 1 if pred == "=" else 3
+        return None
+
+    if first is not None:
+        plan.append(first)
+        remaining.discard(first)
+        bound |= literals[first].atom.variables()
+
+    while remaining:
+        best: tuple | None = None
+        for index in sorted(remaining):
+            klass = eligible_class(index)
+            if klass is None:
+                continue
+            lit = literals[index]
+            bound_args = sum(
+                1 for a in lit.atom.args if a.variables() <= bound
+            )
+            if sizes is not None and klass == 2:
+                relation_size = sizes.get(lit.atom.pred, 1)
+                cost = relation_size / (4 ** bound_args)
+                candidate = (klass, cost, index)
+            else:
+                candidate = (klass, -bound_args, index)
+            if best is None or candidate < best:
+                best = candidate
+        if best is None:
+            unsatisfied = ", ".join(
+                format_literal(literals[i]) for i in sorted(remaining)
+            )
+            raise SafetyError(f"no safe evaluation order for: {unsatisfied}")
+        index = best[2]
+        plan.append(index)
+        remaining.discard(index)
+        if literals[index].positive:
+            bound |= literals[index].atom.variables()
+    return tuple(plan)
+
+
+def _solve_positive(
+    db: Database,
+    lit: Literal,
+    binding: Binding,
+    source: Iterable[tuple[Term, ...]] | None,
+) -> Iterator[Binding]:
+    atom = lit.atom.substitute(binding)
+    if source is None:
+        bound_positions: list[int] = []
+        key_parts: list[Term] = []
+        for i, arg in enumerate(atom.args):
+            if arg.is_ground():
+                try:
+                    key_parts.append(evaluate_ground(arg))
+                except EvaluationError:
+                    return
+                bound_positions.append(i)
+        tuples = db.lookup(atom.pred, tuple(bound_positions), tuple(key_parts))
+        if bound_positions and len(bound_positions) == len(atom.args):
+            for args in tuples:
+                yield dict(binding)
+            return
+    else:
+        tuples = source
+    for args in tuples:
+        yield from match_atom(atom, args, binding)
+
+
+def _solve_negative(
+    db: Database, lit: Literal, binding: Binding
+) -> Iterator[Binding]:
+    if is_builtin_predicate(lit.atom.pred):
+        # negation of a built-in is evaluated as a closed test
+        substituted = lit.atom.substitute(binding)
+        satisfied = any(
+            True for _ in solve_builtin(substituted.pred, substituted.args, binding)
+        )
+        if not satisfied:
+            yield dict(binding)
+        return
+    fact = ground_atom(lit.atom, binding)
+    if fact is None:
+        return
+    if fact not in db:
+        yield dict(binding)
+
+
+def solve_body(
+    db: Database,
+    literals: Sequence[Literal],
+    plan: Sequence[int] | None = None,
+    binding: Binding | None = None,
+    overrides: SourceOverrides | None = None,
+    negation_db: Database | None = None,
+) -> Iterator[Binding]:
+    """Enumerate applicable bindings for a rule body over ``db``.
+
+    ``plan`` is an order from :func:`order_body` (computed on demand);
+    ``overrides`` swaps the tuple source of specific body occurrences
+    (semi-naive deltas, magic-constrained relations); ``negation_db``
+    checks negative literals against a different interpretation (the
+    well-founded semantics' reduct construction).
+    """
+    if binding is None:
+        binding = {}
+    if plan is None:
+        plan = order_body(literals, frozenset(binding))
+    negative_source = negation_db if negation_db is not None else db
+
+    def recurse(step: int, current: Binding) -> Iterator[Binding]:
+        if step == len(plan):
+            yield current
+            return
+        index = plan[step]
+        lit = literals[index]
+        if lit.negative:
+            produced = _solve_negative(negative_source, lit, current)
+        elif is_builtin_predicate(lit.atom.pred):
+            substituted = lit.atom.substitute(current)
+            produced = solve_builtin(substituted.pred, substituted.args, current)
+        else:
+            source = overrides.get(index) if overrides else None
+            produced = _solve_positive(db, lit, current, source)
+        for extended in produced:
+            yield from recurse(step + 1, extended)
+
+    yield from recurse(0, binding)
+
+
+def head_facts(
+    rule_head, bindings: Iterable[Binding]
+) -> Iterator:
+    """Instantiate a (non-grouping) rule head for each binding.
+
+    Bindings that take the head outside U are dropped (not applicable).
+    """
+    for binding in bindings:
+        fact = ground_atom(rule_head, binding)
+        if fact is not None:
+            yield fact

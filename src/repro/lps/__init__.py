@@ -1,0 +1,26 @@
+"""LPS (Kuper's logic programming with sets) and its LDL1 translation."""
+
+from repro.lps.interpreter import active_domain, evaluate_lps
+from repro.lps.parser import parse_lps
+from repro.lps.syntax import LPSProgram, LPSRule, Quantifier
+from repro.lps.translate import (
+    LPS_SET,
+    evaluate_translated,
+    lps_set_facts,
+    translate,
+    translate_rule,
+)
+
+__all__ = [
+    "LPSProgram",
+    "LPSRule",
+    "LPS_SET",
+    "Quantifier",
+    "active_domain",
+    "parse_lps",
+    "evaluate_lps",
+    "evaluate_translated",
+    "lps_set_facts",
+    "translate",
+    "translate_rule",
+]

@@ -1,0 +1,120 @@
+"""A direct bottom-up interpreter for LPS (paper Section 5).
+
+LPS models are based on ``D ∪ P(D)``: the active elements of the
+database and the sets over them.  The interpreter binds a rule's free
+variables over that active domain, expands the universal quantifiers
+over the bound sets, and checks the bracketed body for *every*
+combination — deriving the head when all pass (vacuously when some
+range set is empty).
+
+This is deliberately the naive semantics-first evaluation; experiment
+E9 compares it against the Theorem-3 translation into LDL1.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable
+
+from repro.engine.builtins import solve_builtin
+from repro.engine.database import Database
+from repro.engine.match import ground_atom
+from repro.errors import EvaluationError
+from repro.lps.syntax import LPSProgram, LPSRule
+from repro.names import is_builtin_predicate
+from repro.program.rule import Atom, Literal
+from repro.terms.term import SetVal, Term
+
+
+def active_domain(db: Database) -> tuple[list[Term], list[SetVal]]:
+    """Elements and sets of the database's active domain.
+
+    Elements: every non-set argument and every member of a set
+    argument; sets: every set argument.  (LPS's ``D ∪ P(D)``.)
+    """
+    elements: set[Term] = set()
+    sets: set[SetVal] = set()
+    for atom in db.atoms():
+        for arg in atom.args:
+            if isinstance(arg, SetVal):
+                sets.add(arg)
+                elements |= arg.elements
+            else:
+                elements.add(arg)
+    ordered_elements = sorted(elements, key=lambda t: t.sort_key())
+    ordered_sets = sorted(sets, key=lambda t: t.sort_key())
+    return ordered_elements, ordered_sets
+
+
+def _literal_holds(db: Database, lit: Literal, binding: dict[str, Term]) -> bool:
+    atom = lit.atom.substitute(binding)
+    if is_builtin_predicate(atom.pred):
+        try:
+            satisfied = any(True for _ in solve_builtin(atom.pred, atom.args, {}))
+        except EvaluationError:
+            return False
+        return satisfied if lit.positive else not satisfied
+    fact = ground_atom(lit.atom, binding)
+    if fact is None:
+        return False
+    return (fact in db) if lit.positive else (fact not in db)
+
+
+def _rule_fires(db: Database, rule: LPSRule, binding: dict[str, Term]) -> bool:
+    """Check the universally quantified body under a free-var binding."""
+    ranges: list[list[Term]] = []
+    for quantifier in rule.quantifiers:
+        the_set = binding.get(quantifier.set_var)
+        if not isinstance(the_set, SetVal):
+            return False
+        ranges.append(list(the_set))
+    element_vars = [q.element_var for q in rule.quantifiers]
+    for combo in product(*ranges):
+        extended = dict(binding)
+        extended.update(zip(element_vars, combo))
+        if not all(_literal_holds(db, lit, extended) for lit in rule.body):
+            return False
+    return True
+
+
+def evaluate_lps(
+    program: LPSProgram,
+    facts: Iterable[Atom] = (),
+    extra_sets: Iterable[SetVal] = (),
+) -> Database:
+    """Compute the bottom-up fixpoint of an LPS program.
+
+    Free variables range over the active domain of the current database
+    (plus ``extra_sets``); set-typed positions try sets, others try
+    elements and sets alike.  Derivation is monotone (negation inside
+    the brackets is not supported against derived predicates), so the
+    fixpoint exists.
+    """
+    db = Database(facts)
+    for rule in program.rules:
+        for lit in rule.body:
+            if lit.negative and not is_builtin_predicate(lit.atom.pred):
+                raise EvaluationError(
+                    "LPS interpreter supports negation only on built-ins"
+                )
+    extra = list(extra_sets)
+    changed = True
+    while changed:
+        changed = False
+        elements, sets = active_domain(db)
+        sets = sorted(set(sets) | set(extra), key=lambda t: t.sort_key())
+        pool: list[Term] = list(elements) + list(sets)
+        for rule in program.rules:
+            set_vars = set(rule.typed_set_variables())
+            free = sorted(rule.free_variables())
+            domains = [
+                list(sets) if name in set_vars else pool for name in free
+            ]
+            for combo in product(*domains):
+                binding = dict(zip(free, combo))
+                if not _rule_fires(db, rule, binding):
+                    continue
+                fact = ground_atom(rule.head, binding)
+                if fact is not None and db.add(fact):
+                    changed = True
+    return db

@@ -1,0 +1,104 @@
+"""Concrete syntax for LPS rules (paper Section 5).
+
+The paper writes LPS rules as::
+
+    head <- (∀x1 ∈ X1) ... (∀xn ∈ Xn) [B1, ..., Bm]
+
+This parser accepts the ASCII transliteration::
+
+    disj(X, Y) <- forall Ex in X, forall Ey in Y : Ex != Ey.
+    subs(X, Y) [set Y] <- forall Ex in X : member(Ex, Y).
+    ground_fact(a).
+
+* quantifiers come first, comma-separated, ``:`` starts the body;
+* ``[set V1, V2]`` after the head declares free set-typed variables
+  (quantifier ranges are set-typed implicitly);
+* rules without quantifiers omit the ``:`` — the body is plain.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lps.syntax import LPSProgram, LPSRule, Quantifier
+from repro.parser.lexer import tokenize
+from repro.parser.parser import _Parser
+
+
+class _LPSParser(_Parser):
+    def parse_lps_program(self) -> LPSProgram:
+        rules: list[LPSRule] = []
+        while self._peek().kind != "EOF":
+            rules.append(self.parse_lps_rule())
+        return LPSProgram(rules)
+
+    def parse_lps_rule(self) -> LPSRule:
+        head = self.parse_atom()
+        set_typed: list[str] = []
+        # optional [set V1, V2] annotation
+        if self._peek().kind == "IDENT" and self._peek().value == "set":
+            raise ParseError(
+                "set annotation must be bracketed: [set V]",
+                self._peek().line,
+                self._peek().column,
+            )
+        if self._peek().text == "[":  # pragma: no cover - lexer has no '['
+            raise ParseError("unexpected '['", self._peek().line, 0)
+        quantifiers: list[Quantifier] = []
+        body = []
+        if self._accept("ARROW"):
+            # leading 'set V, ...' declarations via keyword
+            while (
+                self._peek().kind == "IDENT" and self._peek().value == "set"
+            ):
+                self._next()
+                set_typed.append(self._expect("VAR").value)
+                while self._accept("COMMA"):
+                    if (
+                        self._peek().kind == "IDENT"
+                        and self._peek().value in ("forall", "set")
+                    ):
+                        break
+                    set_typed.append(self._expect("VAR").value)
+            while (
+                self._peek().kind == "IDENT"
+                and self._peek().value == "forall"
+            ):
+                self._next()
+                element = self._expect("VAR").value
+                marker = self._expect("IDENT")
+                if marker.value != "in":
+                    raise ParseError(
+                        f"expected 'in', found {marker.value!r}",
+                        marker.line,
+                        marker.column,
+                    )
+                range_var = self._expect("VAR").value
+                quantifiers.append(Quantifier(element, range_var))
+                if not self._accept("COMMA"):
+                    break
+            if quantifiers:
+                colon = self._peek()
+                if colon.kind == "IDENT" and colon.value == "where":
+                    self._next()
+                else:
+                    # ':' is not a lexer token; accept '|' as separator
+                    self._expect("BAR")
+            body.append(self.parse_literal())
+            while self._accept("COMMA"):
+                body.append(self.parse_literal())
+        self._expect("DOT")
+        return LPSRule(head, quantifiers, body, set_typed=set_typed)
+
+
+def parse_lps(text: str) -> LPSProgram:
+    """Parse LPS concrete syntax into an :class:`LPSProgram`.
+
+    Grammar::
+
+        rule := atom [ '<-' [setdecl] quants ('|' | 'where') body ] '.'
+              | atom [ '<-' body ] '.'
+        setdecl := 'set' VAR (',' VAR)*  ','
+        quants  := 'forall' VAR 'in' VAR (',' quants)?
+        body    := literal (',' literal)*
+    """
+    return _LPSParser(text).parse_lps_program()

@@ -1,0 +1,119 @@
+"""Syntax for Kuper's LPS (paper Section 5, [KUPE86]).
+
+An LPS rule has the form::
+
+    head <- (forall x1 in X1) ... (forall xn in Xn) [B1, ..., Bm]
+
+where the ``xi`` are element-typed variables, the ``Xi`` set-typed
+variables, and the bracketed body must hold *for every combination* of
+elements drawn from the respective sets.  All sets are finite, and LPS
+models live over ``D ∪ P(D)`` — elements and sets of elements, with no
+deeper nesting (the Proposition at the end of Section 5 exploits
+exactly this).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+from repro.program.rule import Atom, Literal
+from repro.terms.pretty import format_atom, format_literal
+
+
+class Quantifier(NamedTuple):
+    """``forall element_var in set_var``."""
+
+    element_var: str
+    set_var: str
+
+
+class LPSRule:
+    """One LPS rule; a fact when both quantifiers and body are empty."""
+
+    __slots__ = ("head", "quantifiers", "body", "set_typed")
+
+    def __init__(
+        self,
+        head: Atom,
+        quantifiers: Iterable[Quantifier] = (),
+        body: Iterable[Literal] = (),
+        set_typed: Iterable[str] = (),
+    ) -> None:
+        self.head = head
+        self.quantifiers = tuple(
+            q if isinstance(q, Quantifier) else Quantifier(*q)
+            for q in quantifiers
+        )
+        self.body = tuple(body)
+        # free variables declared to be of type set (LPS is typed);
+        # quantifier range variables are set-typed implicitly.
+        self.set_typed = frozenset(set_typed)
+        element_vars = {q.element_var for q in self.quantifiers}
+        if len(element_vars) != len(self.quantifiers):
+            raise ValueError("duplicate quantified element variable")
+        head_vars = head.variables()
+        if head_vars & element_vars:
+            raise ValueError(
+                "quantified element variables may not occur in the head"
+            )
+
+    def free_variables(self) -> frozenset[str]:
+        """Variables to be bound from the database: everything except
+        the quantified element variables."""
+        element_vars = {q.element_var for q in self.quantifiers}
+        out = set(self.head.variables())
+        for lit in self.body:
+            out |= lit.variables()
+        for q in self.quantifiers:
+            out.add(q.set_var)
+        return frozenset(out - element_vars)
+
+    def set_variables(self) -> tuple[str, ...]:
+        """Quantifier range variables, in order, without duplicates."""
+        seen: list[str] = []
+        for q in self.quantifiers:
+            if q.set_var not in seen:
+                seen.append(q.set_var)
+        return tuple(seen)
+
+    def typed_set_variables(self) -> tuple[str, ...]:
+        """All set-typed free variables: quantifier ranges first, then
+        declared set-typed variables, deterministically ordered."""
+        out = list(self.set_variables())
+        for name in sorted(self.set_typed):
+            if name not in out:
+                out.append(name)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        quants = "".join(
+            f"(forall {q.element_var} in {q.set_var}) " for q in self.quantifiers
+        )
+        body = ", ".join(format_literal(lit) for lit in self.body)
+        return f"LPSRule({format_atom(self.head)} <- {quants}[{body}])"
+
+
+class LPSProgram:
+    """A finite set of LPS rules."""
+
+    __slots__ = ("rules",)
+
+    def __init__(self, rules: Iterable[LPSRule] = ()) -> None:
+        self.rules = tuple(rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def predicates(self) -> frozenset[str]:
+        out: set[str] = set()
+        for rule in self.rules:
+            out.add(rule.head.pred)
+            for lit in rule.body:
+                out.add(lit.atom.pred)
+        return frozenset(out)
+
+    def __repr__(self) -> str:
+        return f"LPSProgram({len(self.rules)} rules)"

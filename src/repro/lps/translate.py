@@ -1,0 +1,141 @@
+"""Theorem 3: translating LPS into LDL1 (paper Section 5).
+
+For an LPS rule ``head <- (∀x1∈X1)..(∀xn∈Xn)[B1..Bm]`` the paper
+builds:
+
+* an **a**-rule collecting, per binding of the set variables, the
+  g-tuples of element combinations for which the body holds;
+* a **b**-rule collecting *all* g-tuples of element combinations;
+* **c**/**d** grouping rules turning those into sets;
+* a final rule deriving ``head`` when the two sets are equal —
+  "this equality is tantamount to satisfying the ∀ condition".
+
+The paper's sketch leaves the set variables unconstrained (its b-rule
+is not range-restricted) and defers empty ranges ("a straight-forward
+task").  The executable translation closes both gaps:
+
+* a reserved unary predicate ``lps_set`` supplies the active sets
+  (``D ∪ P(D)``'s set part) as the range of every set variable, and
+* per quantifier, an extra rule derives ``head`` outright when that
+  range set is empty (the ∀ is then vacuously true).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.database import Database
+from repro.engine.evaluator import evaluate
+from repro.lps.interpreter import active_domain
+from repro.lps.syntax import LPSProgram, LPSRule
+from repro.names import FreshNames
+from repro.program.rule import Atom, Literal, Program, Rule
+from repro.terms.term import Func, GroupTerm, SetVal, Term, Var
+
+#: Predicate supplying the set part of the LPS active domain.
+LPS_SET = "lps_set"
+
+
+def _g_tuple(element_vars: tuple[str, ...]) -> Term:
+    if not element_vars:
+        return Func("g", (Var("_unit"),))
+    if len(element_vars) == 1:
+        return Func("g", (Var(element_vars[0]),))
+    return Func("g", tuple(Var(v) for v in element_vars))
+
+
+def translate_rule(rule: LPSRule, fresh: FreshNames) -> list[Rule]:
+    """Translate one LPS rule into LDL1 rules per Theorem 3."""
+    if not rule.quantifiers:
+        # plain rule: already LDL1 (range-restrict via lps_set for free
+        # set vars appearing only in the head).
+        return [Rule(rule.head, rule.body)]
+
+    element_vars = tuple(q.element_var for q in rule.quantifiers)
+    free_vars = tuple(sorted(rule.free_variables()))
+    set_range_vars = rule.typed_set_variables()
+    g_term = _g_tuple(element_vars)
+    xbar = tuple(Var(v) for v in free_vars)
+
+    a = fresh.fresh("lps_a")
+    b = fresh.fresh("lps_b")
+    c = fresh.fresh("lps_c")
+    d = fresh.fresh("lps_d")
+
+    domain_literals = [
+        Literal(Atom(LPS_SET, (Var(v),))) for v in set_range_vars
+    ]
+    member_literals = [
+        Literal(Atom("member", (Var(q.element_var), Var(q.set_var))))
+        for q in rule.quantifiers
+    ]
+
+    out: list[Rule] = []
+    # a(X̄, g(x̄)) <- B1..Bm, member(xi, Xi)...
+    out.append(
+        Rule(
+            Atom(a, xbar + (g_term,)),
+            tuple(domain_literals) + tuple(rule.body) + tuple(member_literals),
+        )
+    )
+    # b(X̄, g(x̄)) <- member(xi, Xi)...
+    out.append(
+        Rule(
+            Atom(b, xbar + (g_term,)),
+            tuple(domain_literals) + tuple(member_literals),
+        )
+    )
+    # c(X̄, <S>) <- a(X̄, S);  d(X̄, <S>) <- b(X̄, S).
+    s = Var("_S")
+    out.append(
+        Rule(Atom(c, xbar + (GroupTerm(s),)), [Literal(Atom(a, xbar + (s,)))])
+    )
+    out.append(
+        Rule(Atom(d, xbar + (GroupTerm(s),)), [Literal(Atom(b, xbar + (s,)))])
+    )
+    # head <- c(X̄, S), d(X̄, S).
+    out.append(
+        Rule(
+            rule.head,
+            [Literal(Atom(c, xbar + (s,))), Literal(Atom(d, xbar + (s,)))],
+        )
+    )
+    # empty ranges: ∀x∈{} is vacuously true.
+    for q in rule.quantifiers:
+        body = list(domain_literals) + [
+            Literal(Atom("=", (Var(q.set_var), SetVal())))
+        ]
+        out.append(Rule(rule.head, body))
+    return out
+
+
+def translate(program: LPSProgram) -> Program:
+    """Translate an LPS program into an equivalent LDL1 program.
+
+    Theorem 3: the unique minimal model of the result, restricted to
+    the predicates of ``program``, is a model for ``program``.
+    """
+    fresh = FreshNames(program.predicates() | {LPS_SET})
+    rules: list[Rule] = []
+    for rule in program.rules:
+        rules.extend(translate_rule(rule, fresh))
+    return Program(rules)
+
+
+def lps_set_facts(facts: Iterable[Atom], extra_sets: Iterable[SetVal] = ()):
+    """The ``lps_set`` relation for a database: its active sets."""
+    _, sets = active_domain(Database(facts))
+    pool = sorted(set(sets) | set(extra_sets), key=lambda t: t.sort_key())
+    return [Atom(LPS_SET, (s,)) for s in pool]
+
+
+def evaluate_translated(
+    program: LPSProgram,
+    facts: Iterable[Atom] = (),
+    extra_sets: Iterable[SetVal] = (),
+):
+    """Translate and run under the LDL1 engine, with the LPS set domain
+    installed; returns the LDL1 EvaluationResult."""
+    fact_list = list(facts)
+    edb = fact_list + lps_set_facts(fact_list, extra_sets)
+    return evaluate(translate(program), edb=edb)

@@ -1,0 +1,141 @@
+"""Generalized Magic Sets rewriting for layered LDL1 (paper Section 6).
+
+From the adorned program, build ``P^mg``:
+
+* per adorned rule, a **modified rule** guarded by the magic predicate
+  of its head (``p__a(t) <- m_p__a(t_b), body``);
+* per derived body occurrence (positive *or* negative — a negated
+  predicate must also be fully computed for its bound arguments), a
+  **magic rule** passing the guard plus the positive sip prefix::
+
+      m_q__b(s_b) <- m_p__a(t_b), B1, ..., B_{i-1}   (positives only)
+
+* a **seed** fact for the query's magic predicate.
+
+Negative prefix literals are dropped from magic-rule bodies: they may
+carry unbound variables and omitting them only widens the demand set,
+which is sound.  Rules whose evaluation must wait for saturated
+sub-demands — grouping heads, or negation on a derived predicate — are
+flagged *deferred* for the constrained evaluation of
+:mod:`repro.magic.evaluate` (the paper: "the body must be fully
+evaluated before grouping can be done", and likewise for ``~p``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MagicRewriteError
+from repro.magic.adornment import AdornedProgram, AdornedRule, adorn
+from repro.names import is_builtin_predicate
+from repro.program.rule import Atom, Literal, Program, Query, Rule
+from repro.terms.term import GroupTerm, evaluate_ground
+
+
+def magic_name(adorned_pred: str) -> str:
+    return f"m_{adorned_pred}"
+
+
+def _bound_args(atom: Atom, adornment: str) -> tuple:
+    return tuple(
+        arg
+        for marker, arg in zip(adornment, atom.args)
+        if marker == "b" and not isinstance(arg, GroupTerm)
+    )
+
+
+@dataclass
+class MagicProgram:
+    """The rewritten program plus evaluation metadata."""
+
+    magic_rules: tuple[Rule, ...]
+    modified_rules: tuple[Rule, ...]
+    deferred_rules: tuple[Rule, ...]
+    seed: Atom
+    adorned: AdornedProgram
+    answer_pred: str
+
+    def all_rules(self) -> Program:
+        return Program(
+            self.magic_rules + self.modified_rules + self.deferred_rules
+        )
+
+    def rule_count(self) -> int:
+        return (
+            len(self.magic_rules)
+            + len(self.modified_rules)
+            + len(self.deferred_rules)
+        )
+
+
+def _is_deferred(adorned_rule: AdornedRule) -> bool:
+    if adorned_rule.rule.is_grouping():
+        return True
+    for lit, derived in zip(adorned_rule.rule.body, adorned_rule.derived):
+        if lit.negative and derived:
+            return True
+    return False
+
+
+def magic_rewrite(
+    program: Program, query: Query, sip_strategy=None
+) -> MagicProgram:
+    """Rewrite ``program`` for ``query`` with Generalized Magic Sets.
+
+    Theorem 4: the rewritten program (with the seed) computes the same
+    answer set for the query as the adorned program, and hence as the
+    original (Theorem 3 of Section 6).  ``sip_strategy`` overrides the
+    default left-to-right sip (see :mod:`repro.magic.sips`).
+    """
+    from repro.magic.sips import left_to_right_sip
+
+    adorned = adorn(program, query, sip_strategy or left_to_right_sip)
+    if adorned.query.atom.pred not in adorned.idb_predicates:
+        raise MagicRewriteError(
+            f"query predicate {query.atom.pred!r} is not derived; "
+            "evaluate it directly against the database"
+        )
+
+    magic_rules: list[Rule] = []
+    modified: list[Rule] = []
+    deferred: list[Rule] = []
+
+    for adorned_rule in adorned.rules:
+        rule = adorned_rule.rule
+        head_bound = _bound_args(rule.head, adorned_rule.head_adornment)
+        guard = Literal(Atom(magic_name(rule.head.pred), head_bound))
+        target = deferred if _is_deferred(adorned_rule) else modified
+        target.append(Rule(rule.head, (guard,) + rule.body))
+
+        prefix: list[Literal] = []
+        for index in adorned_rule.sip_order:
+            lit = rule.body[index]
+            if adorned_rule.derived[index]:
+                bound = _bound_args(lit.atom, adorned_rule.body_adornments[index])
+                magic_rules.append(
+                    Rule(
+                        Atom(magic_name(lit.atom.pred), bound),
+                        (guard,) + tuple(prefix),
+                    )
+                )
+            if lit.positive:
+                prefix.append(lit)
+
+    try:
+        seed_args = tuple(
+            evaluate_ground(arg)
+            for marker, arg in zip(adorned.query_adornment, query.atom.args)
+            if marker == "b"
+        )
+    except Exception as exc:  # noqa: BLE001 - surfaced as rewrite error
+        raise MagicRewriteError(f"cannot evaluate query constants: {exc}")
+    seed = Atom(magic_name(adorned.query_pred), seed_args)
+
+    return MagicProgram(
+        magic_rules=tuple(magic_rules),
+        modified_rules=tuple(modified),
+        deferred_rules=tuple(deferred),
+        seed=seed,
+        adorned=adorned,
+        answer_pred=adorned.query_pred,
+    )

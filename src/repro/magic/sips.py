@@ -1,0 +1,230 @@
+"""Sideways information passing strategies — sips (paper Section 6).
+
+A sip for a rule (given the bound head arguments) is a labeled graph:
+arcs ``N --χ--> q`` say that once the members of ``N`` (the special
+head node and/or body predicate occurrences) are evaluated, the
+variable values in ``χ`` are passed to occurrence ``q``.  Section 6
+states three conditions, implemented by :func:`validate_sip`:
+
+1. nodes are subsets/members of the occurrence set plus the head node;
+2. for each arc ``N --χ--> q``: every χ-variable appears in ``q`` and
+   in an argument (not a grouped head argument ``<X>``) of a positive
+   member of ``N``; every member of ``N`` is connected to a χ-variable;
+   and some argument of ``q`` has all its variables in χ, with every
+   χ-variable appearing in such an argument;
+3. a total order exists in which the head precedes everything and arc
+   sources precede their targets.
+
+Two constructors are provided: the paper's default **left-to-right**
+sip and a **bound-first** sip that greedily reorders the body to
+maximize binding propagation — an ablation knob for the adornment and
+magic rewriting (experiment E14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import MagicRewriteError
+from repro.names import is_builtin_predicate
+from repro.program.modes import modes_for
+from repro.program.rule import Literal, Rule
+from repro.terms.term import GroupTerm
+
+#: The special head node ``p_h`` (Section 6): index -1.
+HEAD_NODE = -1
+
+
+@dataclass(frozen=True)
+class SipArc:
+    """``N --label--> target``: pass the label's variable bindings."""
+
+    sources: frozenset[int]  # HEAD_NODE and/or body occurrence indices
+    target: int  # body occurrence index
+    label: frozenset[str]  # variable names
+
+
+@dataclass(frozen=True)
+class Sip:
+    """A sip: its arcs plus the total evaluation order (condition 3)."""
+
+    arcs: tuple[SipArc, ...]
+    order: tuple[int, ...]  # body occurrence indices, evaluation order
+
+
+def _bound_head_vars(rule: Rule, head_adornment: str) -> frozenset[str]:
+    bound: set[str] = set()
+    for marker, arg in zip(head_adornment, rule.head.args):
+        if marker == "b" and not isinstance(arg, GroupTerm):
+            bound |= arg.variables()
+    return frozenset(bound)
+
+
+def _passable_label(lit: Literal, bound: frozenset[str]) -> frozenset[str]:
+    """χ per condition 2(iii): variables of ``lit``'s fully-bound
+    arguments (every χ-var must appear in an argument whose variables
+    all lie in χ — i.e. the bound arguments)."""
+    label: set[str] = set()
+    for arg in lit.atom.args:
+        arg_vars = arg.variables()
+        if arg_vars and arg_vars <= bound:
+            label |= arg_vars
+    return frozenset(label)
+
+
+def _producers(
+    rule: Rule, upto: Sequence[int], needed: frozenset[str], head_bound: frozenset[str]
+) -> frozenset[int]:
+    """Source node set: the head node and/or earlier positive
+    occurrences that supply the needed variables."""
+    sources: set[int] = set()
+    if needed & head_bound:
+        sources.add(HEAD_NODE)
+    for index in upto:
+        lit = rule.body[index]
+        if lit.positive and lit.atom.variables() & needed:
+            sources.add(index)
+    return frozenset(sources)
+
+
+def _literal_produces(lit: Literal, bound: set[str]) -> frozenset[str]:
+    if lit.negative:
+        return frozenset()
+    if not is_builtin_predicate(lit.atom.pred):
+        return lit.atom.variables()
+    for mode in modes_for(lit.atom.pred):
+        required: set[str] = set()
+        for pos in mode.requires:
+            if pos < len(lit.atom.args):
+                required |= lit.atom.args[pos].variables()
+        if required <= bound:
+            produced: set[str] = set()
+            for pos in mode.produces:
+                if pos < len(lit.atom.args):
+                    produced |= lit.atom.args[pos].variables()
+            return frozenset(produced)
+    return frozenset()
+
+
+def _build_sip(rule: Rule, head_adornment: str, order: Sequence[int]) -> Sip:
+    head_bound = _bound_head_vars(rule, head_adornment)
+    bound: set[str] = set(head_bound)
+    arcs: list[SipArc] = []
+    processed: list[int] = []
+    for index in order:
+        lit = rule.body[index]
+        label = _passable_label(lit, frozenset(bound))
+        if label:
+            sources = _producers(rule, processed, label, head_bound)
+            if sources:
+                arcs.append(SipArc(sources, index, label))
+        bound |= _literal_produces(lit, bound)
+        processed.append(index)
+    return Sip(tuple(arcs), tuple(order))
+
+
+def left_to_right_sip(rule: Rule, head_adornment: str) -> Sip:
+    """The paper's default: process body literals in written order."""
+    return _build_sip(rule, head_adornment, range(len(rule.body)))
+
+
+def bound_first_sip(rule: Rule, head_adornment: str) -> Sip:
+    """Greedy reordering: always pick next the literal with the most
+    bound argument positions (ties broken by written order), so magic
+    predicates carry as many bindings as possible."""
+    head_bound = _bound_head_vars(rule, head_adornment)
+    bound: set[str] = set(head_bound)
+    remaining = list(range(len(rule.body)))
+    order: list[int] = []
+    while remaining:
+        def score(index: int) -> tuple[int, int]:
+            lit = rule.body[index]
+            bound_args = sum(
+                1
+                for arg in lit.atom.args
+                if arg.variables() and arg.variables() <= bound
+            )
+            return (-bound_args, index)
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        order.append(best)
+        bound |= _literal_produces(rule.body[best], bound)
+    return _build_sip(rule, head_adornment, order)
+
+
+#: A sip strategy maps (rule, head adornment) to a Sip.
+SipStrategy = Callable[[Rule, str], Sip]
+
+
+def validate_sip(rule: Rule, head_adornment: str, sip: Sip) -> None:
+    """Check the three Section 6 conditions; raises on violation."""
+    occurrences = set(range(len(rule.body)))
+    head_bound = _bound_head_vars(rule, head_adornment)
+
+    # condition 3: the order is total over the occurrences and every
+    # arc's sources precede its target (the head precedes everything).
+    if sorted(sip.order) != sorted(occurrences):
+        raise MagicRewriteError("sip order must enumerate all occurrences")
+    position = {index: i for i, index in enumerate(sip.order)}
+
+    for arc in sip.arcs:
+        # condition 1: nodes come from P(r) ∪ {p_h}
+        if arc.target not in occurrences:
+            raise MagicRewriteError(f"sip arc target {arc.target} not in body")
+        for source in arc.sources:
+            if source != HEAD_NODE and source not in occurrences:
+                raise MagicRewriteError(f"sip arc source {source} not in body")
+            if source != HEAD_NODE and position[source] >= position[arc.target]:
+                raise MagicRewriteError("sip arc source must precede target")
+
+        target_lit = rule.body[arc.target]
+        target_vars = target_lit.atom.variables()
+        for var in arc.label:
+            # 2(i): χ-vars appear in the target...
+            if var not in target_vars:
+                raise MagicRewriteError(
+                    f"label variable {var} does not appear in the target"
+                )
+            # ... and in a non-grouped argument of a positive member of N.
+            found = False
+            for source in arc.sources:
+                if source == HEAD_NODE:
+                    if var in head_bound:
+                        found = True
+                else:
+                    lit = rule.body[source]
+                    if lit.positive and var in lit.atom.variables():
+                        found = True
+            if not found:
+                raise MagicRewriteError(
+                    f"label variable {var} has no positive source in N"
+                )
+        # 2(ii): every member of N is connected to a label variable.
+        for source in arc.sources:
+            source_vars = (
+                head_bound
+                if source == HEAD_NODE
+                else rule.body[source].atom.variables()
+            )
+            if not source_vars & arc.label:
+                raise MagicRewriteError(
+                    "sip arc source not connected to any label variable"
+                )
+        # 2(iii): some argument of the target has all variables in χ,
+        # and each χ-var appears in such an argument.
+        saturated_args = [
+            arg.variables()
+            for arg in target_lit.atom.args
+            if arg.variables() and arg.variables() <= arc.label
+        ]
+        if not saturated_args:
+            raise MagicRewriteError(
+                "no target argument fully covered by the sip label"
+            )
+        covered = frozenset().union(*saturated_args)
+        if arc.label - covered:
+            raise MagicRewriteError(
+                "label variables outside every fully-covered argument"
+            )

@@ -1,0 +1,140 @@
+"""Supplementary Magic Sets rewriting ([BR87]; paper §6 footnote 4).
+
+The paper notes that "the other methods presented there can also be
+extended to cover set grouping and negation".  This module implements
+the most prominent one: *supplementary* magic sets, which materialize
+the prefix joins that Generalized Magic Sets recomputes in every magic
+rule.  For an adorned rule ``p__a(t) <- B1, ..., Bn``:
+
+* ``sup_0(V0) <- m_p__a(t_b)`` carries the bound head variables;
+* ``sup_i(Vi) <- sup_{i-1}(V_{i-1}), Bi`` extends the join one positive
+  literal at a time, projecting onto the variables still needed;
+* each derived occurrence ``Bi`` gets its magic rule from the
+  supplementary state instead of the raw prefix:
+  ``m_q__b(s_b) <- sup_{i-1}(V_{i-1})``;
+* the modified rule becomes ``p__a(t) <- sup_last(V), [negatives]``.
+
+Negative literals are left out of the supplementary chain (they may
+not bind variables anyway) and evaluated in the final rule, which keeps
+the deferral discipline of :mod:`repro.magic.evaluate` unchanged: the
+rewrite returns a regular :class:`~repro.magic.rewrite.MagicProgram`.
+"""
+
+from __future__ import annotations
+
+from repro.magic.adornment import AdornedRule, adorn
+from repro.magic.rewrite import MagicProgram, _bound_args, _is_deferred, magic_name
+from repro.errors import MagicRewriteError
+from repro.names import FreshNames, is_builtin_predicate
+from repro.program.rule import Atom, Literal, Program, Query, Rule
+from repro.terms.term import GroupTerm, Var, evaluate_ground
+
+
+def _needed_later(
+    rule: Rule, remaining: tuple[int, ...]
+) -> frozenset[str]:
+    """Variables used by the head, by the ``remaining`` body occurrences,
+    or by any negative literal (negatives are evaluated in the final
+    rule regardless of their body position, so their variables must
+    survive the whole supplementary chain)."""
+    needed = set(rule.head.variables())
+    for index in remaining:
+        needed |= rule.body[index].atom.variables()
+    for lit in rule.negative_body():
+        needed |= lit.atom.variables()
+    return frozenset(needed)
+
+
+def supplementary_rewrite(
+    program: Program, query: Query, sip_strategy=None
+) -> MagicProgram:
+    """Rewrite for ``query`` with supplementary magic sets.
+
+    Produces the same answers as :func:`repro.magic.rewrite.magic_rewrite`
+    (both instantiate the Theorem-4 equivalence); the benchmarks compare
+    their rule-firing counts (experiment E13).
+    """
+    from repro.magic.sips import left_to_right_sip
+
+    adorned = adorn(program, query, sip_strategy or left_to_right_sip)
+    if adorned.query.atom.pred not in adorned.idb_predicates:
+        raise MagicRewriteError(
+            f"query predicate {query.atom.pred!r} is not derived"
+        )
+    fresh = FreshNames(
+        {ar.rule.head.pred for ar in adorned.rules} | program.predicates(),
+        prefix="sup",
+    )
+
+    magic_rules: list[Rule] = []
+    modified: list[Rule] = []
+    deferred: list[Rule] = []
+
+    for adorned_rule in adorned.rules:
+        rule = adorned_rule.rule
+        head_bound = _bound_args(rule.head, adorned_rule.head_adornment)
+        guard = Literal(Atom(magic_name(rule.head.pred), head_bound))
+        if not rule.body:
+            # adorned fact: guard it directly, no chain needed.
+            target = deferred if _is_deferred(adorned_rule) else modified
+            target.append(Rule(rule.head, (guard,)))
+            continue
+
+        sup_name = fresh.fresh(f"sup_{rule.head.pred}")
+        available: set[str] = set()
+        for arg in head_bound:
+            available |= arg.variables()
+        order = adorned_rule.sip_order
+        current_vars = tuple(sorted(available & _needed_later(rule, order)))
+        current_atom = Atom(f"{sup_name}_0", tuple(Var(v) for v in current_vars))
+        magic_rules.append(Rule(current_atom, (guard,)))
+
+        stage = 0
+        negatives: list[Literal] = []
+        for step, index in enumerate(order):
+            lit = rule.body[index]
+            if adorned_rule.derived[index]:
+                bound = _bound_args(
+                    lit.atom, adorned_rule.body_adornments[index]
+                )
+                magic_rules.append(
+                    Rule(
+                        Atom(magic_name(lit.atom.pred), bound),
+                        (Literal(current_atom),),
+                    )
+                )
+            if lit.negative:
+                negatives.append(lit)
+                continue
+            stage += 1
+            available |= lit.atom.variables()
+            next_vars = tuple(
+                sorted(available & _needed_later(rule, order[step + 1 :]))
+            )
+            next_atom = Atom(
+                f"{sup_name}_{stage}", tuple(Var(v) for v in next_vars)
+            )
+            magic_rules.append(
+                Rule(next_atom, (Literal(current_atom), lit))
+            )
+            current_atom = next_atom
+
+        final = Rule(rule.head, (Literal(current_atom),) + tuple(negatives))
+        target = deferred if _is_deferred(adorned_rule) else modified
+        target.append(final)
+
+    seed_args = tuple(
+        evaluate_ground(arg)
+        for marker, arg in zip(adorned.query_adornment, query.atom.args)
+        if marker == "b"
+    )
+    seed = Atom(magic_name(adorned.query_pred), seed_args)
+
+    return MagicProgram(
+        magic_rules=tuple(magic_rules),
+        modified_rules=tuple(modified),
+        deferred_rules=tuple(deferred),
+        seed=seed,
+        adorned=adorned,
+        answer_pred=adorned.query_pred,
+    )

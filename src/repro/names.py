@@ -1,0 +1,74 @@
+"""Reserved names and fresh-name generation.
+
+LDL1 reserves some predicate symbols (``member``, ``union``, ... —
+paper Section 2.1) and the source-to-source transformations of
+Sections 3.3 and 4 need fresh predicate symbols that cannot clash with
+user programs.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterable
+
+#: Built-in (reserved) predicate symbols with fixed interpretations
+#: (Section 2.2 restrictions, plus the arithmetic/comparison predicates
+#: the paper declares built in, and ``partition`` used by the Section 1
+#: parts-explosion example).
+BUILTIN_PREDICATES = frozenset(
+    {
+        "member",
+        "union",
+        "intersection",
+        "difference",
+        "partition",
+        "subset",
+        "card",
+        "sum",
+        "min_of",
+        "max_of",
+        "=",
+        "!=",
+        "<",
+        "<=",
+        ">",
+        ">=",
+    }
+)
+
+#: Built-in function symbols (Section 2.1).
+BUILTIN_FUNCTIONS = frozenset({"scons"})
+
+
+def is_builtin_predicate(name: str) -> bool:
+    """True for reserved predicate symbols with a fixed interpretation."""
+    return name in BUILTIN_PREDICATES
+
+
+class FreshNames:
+    """Generate predicate names guaranteed absent from a program.
+
+    >>> gen = FreshNames({"p", "q"}, prefix="aux")
+    >>> gen.fresh()
+    'aux_1'
+    >>> gen.fresh("p")
+    'p_2'
+    """
+
+    def __init__(self, taken: Iterable[str], prefix: str = "aux") -> None:
+        self._taken = set(taken) | set(BUILTIN_PREDICATES)
+        self._prefix = prefix
+        self._counter = count(1)
+
+    def fresh(self, stem: str | None = None) -> str:
+        """Return an unused name based on ``stem`` (default: the prefix)."""
+        stem = stem or self._prefix
+        while True:
+            candidate = f"{stem}_{next(self._counter)}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+    def reserve(self, name: str) -> None:
+        """Mark a name as taken without generating it."""
+        self._taken.add(name)

@@ -1,0 +1,24 @@
+"""Lexer and parser for concrete LDL1 syntax."""
+
+from repro.parser.lexer import Token, tokenize
+from repro.parser.parser import (
+    ParsedProgram,
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_rules,
+    parse_term,
+)
+
+__all__ = [
+    "ParsedProgram",
+    "Token",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "parse_rules",
+    "parse_term",
+    "tokenize",
+]

@@ -1,0 +1,204 @@
+"""Tokenizer for the concrete LDL1 syntax.
+
+Token kinds:
+
+* ``IDENT`` — lower-case identifiers (predicate/function symbols,
+  constants, keywords ``not`` and ``mod``),
+* ``VAR`` — identifiers starting upper-case or with ``_`` (a bare ``_``
+  is the anonymous variable),
+* ``NUMBER`` — integer or float literals,
+* ``STRING`` — single-quoted strings with ``\\`` escapes,
+* punctuation/operator tokens, one kind each: ``( ) { } , . | ? ~``
+  ``<- = != < <= > >= + - * /``.
+
+Comments run from ``%`` or ``#`` to end of line.  ``<`` doubles as the
+comparison operator and the grouping bracket; the lexer always emits
+``LT`` and the parser decides by context.  ``<-`` and ``<=`` are single
+tokens (maximal munch).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.errors import LexerError
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+
+_SIMPLE = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ",": "COMMA",
+    ".": "DOT",
+    "|": "BAR",
+    "~": "TILDE",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    "=": "EQ",
+    ">": "GT",
+    "?": "QUESTION",
+}
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens, ending with a synthetic ``EOF`` token."""
+    line = 1
+    column = 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        if ch == "<":
+            if i + 1 < n and text[i + 1] == "-":
+                yield Token("ARROW", "<-", None, line, start_col)
+                i += 2
+                column += 2
+                continue
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token("LE", "<=", None, line, start_col)
+                i += 2
+                column += 2
+                continue
+            yield Token("LT", "<", None, line, start_col)
+            i += 1
+            column += 1
+            continue
+        if ch == ">":
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token("GE", ">=", None, line, start_col)
+                i += 2
+                column += 2
+                continue
+            yield Token("GT", ">", None, line, start_col)
+            i += 1
+            column += 1
+            continue
+        if ch == "!":
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token("NE", "!=", None, line, start_col)
+                i += 2
+                column += 2
+                continue
+            raise LexerError("unexpected '!'", line, start_col)
+        if ch == "?":
+            if i + 1 < n and text[i + 1] == "-":
+                yield Token("QUESTION", "?-", None, line, start_col)
+                i += 2
+                column += 2
+                continue
+            yield Token("QUESTION", "?", None, line, start_col)
+            i += 1
+            column += 1
+            continue
+        if ch == "¬":
+            yield Token("TILDE", "¬", None, line, start_col)
+            i += 1
+            column += 1
+            continue
+        if ch in _SIMPLE:
+            yield Token(_SIMPLE[ch], ch, None, line, start_col)
+            i += 1
+            column += 1
+            continue
+        if ch == "'":
+            value, consumed = _scan_string(text, i, line, start_col)
+            yield Token("STRING", text[i : i + consumed], value, line, start_col)
+            i += consumed
+            column += consumed
+            continue
+        if _is_ascii_digit(ch):
+            value, consumed = _scan_number(text, i)
+            yield Token("NUMBER", text[i : i + consumed], value, line, start_col)
+            i += consumed
+            column += consumed
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word[0].isupper() or word[0] == "_":
+                yield Token("VAR", word, word, line, start_col)
+            else:
+                yield Token("IDENT", word, word, line, start_col)
+            column += j - i
+            i = j
+            continue
+        raise LexerError(f"unexpected character {ch!r}", line, start_col)
+    yield Token("EOF", "", None, line, column)
+
+
+def _is_ascii_digit(ch: str) -> bool:
+    """ASCII digits only: unicode digit characters (e.g. superscripts)
+    pass str.isdigit() but are not valid number literals."""
+    return "0" <= ch <= "9"
+
+
+def _scan_string(text: str, start: int, line: int, column: int) -> tuple[str, int]:
+    i = start + 1
+    n = len(text)
+    out: list[str] = []
+    while i < n:
+        ch = text[i]
+        if ch == "\\":
+            if i + 1 >= n:
+                raise LexerError("unterminated escape", line, column)
+            out.append(text[i + 1])
+            i += 2
+            continue
+        if ch == "'":
+            return "".join(out), i - start + 1
+        if ch == "\n":
+            raise LexerError("newline in string literal", line, column)
+        out.append(ch)
+        i += 1
+    raise LexerError("unterminated string literal", line, column)
+
+
+def _scan_number(text: str, start: int) -> tuple[int | float, int]:
+    i = start
+    n = len(text)
+    while i < n and _is_ascii_digit(text[i]):
+        i += 1
+    is_float = False
+    if i + 1 < n and text[i] == "." and _is_ascii_digit(text[i + 1]):
+        is_float = True
+        i += 1
+        while i < n and _is_ascii_digit(text[i]):
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and _is_ascii_digit(text[j]):
+            is_float = True
+            i = j
+            while i < n and _is_ascii_digit(text[i]):
+                i += 1
+    raw = text[start:i]
+    return (float(raw) if is_float else int(raw)), i - start

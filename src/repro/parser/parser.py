@@ -1,0 +1,311 @@
+"""Recursive-descent parser for concrete LDL1 syntax.
+
+Grammar (see the README for examples)::
+
+    program   := (rule | query)*
+    rule      := atom [ '<-' body ] '.'
+    query     := ('?' | '?-') atom '.'
+    body      := literal (',' literal)*
+    literal   := ('~' | '¬' | 'not') atom | atom
+    atom      := expr [ cmpop expr ]          -- cmpop in = != < <= > >=
+    expr      := mult (('+'|'-') mult)*
+    mult      := unary (('*'|'/'|'mod') unary)*
+    unary     := '-' unary | primary
+    primary   := NUMBER | STRING | VAR | IDENT ['(' terms ')']
+               | '(' expr ')' | '{' setbody '}' | '<' expr '>'
+    setbody   := [ expr (',' expr)* [ '|' expr ] ]
+
+An ``atom`` that is not a comparison must reduce to a predicate
+application or a bare symbol.  ``<expr>`` inside a term position is the
+grouping construct; at comparison position ``<`` is less-than — the
+parser resolves the ambiguity by context.  Each ``_`` becomes a fresh
+anonymous variable.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.errors import LDLError, ParseError
+from repro.parser.lexer import Token, tokenize
+from repro.program.rule import Atom, Literal, Program, Query, Rule
+from repro.terms.term import (
+    Const,
+    Func,
+    GroupTerm,
+    SetPattern,
+    SetVal,
+    Term,
+    Var,
+    evaluate_ground,
+)
+
+_COMPARISON_TOKENS = {
+    "EQ": "=",
+    "NE": "!=",
+    "LT": "<",
+    "LE": "<=",
+    "GT": ">",
+    "GE": ">=",
+}
+
+_ADDITIVE = {"PLUS": "+", "MINUS": "-"}
+_MULTIPLICATIVE = {"STAR": "*", "SLASH": "/"}
+
+
+class ParsedProgram(NamedTuple):
+    """A parsed source unit: its rules and its queries, in order."""
+
+    program: Program
+    queries: tuple[Query, ...]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(tokenize(text))
+        self._pos = 0
+        self._anon = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} {token.text!r}",
+                token.line,
+                token.column,
+            )
+        return self._next()
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._peek().kind == kind:
+            return self._next()
+        return None
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(message + f" (at {token.text!r})", token.line, token.column)
+
+    # -- program / rules ------------------------------------------------
+
+    def parse_program(self) -> ParsedProgram:
+        rules: list[Rule] = []
+        queries: list[Query] = []
+        while self._peek().kind != "EOF":
+            if self._peek().kind == "QUESTION":
+                queries.append(self.parse_query())
+            else:
+                rules.append(self.parse_rule())
+        return ParsedProgram(Program(rules), tuple(queries))
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Literal] = []
+        if self._accept("ARROW"):
+            body.append(self.parse_literal())
+            while self._accept("COMMA"):
+                body.append(self.parse_literal())
+        self._expect("DOT")
+        return Rule(head, body)
+
+    def parse_query(self) -> Query:
+        self._expect("QUESTION")
+        atom = self.parse_atom()
+        self._expect("DOT")
+        return Query(atom)
+
+    # -- literals and atoms ----------------------------------------------
+
+    def parse_literal(self) -> Literal:
+        if self._accept("TILDE"):
+            return Literal(self.parse_atom(), positive=False)
+        token = self._peek()
+        if token.kind == "IDENT" and token.value == "not":
+            follower = self._peek(1)
+            if follower.kind in ("IDENT", "VAR", "NUMBER", "STRING", "LPAREN"):
+                self._next()
+                return Literal(self.parse_atom(), positive=False)
+        return Literal(self.parse_atom(), positive=True)
+
+    def parse_atom(self) -> Atom:
+        left = self.parse_expr()
+        op_token = self._peek()
+        if op_token.kind in _COMPARISON_TOKENS:
+            self._next()
+            right = self.parse_expr()
+            return Atom(_COMPARISON_TOKENS[op_token.kind], (left, right))
+        return self._expr_to_atom(left)
+
+    def _expr_to_atom(self, expr: Term) -> Atom:
+        if isinstance(expr, Func):
+            return Atom(expr.functor, expr.args)
+        if isinstance(expr, Const) and isinstance(expr.value, str) and not expr.quoted:
+            return Atom(expr.value, ())
+        raise self._error(f"not a predicate application: {expr!r}")
+
+    # -- terms / expressions ----------------------------------------------
+
+    def parse_expr(self) -> Term:
+        left = self.parse_mult()
+        while self._peek().kind in _ADDITIVE:
+            op = _ADDITIVE[self._next().kind]
+            right = self.parse_mult()
+            left = self._fold(op, left, right)
+        return left
+
+    def parse_mult(self) -> Term:
+        left = self.parse_unary()
+        while True:
+            token = self._peek()
+            if token.kind in _MULTIPLICATIVE:
+                op = _MULTIPLICATIVE[self._next().kind]
+            elif token.kind == "IDENT" and token.value == "mod":
+                self._next()
+                op = "mod"
+            else:
+                return left
+            right = self.parse_unary()
+            left = self._fold(op, left, right)
+
+    def parse_unary(self) -> Term:
+        if self._accept("MINUS"):
+            operand = self.parse_unary()
+            if isinstance(operand, Const) and isinstance(operand.value, (int, float)):
+                return Const(-operand.value)
+            return Func("-", (Const(0), operand))
+        return self.parse_primary()
+
+    def _fold(self, op: str, left: Term, right: Term) -> Term:
+        term = Func(op, (left, right))
+        if left.is_ground() and right.is_ground():
+            try:
+                return evaluate_ground(term)
+            except LDLError:
+                # e.g. 0/0 or arithmetic on symbols: leave the term
+                # unfolded; evaluation will reject it where it is used.
+                return term
+        return term
+
+    def parse_primary(self) -> Term:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._next()
+            return Const(token.value)
+        if token.kind == "STRING":
+            self._next()
+            return Const(token.value, quoted=True)
+        if token.kind == "VAR":
+            self._next()
+            if token.value == "_":
+                self._anon += 1
+                return Var(f"_Anon{self._anon}")
+            return Var(token.value)
+        if token.kind == "IDENT":
+            self._next()
+            if self._accept("LPAREN"):
+                args = [self.parse_expr()]
+                while self._accept("COMMA"):
+                    args.append(self.parse_expr())
+                self._expect("RPAREN")
+                return Func(token.value, args)
+            return Const(token.value)
+        if token.kind == "LPAREN":
+            self._next()
+            inner = self.parse_expr()
+            if self._peek().kind == "COMMA":
+                # (t1, t2, ...) is a tuple term with the implicit
+                # functor "tuple" (paper Section 4.2.1).
+                items = [inner]
+                while self._accept("COMMA"):
+                    items.append(self.parse_expr())
+                self._expect("RPAREN")
+                return Func("tuple", items)
+            self._expect("RPAREN")
+            return inner
+        if token.kind == "LBRACE":
+            return self._parse_set()
+        if token.kind == "LT":
+            self._next()
+            inner = self.parse_expr()
+            self._expect("GT")
+            return GroupTerm(inner)
+        raise self._error("expected a term")
+
+    def _parse_set(self) -> Term:
+        self._expect("LBRACE")
+        if self._accept("RBRACE"):
+            return SetVal()
+        items = [self.parse_expr()]
+        while self._accept("COMMA"):
+            items.append(self.parse_expr())
+        rest: Term | None = None
+        if self._accept("BAR"):
+            rest = self.parse_expr()
+        self._expect("RBRACE")
+        pattern = SetPattern(items, rest)
+        if pattern.is_ground():
+            try:
+                return evaluate_ground(pattern)
+            except LDLError:
+                return pattern
+        return pattern
+
+
+def parse_program(text: str) -> ParsedProgram:
+    """Parse a source unit into a :class:`Program` and its queries."""
+    return _Parser(text).parse_program()
+
+
+def parse_rules(text: str) -> Program:
+    """Parse rules only; raises if the text contains queries."""
+    parsed = parse_program(text)
+    if parsed.queries:
+        raise ParseError("unexpected query in rule-only input", 0, 0)
+    return parsed.program
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse exactly one rule."""
+    program = parse_rules(text)
+    if len(program) != 1:
+        raise ParseError(f"expected exactly one rule, got {len(program)}", 0, 0)
+    return program.rules[0]
+
+
+def parse_query(text: str) -> Query:
+    """Parse exactly one query (with or without the leading ``?``)."""
+    stripped = text.strip()
+    if not stripped.startswith("?"):
+        stripped = "? " + stripped
+    if not stripped.endswith("."):
+        stripped += "."
+    parsed = _Parser(stripped).parse_program()
+    if len(parsed.queries) != 1 or parsed.program.rules:
+        raise ParseError("expected exactly one query", 0, 0)
+    return parsed.queries[0]
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term."""
+    parser = _Parser(text)
+    term = parser.parse_expr()
+    parser._expect("EOF")
+    return term
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    parser._expect("EOF")
+    return atom

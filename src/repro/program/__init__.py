@@ -1,0 +1,56 @@
+"""Rules, programs, well-formedness, dependency analysis, layering."""
+
+from repro.program.analyze import PredicateInfo, ProgramReport, analyze
+from repro.program.dependency import (
+    DependencyEdge,
+    dependency_graph,
+    depends_on,
+    is_admissible,
+    rule_edges,
+    strict_cycle,
+)
+from repro.program.modes import BUILTIN_MODES, Mode, modes_for
+from repro.program.rule import Atom, Literal, Program, Query, Rule, fact
+from repro.program.stratify import (
+    Layering,
+    linear_layerings,
+    stratify,
+    validate_layering,
+)
+from repro.program.wellformed import (
+    check_program,
+    check_rule_safe,
+    check_rule_wellformed,
+    derivable_variables,
+    head_group_variable,
+)
+
+__all__ = [
+    "Atom",
+    "PredicateInfo",
+    "ProgramReport",
+    "analyze",
+    "BUILTIN_MODES",
+    "DependencyEdge",
+    "Layering",
+    "Literal",
+    "Mode",
+    "Program",
+    "Query",
+    "Rule",
+    "check_program",
+    "check_rule_safe",
+    "check_rule_wellformed",
+    "dependency_graph",
+    "depends_on",
+    "derivable_variables",
+    "fact",
+    "head_group_variable",
+    "is_admissible",
+    "linear_layerings",
+    "modes_for",
+    "rule_edges",
+    "stratify",
+    "strict_cycle",
+    "validate_layering",
+]

@@ -1,0 +1,91 @@
+"""Predicate dependency graph with the paper's ``>=`` / ``>`` relations.
+
+Section 3.1 defines, for a program P:
+
+1. ``p >= q`` — some rule has head symbol ``p`` with no ``<X>`` in the
+   head and ``q`` occurs non-negated in the body;
+2. ``p > q`` — some rule has head ``p`` *with* ``<X>`` in the head and
+   ``q`` occurs (in any polarity) in the body;
+3. ``p > q`` — ``q`` occurs negated in the body of a rule with head
+   ``p``.
+
+``P`` is *admissible* iff there is no cycle through a strict (``>``)
+edge.  Built-in predicates have fixed interpretations and take no part
+in the relation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+import networkx as nx
+
+from repro.names import is_builtin_predicate
+from repro.program.rule import Program, Rule
+
+
+class DependencyEdge(NamedTuple):
+    """An edge ``head -> body-predicate`` with its strictness."""
+
+    head: str
+    body: str
+    strict: bool
+    rule: Rule
+
+
+def rule_edges(rule: Rule) -> Iterator[DependencyEdge]:
+    """Yield the dependency edges contributed by one rule."""
+    grouping = rule.is_grouping()
+    for lit in rule.body:
+        if is_builtin_predicate(lit.atom.pred):
+            continue
+        strict = grouping or lit.negative
+        yield DependencyEdge(rule.head.pred, lit.atom.pred, strict, rule)
+
+
+def dependency_graph(program: Program) -> nx.DiGraph:
+    """Directed graph: node per predicate, edge head -> body predicate.
+
+    Edge attribute ``strict`` is True when *any* rule forces ``>``
+    between the pair.  All predicates of the program appear as nodes,
+    including EDB predicates (no outgoing edges) — built-ins excluded.
+    """
+    graph = nx.DiGraph()
+    for pred in program.predicates():
+        if not is_builtin_predicate(pred):
+            graph.add_node(pred)
+    for rule in program.rules:
+        for edge in rule_edges(rule):
+            if graph.has_edge(edge.head, edge.body):
+                graph[edge.head][edge.body]["strict"] |= edge.strict
+            else:
+                graph.add_edge(edge.head, edge.body, strict=edge.strict)
+    return graph
+
+
+def strict_cycle(graph: nx.DiGraph) -> tuple[str, ...] | None:
+    """Return a predicate cycle through a strict edge, or None.
+
+    A strict edge inside a strongly connected component witnesses
+    inadmissibility; the returned tuple is the offending SCC ordered
+    deterministically, for error messages.
+    """
+    for component in nx.strongly_connected_components(graph):
+        for u in component:
+            for v in graph.successors(u):
+                if v in component and graph[u][v]["strict"]:
+                    return tuple(sorted(component))
+    return None
+
+
+def is_admissible(program: Program) -> bool:
+    """True iff the program can be layered (Lemma 3.1)."""
+    return strict_cycle(dependency_graph(program)) is None
+
+
+def depends_on(program: Program, pred: str) -> frozenset[str]:
+    """All predicates ``pred`` transitively depends on (excl. built-ins)."""
+    graph = dependency_graph(program)
+    if pred not in graph:
+        return frozenset()
+    return frozenset(nx.descendants(graph, pred))

@@ -1,0 +1,71 @@
+"""Binding modes for built-in predicates.
+
+The paper leaves arithmetic and comparison predicates "outside the
+scope" but relies on them in examples; any evaluable implementation
+needs *modes*: which argument positions must be bound before the
+built-in can run, and which positions it can then produce bindings for.
+
+A :class:`Mode` ``(requires, produces)`` reads: when every position in
+``requires`` is bound, evaluation can enumerate values for the
+positions in ``produces`` (and test the rest).  Several modes per
+predicate are allowed; the engine and the safety checker pick any whose
+requirements are met.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class Mode(NamedTuple):
+    """One usable binding pattern of a built-in predicate."""
+
+    requires: frozenset[int]
+    produces: frozenset[int]
+
+
+def _mode(requires: tuple[int, ...], produces: tuple[int, ...]) -> Mode:
+    return Mode(frozenset(requires), frozenset(produces))
+
+
+#: Modes per built-in predicate symbol.  Positions are 0-based.
+BUILTIN_MODES: dict[str, tuple[Mode, ...]] = {
+    # member(X, S): test, or enumerate the elements of a bound set.
+    "member": (_mode((0, 1), ()), _mode((1,), (0,))),
+    # union(S1, S2, S3): compute the union, decompose a bound union, or
+    # complete one operand.  Decomposition enumerates (exponentially many)
+    # covers of S3, as the paper's partition example requires.
+    "union": (
+        _mode((0, 1, 2), ()),
+        _mode((0, 1), (2,)),
+        _mode((2,), (0, 1)),
+        _mode((0, 2), (1,)),
+        _mode((1, 2), (0,)),
+    ),
+    # intersection/difference(S1, S2, S3): compute or test from bound operands.
+    "intersection": (_mode((0, 1, 2), ()), _mode((0, 1), (2,))),
+    "difference": (_mode((0, 1, 2), ()), _mode((0, 1), (2,))),
+    # aggregates over a bound set of numbers.
+    "sum": (_mode((0, 1), ()), _mode((0,), (1,))),
+    "min_of": (_mode((0, 1), ()), _mode((0,), (1,))),
+    "max_of": (_mode((0, 1), ()), _mode((0,), (1,))),
+    # partition(S, S1, S2): disjoint two-way splits of a bound set, or
+    # recompose the whole from two bound disjoint parts.
+    "partition": (_mode((0, 1, 2), ()), _mode((0,), (1, 2)), _mode((1, 2), (0,))),
+    # subset(S1, S2): test, or enumerate subsets of a bound set.
+    "subset": (_mode((0, 1), ()), _mode((1,), (0,))),
+    # card(S, N): cardinality of a bound set.
+    "card": (_mode((0, 1), ()), _mode((0,), (1,))),
+    # Equality evaluates either side once the other is ground.
+    "=": (_mode((0, 1), ()), _mode((0,), (1,)), _mode((1,), (0,))),
+    "!=": (_mode((0, 1), ()),),
+    "<": (_mode((0, 1), ()),),
+    "<=": (_mode((0, 1), ()),),
+    ">": (_mode((0, 1), ()),),
+    ">=": (_mode((0, 1), ()),),
+}
+
+
+def modes_for(pred: str) -> tuple[Mode, ...]:
+    """Modes of a built-in predicate; empty tuple for unknown names."""
+    return BUILTIN_MODES.get(pred, ())

@@ -1,0 +1,54 @@
+"""Model-theoretic semantics: model checking, minimality, enumeration."""
+
+from repro.semantics.enumerate_models import (
+    MAX_CANDIDATES,
+    all_models,
+    enumerate_models,
+    generate_candidates,
+    has_model,
+    minimal_models_over,
+)
+from repro.semantics.fixpoint_theory import (
+    is_monotone_on,
+    lfp,
+    tp,
+    tp_with_grouping,
+)
+from repro.semantics.wellfounded import WellFoundedModel, wellfounded
+from repro.semantics.minimality import (
+    improves_on,
+    is_minimal_among,
+    is_minimal_model_among,
+    minimal_models,
+    submodel,
+)
+from repro.semantics.modelcheck import (
+    Violation,
+    first_violation,
+    is_model,
+    violations,
+)
+
+__all__ = [
+    "MAX_CANDIDATES",
+    "Violation",
+    "all_models",
+    "enumerate_models",
+    "first_violation",
+    "generate_candidates",
+    "has_model",
+    "improves_on",
+    "is_minimal_among",
+    "is_minimal_model_among",
+    "is_model",
+    "is_monotone_on",
+    "lfp",
+    "tp",
+    "tp_with_grouping",
+    "WellFoundedModel",
+    "wellfounded",
+    "minimal_models",
+    "minimal_models_over",
+    "submodel",
+    "violations",
+]

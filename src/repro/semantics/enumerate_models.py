@@ -1,0 +1,119 @@
+"""Brute-force model enumeration over a finite fact universe.
+
+The counterexamples of Sections 2.3–2.4 reason about *all* models of a
+tiny program.  This module makes those arguments executable: given a
+candidate fact universe (supplied explicitly or generated from the
+program's constants), it enumerates the subsets that are models and
+reports the §2.4-minimal ones.
+
+Exponential by construction — guarded by a candidate-count cap.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import EvaluationError
+from repro.program.rule import Atom, Program
+from repro.semantics.minimality import minimal_models as _filter_minimal
+from repro.semantics.modelcheck import is_model
+from repro.terms.term import Term
+from repro.terms.universe import finite_subsets
+
+#: Largest candidate universe we will exhaustively power-set.
+MAX_CANDIDATES = 20
+
+Interpretation = frozenset[Atom]
+
+
+def enumerate_models(
+    program: Program,
+    candidates: Sequence[Atom],
+    base: Iterable[Atom] = (),
+) -> Iterator[Interpretation]:
+    """Yield every model of ``program`` of the form base ∪ S with
+    S ⊆ candidates, smallest subsets first.
+
+    ``base`` facts are forced into every interpretation (typically the
+    program's ground facts — a model must contain them anyway).
+    """
+    forced = frozenset(base) | {
+        rule.head for rule in program.facts() if rule.head.is_ground()
+    }
+    optional = [c for c in dict.fromkeys(candidates) if c not in forced]
+    if len(optional) > MAX_CANDIDATES:
+        raise EvaluationError(
+            f"candidate universe too large to power-set: {len(optional)}"
+        )
+    for size in range(len(optional) + 1):
+        for combo in combinations(optional, size):
+            interpretation = forced | frozenset(combo)
+            if is_model(program, interpretation):
+                yield interpretation
+
+
+def all_models(
+    program: Program, candidates: Sequence[Atom], base: Iterable[Atom] = ()
+) -> list[Interpretation]:
+    """All models over the candidate universe, smallest first."""
+    return list(enumerate_models(program, candidates, base))
+
+
+def minimal_models_over(
+    program: Program, candidates: Sequence[Atom], base: Iterable[Atom] = ()
+) -> list[Interpretation]:
+    """Models over the universe that are §2.4-minimal within that pool."""
+    return _filter_minimal(all_models(program, candidates, base))
+
+
+def has_model(program: Program, candidates: Sequence[Atom]) -> bool:
+    """Whether any subset of the candidate universe is a model."""
+    for _ in enumerate_models(program, candidates):
+        return True
+    return False
+
+
+def generate_candidates(
+    program: Program,
+    terms: Iterable[Term],
+    max_set_size: int = 2,
+    max_set_depth: int = 1,
+    predicates: Iterable[tuple[str, int]] | None = None,
+) -> list[Atom]:
+    """Build a candidate fact universe from a term pool.
+
+    The pool is closed under set formation up to ``max_set_size`` /
+    ``max_set_depth``, then every predicate (name, arity) is
+    instantiated over all argument combinations.  Kept deliberately
+    small — callers hand-pick pools for the paper examples.
+    """
+    pool: set[Term] = set(terms)
+    for _ in range(max_set_depth):
+        pool |= set(finite_subsets(pool, max_size=max_set_size))
+    ordered_pool = sorted(pool, key=lambda t: t.sort_key())
+
+    if predicates is None:
+        arities: dict[str, int] = {}
+        for rule in program.rules:
+            arities.setdefault(rule.head.pred, rule.head.arity)
+            for lit in rule.body:
+                if not lit.atom.is_builtin():
+                    arities.setdefault(lit.atom.pred, lit.atom.arity)
+        predicates = sorted(arities.items())
+
+    out: list[Atom] = []
+    for pred, arity in predicates:
+        out.extend(
+            Atom(pred, combo) for combo in _tuples(ordered_pool, arity)
+        )
+    return out
+
+
+def _tuples(pool: Sequence[Term], arity: int) -> Iterator[tuple[Term, ...]]:
+    if arity == 0:
+        yield ()
+        return
+    for head in pool:
+        for rest in _tuples(pool, arity - 1):
+            yield (head,) + rest

@@ -1,0 +1,101 @@
+"""Minimal models under the Section 2.4 domination criterion.
+
+The paper replaces set-inclusion minimality (which fails for LDL1 —
+positive programs can have several inclusion-minimal models) with: a
+model M is *minimal* iff there is no model M' different from M with
+``(M' - M) <= (M - M')``, where ``<=`` on fact sets is the submodel
+relation realized by an injective domination matching
+(:func:`repro.terms.domination.factset_dominated`).
+
+These checks are inherently enumerative; they are meant for the small
+counterexample programs of Sections 2.3–2.4 and for validating the
+bottom-up evaluator's output on test-sized programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.program.rule import Atom, Program
+from repro.semantics.modelcheck import is_model
+from repro.terms.domination import factset_dominated
+
+Interpretation = frozenset[Atom]
+
+
+def submodel(
+    candidate: Iterable[Atom], model: Iterable[Atom], elaborate: bool = False
+) -> bool:
+    """The paper's ``M' <= M``: a preserving function from a subset of
+    ``model`` onto ``candidate`` exists.
+
+    ``elaborate=True`` uses the recursive element-domination order of
+    the Section 2.4 Remark; the paper claims (and our tests confirm on
+    its examples) that the results hold for it as well.
+    """
+    return factset_dominated(candidate, model, elaborate=elaborate)
+
+
+def improves_on(
+    challenger: Iterable[Atom],
+    incumbent: Iterable[Atom],
+    elaborate: bool = False,
+) -> bool:
+    """True when ``challenger`` witnesses non-minimality of ``incumbent``:
+    it differs and ``(challenger - incumbent) <= (incumbent - challenger)``."""
+    challenger_set = frozenset(challenger)
+    incumbent_set = frozenset(incumbent)
+    if challenger_set == incumbent_set:
+        return False
+    return factset_dominated(
+        challenger_set - incumbent_set,
+        incumbent_set - challenger_set,
+        elaborate=elaborate,
+    )
+
+
+def is_minimal_among(
+    model: Iterable[Atom],
+    other_models: Iterable[Iterable[Atom]],
+    elaborate: bool = False,
+) -> bool:
+    """Minimality of ``model`` relative to an explicit candidate pool."""
+    return not any(
+        improves_on(other, model, elaborate=elaborate)
+        for other in other_models
+    )
+
+
+def is_minimal_model_among(
+    program: Program,
+    model: Iterable[Atom],
+    candidates: Iterable[Iterable[Atom]],
+) -> bool:
+    """Check ``model`` is a model and minimal among candidate *models*.
+
+    Candidates that are not models of ``program`` are ignored, so the
+    pool may be a coarse superset (e.g. every subset of a fact
+    universe).
+    """
+    model_set = frozenset(model)
+    if not is_model(program, model_set):
+        return False
+    for candidate in candidates:
+        candidate_set = frozenset(candidate)
+        if candidate_set == model_set:
+            continue
+        if not improves_on(candidate_set, model_set):
+            continue
+        if is_model(program, candidate_set):
+            return False
+    return True
+
+
+def minimal_models(models: Sequence[Iterable[Atom]]) -> list[Interpretation]:
+    """Filter a pool of models down to the §2.4-minimal ones."""
+    pool = [frozenset(m) for m in models]
+    return [
+        model
+        for model in pool
+        if not any(improves_on(other, model) for other in pool)
+    ]

@@ -1,0 +1,473 @@
+"""LDL1 term algebra (paper Section 2.1).
+
+Terms extend classical first-order terms with finite sets:
+
+* :class:`Var` — a logical variable (``X``, ``Y``, ``_``),
+* :class:`Const` — a constant: a symbol (``john``), a number, or a string,
+* :class:`Func` — a compound term ``f(t1, ..., tn)``,
+* :class:`SetVal` — a *ground* finite set, the interpretation of ``{}``
+  and of enumerated sets under the LDL1 universe (Section 2.2),
+* :class:`SetPattern` — a syntactic enumerated-set term ``{t1, ..., tn}``
+  possibly with a rest variable ``{t1, ..., tn | R}`` (sugar for nested
+  ``scons``); becomes a :class:`SetVal` once ground,
+* :class:`GroupTerm` — the grouping construct ``<t>`` used in rule heads
+  (and, in LDL1.5, rule bodies).
+
+All terms are immutable and hashable.  Ground terms form the LDL1
+universe *U*; :func:`evaluate_ground` folds the built-in constructor
+``scons`` and ground set patterns into canonical :class:`SetVal` values,
+raising :class:`~repro.errors.NotInUniverseError` when the result would
+fall outside *U* (e.g. ``scons`` onto a non-set).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import EvaluationError, NotInUniverseError
+
+#: Name of the built-in binary set constructor (paper Section 2.1).
+SCONS = "scons"
+
+#: Function symbols evaluated arithmetically when all arguments are numbers.
+ARITHMETIC_FUNCTORS = frozenset({"+", "-", "*", "/", "mod", "min", "max", "abs"})
+
+
+class Term:
+    """Abstract base class for all LDL1 terms."""
+
+    __slots__ = ()
+
+    #: Rank used by :func:`sort_key` to order terms of different kinds.
+    _kind_rank = 99
+
+    def is_ground(self) -> bool:
+        """Return True when the term contains no variables."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """Return the set of variable names occurring in the term."""
+        raise NotImplementedError
+
+    def substitute(self, binding: Mapping[str, "Term"]) -> "Term":
+        """Replace variables per ``binding``; unbound variables stay."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["Term"]:
+        """Yield this term and every subterm, pre-order."""
+        yield self
+
+    def sort_key(self):
+        """Deterministic total-order key across all term kinds."""
+        raise NotImplementedError
+
+
+class Var(Term):
+    """A logical variable, identified by name."""
+
+    __slots__ = ("name",)
+    _kind_rank = 0
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def substitute(self, binding: Mapping[str, Term]) -> Term:
+        return binding.get(self.name, self)
+
+    def sort_key(self):
+        return (self._kind_rank, self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((Var, self.name))
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+class Const(Term):
+    """A constant: a symbol, an integer, a float, or a quoted string.
+
+    Symbols and strings are both carried as ``str``; ``quoted`` records
+    whether the constant was written as a quoted string, which only
+    affects printing.
+    """
+
+    __slots__ = ("value", "quoted")
+    _kind_rank = 1
+
+    def __init__(self, value, quoted: bool = False) -> None:
+        if not isinstance(value, (int, float, str)) or isinstance(value, bool):
+            raise TypeError(f"unsupported constant payload: {value!r}")
+        self.value = value
+        self.quoted = quoted and isinstance(value, str)
+
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, binding: Mapping[str, Term]) -> Term:
+        return self
+
+    def sort_key(self):
+        if isinstance(self.value, str):
+            return (self._kind_rank, 1, self.value)
+        return (self._kind_rank, 0, float(self.value), str(self.value))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Const)
+            and self.value == other.value
+            and type(self.value) is type(other.value)
+        )
+
+    def __hash__(self) -> int:
+        return hash((Const, type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Func(Term):
+    """A compound term ``functor(args...)`` with a fixed arity."""
+
+    __slots__ = ("functor", "args")
+    _kind_rank = 2
+
+    def __init__(self, functor: str, args: Iterable[Term]) -> None:
+        self.functor = functor
+        self.args = tuple(args)
+        if not self.args:
+            raise ValueError(
+                f"zero-arity Func {functor!r}; use Const for plain symbols"
+            )
+
+    def is_ground(self) -> bool:
+        return all(a.is_ground() for a in self.args)
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+    def substitute(self, binding: Mapping[str, Term]) -> Term:
+        return Func(self.functor, (a.substitute(binding) for a in self.args))
+
+    def walk(self) -> Iterator[Term]:
+        yield self
+        for a in self.args:
+            yield from a.walk()
+
+    def sort_key(self):
+        return (
+            self._kind_rank,
+            self.functor,
+            len(self.args),
+            tuple(a.sort_key() for a in self.args),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Func)
+            and self.functor == other.functor
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return hash((Func, self.functor, self.args))
+
+    def __repr__(self) -> str:
+        return f"Func({self.functor!r}, {list(self.args)!r})"
+
+
+class SetVal(Term):
+    """A ground finite set — an element of F(U) in the LDL1 universe."""
+
+    __slots__ = ("elements",)
+    _kind_rank = 3
+
+    def __init__(self, elements: Iterable[Term] = ()) -> None:
+        elems = frozenset(elements)
+        for e in elems:
+            if not isinstance(e, Term):
+                raise TypeError(f"set element is not a Term: {e!r}")
+            if not e.is_ground():
+                raise ValueError(f"SetVal element must be ground: {e!r}")
+        self.elements = elems
+
+    def is_ground(self) -> bool:
+        return True
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, binding: Mapping[str, Term]) -> Term:
+        return self
+
+    def walk(self) -> Iterator[Term]:
+        yield self
+        for e in self.elements:
+            yield from e.walk()
+
+    def sort_key(self):
+        return (
+            self._kind_rank,
+            len(self.elements),
+            tuple(sorted(e.sort_key() for e in self.elements)),
+        )
+
+    def __contains__(self, item: Term) -> bool:
+        return item in self.elements
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(sorted(self.elements, key=lambda t: t.sort_key()))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SetVal) and self.elements == other.elements
+
+    def __hash__(self) -> int:
+        return hash((SetVal, self.elements))
+
+    def __repr__(self) -> str:
+        return f"SetVal({sorted(self.elements, key=lambda t: t.sort_key())!r})"
+
+
+class SetPattern(Term):
+    """A syntactic enumerated set ``{t1, ..., tn}`` or ``{t1, ... | Rest}``.
+
+    Appears in rules; duplicates among the ``ti`` collapse once ground
+    (paper Section 1: "duplicate elements are eliminated during the set
+    construction process").  ``rest``, when present, must be a variable
+    or another set term and denotes the remaining elements, mirroring
+    ``scons(t1, scons(..., rest))``.
+    """
+
+    __slots__ = ("items", "rest")
+    _kind_rank = 4
+
+    def __init__(self, items: Iterable[Term], rest: Term | None = None) -> None:
+        self.items = tuple(items)
+        self.rest = rest
+        if rest is not None and not isinstance(rest, (Var, SetVal, SetPattern, Func)):
+            raise TypeError(f"set-pattern rest must be a variable or set: {rest!r}")
+
+    def is_ground(self) -> bool:
+        rest_ground = self.rest is None or self.rest.is_ground()
+        return rest_ground and all(t.is_ground() for t in self.items)
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for t in self.items:
+            out |= t.variables()
+        if self.rest is not None:
+            out |= self.rest.variables()
+        return out
+
+    def substitute(self, binding: Mapping[str, Term]) -> Term:
+        items = tuple(t.substitute(binding) for t in self.items)
+        rest = None if self.rest is None else self.rest.substitute(binding)
+        pattern = SetPattern(items, rest)
+        if pattern.is_ground():
+            try:
+                return evaluate_ground(pattern)
+            except (EvaluationError, NotInUniverseError):
+                # e.g. a rest bound to a non-set: stay a pattern; the
+                # consumer's evaluation rejects the binding as not
+                # applicable (Section 3.2).
+                return pattern
+        return pattern
+
+    def walk(self) -> Iterator[Term]:
+        yield self
+        for t in self.items:
+            yield from t.walk()
+        if self.rest is not None:
+            yield from self.rest.walk()
+
+    def sort_key(self):
+        rest_key = () if self.rest is None else self.rest.sort_key()
+        return (
+            self._kind_rank,
+            tuple(t.sort_key() for t in self.items),
+            rest_key,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SetPattern)
+            and self.items == other.items
+            and self.rest == other.rest
+        )
+
+    def __hash__(self) -> int:
+        return hash((SetPattern, self.items, self.rest))
+
+    def __repr__(self) -> str:
+        return f"SetPattern({list(self.items)!r}, rest={self.rest!r})"
+
+
+class GroupTerm(Term):
+    """The grouping construct ``<t>`` (paper Sections 2.1 and 4).
+
+    In base LDL1 the inner term is a single variable and the construct
+    appears only as a direct argument of a rule head.  LDL1.5 allows
+    arbitrary inner terms and body occurrences; those are compiled away
+    by :mod:`repro.transform`.
+    """
+
+    __slots__ = ("inner",)
+    _kind_rank = 5
+
+    def __init__(self, inner: Term) -> None:
+        self.inner = inner
+
+    def is_ground(self) -> bool:
+        return False
+
+    def variables(self) -> frozenset[str]:
+        return self.inner.variables()
+
+    def substitute(self, binding: Mapping[str, Term]) -> Term:
+        return GroupTerm(self.inner.substitute(binding))
+
+    def walk(self) -> Iterator[Term]:
+        yield self
+        yield from self.inner.walk()
+
+    def sort_key(self):
+        return (self._kind_rank, self.inner.sort_key())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GroupTerm) and self.inner == other.inner
+
+    def __hash__(self) -> int:
+        return hash((GroupTerm, self.inner))
+
+    def __repr__(self) -> str:
+        return f"GroupTerm({self.inner!r})"
+
+
+#: The empty set constant ``{}`` — interpreted as the empty SetVal.
+EMPTY_SET = SetVal()
+
+#: The reserved bottom constant of Section 3.3, "whose usage is
+#: prohibited in programs" and which the negation-to-grouping
+#: transformation injects.
+BOTTOM = Const("$bottom")
+
+
+def mkset(elements: Iterable[Term]) -> SetVal:
+    """Build a ground :class:`SetVal` from ground terms."""
+    return SetVal(elements)
+
+
+def const(value) -> Const:
+    """Shorthand constructor for :class:`Const`."""
+    return Const(value)
+
+
+def _evaluate_arithmetic(functor: str, args: tuple[Term, ...]) -> Term:
+    """Fold an arithmetic functor applied to numeric constants."""
+    values = []
+    for a in args:
+        if not isinstance(a, Const) or not isinstance(a.value, (int, float)):
+            raise EvaluationError(
+                f"arithmetic on non-number: {functor}({args!r})"
+            )
+        values.append(a.value)
+    if functor == "+":
+        result = values[0] + values[1]
+    elif functor == "-":
+        result = values[0] - values[1] if len(values) == 2 else -values[0]
+    elif functor == "*":
+        result = values[0] * values[1]
+    elif functor == "/":
+        if values[1] == 0:
+            raise EvaluationError("division by zero")
+        result = values[0] / values[1]
+        if isinstance(values[0], int) and isinstance(values[1], int) and values[0] % values[1] == 0:
+            result = values[0] // values[1]
+    elif functor == "mod":
+        if values[1] == 0:
+            raise EvaluationError("mod by zero")
+        result = values[0] % values[1]
+    elif functor == "min":
+        result = min(values)
+    elif functor == "max":
+        result = max(values)
+    elif functor == "abs":
+        result = abs(values[0])
+    else:  # pragma: no cover - guarded by caller
+        raise EvaluationError(f"unknown arithmetic functor {functor!r}")
+    return Const(result)
+
+
+def evaluate_ground(term: Term) -> Term:
+    """Interpret a ground term as an element of the LDL1 universe U.
+
+    Canonicalizes the term per the interpretation rules of Section 2.2:
+
+    * ground :class:`SetPattern` terms become :class:`SetVal` values
+      (with duplicates collapsed and the rest-set unioned in),
+    * ``scons(t, S)`` becomes ``{t} | S`` when ``S`` is a set, and raises
+      :class:`NotInUniverseError` otherwise (restriction 1),
+    * arithmetic functors over numbers are folded to constants,
+    * every other functor maps to "itself" (free interpretation).
+
+    Raises :class:`EvaluationError` on non-ground input.
+    """
+    if isinstance(term, (Const, Var, SetVal)):
+        if isinstance(term, Var):
+            raise EvaluationError(f"cannot evaluate non-ground term {term!r}")
+        return term
+    if isinstance(term, GroupTerm):
+        raise EvaluationError(f"grouping term {term!r} is not a U-element")
+    if isinstance(term, SetPattern):
+        elements = [evaluate_ground(t) for t in term.items]
+        if term.rest is not None:
+            rest = evaluate_ground(term.rest)
+            if not isinstance(rest, SetVal):
+                raise NotInUniverseError(
+                    f"set-pattern rest evaluated to a non-set: {rest!r}"
+                )
+            elements.extend(rest.elements)
+        return SetVal(elements)
+    if isinstance(term, Func):
+        args = tuple(evaluate_ground(a) for a in term.args)
+        if term.functor == SCONS:
+            if len(args) != 2:
+                raise EvaluationError("scons is binary")
+            element, tail = args
+            if not isinstance(tail, SetVal):
+                raise NotInUniverseError(
+                    f"scons onto a non-set is outside U: scons(_, {tail!r})"
+                )
+            return SetVal({element} | tail.elements)
+        if term.functor in ARITHMETIC_FUNCTORS:
+            return _evaluate_arithmetic(term.functor, args)
+        return Func(term.functor, args)
+    raise EvaluationError(f"unknown term kind: {term!r}")
+
+
+def contains_group_term(term: Term) -> bool:
+    """Return True when ``<...>`` occurs anywhere inside ``term``."""
+    return any(isinstance(t, GroupTerm) for t in term.walk())
+
+
+def group_terms_of(term: Term) -> list[GroupTerm]:
+    """All grouping subterms of ``term`` in pre-order."""
+    return [t for t in term.walk() if isinstance(t, GroupTerm)]

@@ -1,0 +1,94 @@
+"""The LDL1 universe *U* (paper Section 2.2).
+
+``U0`` is the classical Herbrand universe of simple variable-free terms;
+``U_{n+1}`` closes ``U_n`` under finite subsets and (non-``scons``)
+function application, and ``U`` is the union of all ``U_n``.  Every
+canonical ground term built from constants, free functors, and
+:class:`~repro.terms.term.SetVal` values lies in *U*; ``scons`` terms do
+not (they are *interpreted into* U by evaluation, Section 2.2
+restriction 1).
+
+This module provides the membership test, the *rank* of a U-element
+(the least ``n`` with the element in ``U_n``), and the set-nesting
+depth, which the paper's ``U_n`` hierarchy stratifies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError
+from repro.terms.term import (
+    SCONS,
+    Const,
+    Func,
+    GroupTerm,
+    SetPattern,
+    SetVal,
+    Term,
+    Var,
+)
+
+
+def in_universe(term: Term) -> bool:
+    """Return True when ``term`` is a canonical element of *U*.
+
+    Canonical means: ground, no ``scons`` or arithmetic left unfolded
+    (any functor is allowed *structurally* except ``scons``; arithmetic
+    functors over numbers would have been folded by evaluation, but a
+    symbolic ``+('a', 'b')`` is a legitimate free term), no set
+    patterns, and no grouping terms.
+    """
+    if isinstance(term, (Var, GroupTerm, SetPattern)):
+        return False
+    if isinstance(term, Const):
+        return True
+    if isinstance(term, SetVal):
+        return all(in_universe(e) for e in term.elements)
+    if isinstance(term, Func):
+        if term.functor == SCONS:
+            return False
+        return all(in_universe(a) for a in term.args)
+    return False
+
+
+def set_depth(term: Term) -> int:
+    """Maximum nesting depth of sets inside ``term`` (0 when set-free)."""
+    if isinstance(term, Const):
+        return 0
+    if isinstance(term, SetVal):
+        if not term.elements:
+            return 1
+        return 1 + max(set_depth(e) for e in term.elements)
+    if isinstance(term, Func):
+        return max(set_depth(a) for a in term.args)
+    raise EvaluationError(f"set_depth of non-U term {term!r}")
+
+
+def universe_rank(term: Term) -> int:
+    """Least ``n`` such that ``term`` is in ``U_n``.
+
+    ``U_0`` contains exactly the set-free simple terms, and each
+    application of F(·) (forming a finite set) forces one more level, so
+    the rank of a U-element equals its set-nesting depth.  Function
+    application does not raise the rank beyond its arguments' maximum
+    because each ``U_n`` is closed under (finitely iterated) function
+    application via the ``G_{n,j}`` stages.
+    """
+    if not in_universe(term):
+        raise EvaluationError(f"{term!r} is not in the LDL1 universe")
+    return set_depth(term)
+
+
+def finite_subsets(terms: frozenset[Term] | set[Term], max_size: int | None = None):
+    """Enumerate F(S): all finite subsets of ``terms`` as SetVal values.
+
+    ``max_size`` caps the subset cardinality (the full F(S) of an n-set
+    has 2**n members).  Yields subsets in increasing cardinality, each
+    deterministic in content order.
+    """
+    from itertools import combinations
+
+    ordered = sorted(terms, key=lambda t: t.sort_key())
+    top = len(ordered) if max_size is None else min(max_size, len(ordered))
+    for size in range(top + 1):
+        for combo in combinations(ordered, size):
+            yield SetVal(combo)

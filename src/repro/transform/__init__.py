@@ -1,0 +1,23 @@
+"""Source-to-source transformations (paper Sections 3.3 and 4)."""
+
+from repro.transform.body_sets import compile_body_sets
+from repro.transform.head_terms import compile_head_terms
+from repro.transform.neg_to_grouping import eliminate_negation
+
+
+def compile_ldl15(program, alternative: bool = False):
+    """Compile an LDL1.5 program down to base LDL1.
+
+    Head-term expansion runs first (it may introduce plain body
+    literals), then body ``<t>`` compilation.  The result passes the
+    base-LDL1 well-formedness checks and evaluates directly.
+    """
+    return compile_body_sets(compile_head_terms(program, alternative=alternative))
+
+
+__all__ = [
+    "compile_body_sets",
+    "compile_head_terms",
+    "compile_ldl15",
+    "eliminate_negation",
+]

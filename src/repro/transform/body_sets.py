@@ -1,0 +1,262 @@
+"""LDL1.5 complex body terms: ``<t>`` in rule bodies (paper Section 4.1).
+
+A body occurrence ``p(... <t> ...)`` matches only tuples whose
+corresponding entry is a set of *uniform structure* ``t``, with the
+variables of ``t`` ranging over the set's elements.  E.g. ``p(<<X>>)``
+matches ``p({{1,2}, {3}})`` (every element a set, ``X`` ranging over
+inner elements) but not ``p({{1,2}, 3})``.
+
+The paper compiles such occurrences into plain LDL1 by (1) replacing
+``<t>`` with a fresh variable ``S``, (2) appending a ``member`` literal
+so ``t`` ranges over S's elements, and (3) adding rules that enforce
+the uniform structure.  The paper's printed rule set for step (3) is
+schematic (its ``collect`` rule is not range-restricted); this module
+realizes the same three guarantees with executable LDL1:
+
+* a *domain* rule collects the sets that can flow to the rewritten
+  position,
+* a grouping rule collects, per such set, the elements matching the
+  shape of ``t`` (nested group positions must be sets — tested with
+  ``card``),
+* the structure is uniform iff the matching elements exhaust the set
+  (equal cardinalities),
+
+recursing into nested ``<u>`` occurrences with inner-set domains
+derived from the outer ones.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.names import FreshNames, is_builtin_predicate
+from repro.program.rule import Atom, Literal, Program, Rule
+from repro.terms.pretty import format_rule
+from repro.terms.term import (
+    Func,
+    GroupTerm,
+    SetPattern,
+    Term,
+    Var,
+    contains_group_term,
+)
+
+
+class _Compiler:
+    def __init__(self, program: Program) -> None:
+        self._fresh_preds = FreshNames(program.predicates(), prefix="bs")
+        self._var_counter = 0
+        self.extra_rules: list[Rule] = []
+
+    def fresh_var(self, stem: str = "S") -> Var:
+        self._var_counter += 1
+        return Var(f"_{stem}{self._var_counter}")
+
+    # -- term surgery ---------------------------------------------------
+
+    def strip_groups(self, term: Term) -> tuple[Term, list[tuple[Var, Term]]]:
+        """Replace each top-level ``<u>`` inside ``term`` with a fresh
+        variable; returns the stripped term and (var, u) pairs."""
+        replaced: list[tuple[Var, Term]] = []
+
+        def walk(t: Term) -> Term:
+            if isinstance(t, GroupTerm):
+                var = self.fresh_var("G")
+                replaced.append((var, t.inner))
+                return var
+            if isinstance(t, Func):
+                return Func(t.functor, tuple(walk(a) for a in t.args))
+            if isinstance(t, SetPattern):
+                rest = None if t.rest is None else walk(t.rest)
+                return SetPattern(tuple(walk(i) for i in t.items), rest)
+            return t
+
+        return walk(term), replaced
+
+    def rename_vars(self, term: Term) -> Term:
+        """A copy of ``term`` with every variable consistently renamed
+        fresh (used for shape patterns that must not capture rule
+        variables)."""
+        mapping: dict[str, Var] = {}
+
+        def walk(t: Term) -> Term:
+            if isinstance(t, Var):
+                if t.name not in mapping:
+                    mapping[t.name] = self.fresh_var("R")
+                return mapping[t.name]
+            if isinstance(t, Func):
+                return Func(t.functor, tuple(walk(a) for a in t.args))
+            if isinstance(t, SetPattern):
+                rest = None if t.rest is None else walk(t.rest)
+                return SetPattern(tuple(walk(i) for i in t.items), rest)
+            if isinstance(t, GroupTerm):
+                return GroupTerm(walk(t.inner))
+            return t
+
+        return walk(term)
+
+    # -- the three guarantees --------------------------------------------
+
+    def range_literals(self, pattern: Term, set_var: Var) -> list[Literal]:
+        """Literals making ``pattern``'s variables range over the
+        elements of ``set_var`` (guarantee 2), recursively."""
+        stripped, nested = self.strip_groups(pattern)
+        out = [Literal(Atom("member", (stripped, set_var)))]
+        for inner_var, inner_pattern in nested:
+            out.extend(self.range_literals(inner_pattern, inner_var))
+        return out
+
+    def uniformity_rules(self, pattern: Term, dom_pred: str) -> str:
+        """Rules checking every element of a ``dom_pred`` set matches
+        the shape of ``pattern`` (guarantee 3).  Returns the name of the
+        check predicate ``ok(S)``.
+
+        An element matches when it equals the shape of ``pattern`` (with
+        nested group slots holding *sets* that recursively pass their
+        own uniformity check); the set is uniform when the matching
+        elements exhaust it (equal cardinalities).
+        """
+        shape, nested = self.strip_groups(self.rename_vars(pattern))
+        # recurse first: inner domains project the nested slots out of
+        # the outer domain's sets, and inner checks constrain the grp
+        # rule below.  strip_groups enumerates slots in deterministic
+        # pre-order, so slot i of a second stripping aligns with slot i.
+        inner_checks: list[tuple[Var, str]] = []
+        for slot, (inner_var, inner_pattern) in enumerate(nested):
+            inner_dom = self._fresh_preds.fresh("bs_dom")
+            projection_shape, projection_slots = self.strip_groups(
+                self.rename_vars(pattern)
+            )
+            projection_var = projection_slots[slot][0]
+            outer_set = self.fresh_var("V")
+            self.extra_rules.append(
+                Rule(
+                    Atom(inner_dom, (projection_var,)),
+                    [
+                        Literal(Atom(dom_pred, (outer_set,))),
+                        Literal(Atom("member", (projection_shape, outer_set))),
+                        Literal(
+                            Atom("card", (projection_var, self.fresh_var("N")))
+                        ),
+                    ],
+                )
+            )
+            inner_ok = self.uniformity_rules(inner_pattern, inner_dom)
+            inner_checks.append((inner_var, inner_ok))
+
+        grp = self._fresh_preds.fresh("bs_grp")
+        ok = self._fresh_preds.fresh("bs_ok")
+        set_var = self.fresh_var("D")
+        element = self.fresh_var("E")
+        body: list[Literal] = [
+            Literal(Atom(dom_pred, (set_var,))),
+            Literal(Atom("member", (element, set_var))),
+            Literal(Atom("=", (element, shape))),
+        ]
+        for inner_var, inner_ok in inner_checks:
+            # the nested slot must be a set and recursively uniform
+            body.append(Literal(Atom("card", (inner_var, self.fresh_var("N")))))
+            body.append(Literal(Atom(inner_ok, (inner_var,))))
+        self.extra_rules.append(
+            Rule(Atom(grp, (set_var, GroupTerm(element))), body)
+        )
+        matched = self.fresh_var("M")
+        count = self.fresh_var("N")
+        self.extra_rules.append(
+            Rule(
+                Atom(ok, (set_var,)),
+                [
+                    Literal(Atom(grp, (set_var, matched))),
+                    Literal(Atom("card", (matched, count))),
+                    Literal(Atom("card", (set_var, count))),
+                ],
+            )
+        )
+        return ok
+
+
+def _anonymize_except(
+    compiler: _Compiler, atom: Atom, keep: Var
+) -> Atom:
+    """Copy of ``atom`` with every variable other than ``keep`` renamed
+    fresh — used to build position-domain rules."""
+
+    mapping: dict[str, Var] = {}
+
+    def walk(t: Term) -> Term:
+        if isinstance(t, Var):
+            if t == keep:
+                return t
+            if t.name not in mapping:
+                mapping[t.name] = compiler.fresh_var("A")
+            return mapping[t.name]
+        if isinstance(t, Func):
+            return Func(t.functor, tuple(walk(a) for a in t.args))
+        if isinstance(t, SetPattern):
+            rest = None if t.rest is None else walk(t.rest)
+            return SetPattern(tuple(walk(i) for i in t.items), rest)
+        return t
+
+    return Atom(atom.pred, tuple(walk(a) for a in atom.args))
+
+
+def compile_body_sets(program: Program) -> Program:
+    """Compile every body ``<t>`` occurrence into plain LDL1.
+
+    Only positive, non-built-in body literals may carry grouping terms
+    (a negated or built-in occurrence has no defining extension to take
+    the domain from); anything else raises
+    :class:`WellFormednessError`.
+    """
+    compiler = _Compiler(program)
+    rewritten: list[Rule] = []
+    for rule in program.rules:
+        if not any(
+            contains_group_term(arg)
+            for lit in rule.body
+            for arg in lit.atom.args
+        ):
+            rewritten.append(rule)
+            continue
+        new_body: list[Literal] = []
+        for lit in rule.body:
+            if not any(contains_group_term(a) for a in lit.atom.args):
+                new_body.append(lit)
+                continue
+            if lit.negative or is_builtin_predicate(lit.atom.pred):
+                raise WellFormednessError(
+                    "grouping term in a negated or built-in body literal: "
+                    + format_rule(rule)
+                )
+            stripped_args: list[Term] = []
+            slots: list[tuple[Var, Term]] = []
+            for arg in lit.atom.args:
+                stripped, nested = compiler.strip_groups(arg)
+                stripped_args.append(stripped)
+                slots.extend(nested)
+            new_literal = Literal(Atom(lit.atom.pred, stripped_args))
+            new_body.append(new_literal)
+            for set_var, pattern in slots:
+                # guarantee 1+domain: collect sets at this position
+                dom = compiler._fresh_preds.fresh("bs_dom")
+                compiler.extra_rules.append(
+                    Rule(
+                        Atom(dom, (set_var,)),
+                        [
+                            Literal(
+                                _anonymize_except(
+                                    compiler, new_literal.atom, set_var
+                                )
+                            ),
+                            Literal(
+                                Atom("card", (set_var, compiler.fresh_var("N")))
+                            ),
+                        ],
+                    )
+                )
+                # guarantee 2: t ranges over the set's elements
+                new_body.extend(compiler.range_literals(pattern, set_var))
+                # guarantee 3: uniform structure
+                ok = compiler.uniformity_rules(pattern, dom)
+                new_body.append(Literal(Atom(ok, (set_var,))))
+        rewritten.append(Rule(rule.head, new_body))
+    return Program(tuple(rewritten) + tuple(compiler.extra_rules))

@@ -1,0 +1,266 @@
+"""LDL1.5 complex head terms (paper Section 4.2).
+
+Compiles rules whose heads contain nested/multiple grouping structure —
+e.g. ``(T, <S>, <D>)``, ``(T, <h(S, <D>)>)``, ``((T, S), <(C, <D>)>)``
+— into base LDL1 by the paper's three transformation schemes:
+
+* **(i) Distribution** — several complex arguments split into one
+  auxiliary predicate per argument, joined back on ``Z`` (the head
+  variables that occur outside any ``< >``);
+* **(ii) Grouping** — ``p(X, <g(Y, term_1..term_n)>)`` routes through
+  ``q``/``q1`` so inner structure is computed first, *keyed on Y
+  alone* (the paper's reading: the inner sets are independent of X);
+* **(iii) Nesting** — ``p(X, g(Y, term_1..term_n))`` likewise for
+  un-grouped complex arguments, keyed on ``Z``;
+
+plus the degenerate cases (missing X / g / terms / Y) and the paper's
+**alternative (ii)′ semantics** where ``X`` participates in the inner
+grouping key (select with ``alternative=True``).
+
+The transformations repeat until every rule is base LDL1; each step
+strictly reduces head-term nesting, so the loop terminates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WellFormednessError
+from repro.names import FreshNames
+from repro.program.rule import Atom, Literal, Program, Rule
+from repro.terms.pretty import format_rule
+from repro.terms.term import (
+    Const,
+    Func,
+    GroupTerm,
+    SetPattern,
+    SetVal,
+    Term,
+    Var,
+    contains_group_term,
+)
+
+_MAX_STEPS = 10_000
+
+
+def _vars_outside_groups(head: Atom) -> tuple[str, ...]:
+    """The paper's Z: head variables with an occurrence outside ``< >``,
+    in first-appearance order."""
+    seen: list[str] = []
+
+    def walk(t: Term) -> None:
+        if isinstance(t, GroupTerm):
+            return
+        if isinstance(t, Var):
+            if t.name not in seen:
+                seen.append(t.name)
+            return
+        if isinstance(t, Func):
+            for a in t.args:
+                walk(a)
+        elif isinstance(t, SetPattern):
+            for a in t.items:
+                walk(a)
+            if t.rest is not None:
+                walk(t.rest)
+
+    for arg in head.args:
+        walk(arg)
+    return tuple(seen)
+
+
+def _is_base_rule(rule: Rule) -> bool:
+    """Base LDL1: at most one head group, a direct argument, over a
+    single variable; no groups in the body (the body is assumed
+    pre-compiled by :mod:`repro.transform.body_sets`)."""
+    groupy = [a for a in rule.head.args if contains_group_term(a)]
+    if not groupy:
+        return True
+    if len(groupy) != 1:
+        return False
+    arg = groupy[0]
+    return isinstance(arg, GroupTerm) and isinstance(arg.inner, Var)
+
+
+def _split_functor_args(
+    args: tuple[Term, ...]
+) -> tuple[list[int], list[int]]:
+    """Positions of simple-variable arguments (Y) vs complex terms."""
+    var_positions = [i for i, a in enumerate(args) if isinstance(a, Var)]
+    term_positions = [i for i, a in enumerate(args) if not isinstance(a, Var)]
+    return var_positions, term_positions
+
+
+class _HeadCompiler:
+    def __init__(self, program: Program, alternative: bool) -> None:
+        self.fresh = FreshNames(program.predicates(), prefix="ht")
+        self.alternative = alternative
+        self._var_counter = 0
+
+    def fresh_var(self) -> Var:
+        self._var_counter += 1
+        return Var(f"_Y{self._var_counter}")
+
+    # -- (i) distribution -------------------------------------------------
+
+    def distribute(self, rule: Rule) -> list[Rule]:
+        head = rule.head
+        z_vars = tuple(Var(v) for v in _vars_outside_groups(head))
+        new_args: list[Term] = []
+        join_literals: list[Literal] = []
+        out: list[Rule] = []
+        for arg in head.args:
+            if not contains_group_term(arg):
+                new_args.append(arg)
+                continue
+            aux = self.fresh.fresh(f"{head.pred}_d")
+            out.append(Rule(Atom(aux, z_vars + (arg,)), rule.body))
+            joined = self.fresh_var()
+            join_literals.append(Literal(Atom(aux, z_vars + (joined,))))
+            new_args.append(joined)
+        out.append(
+            Rule(Atom(head.pred, new_args), tuple(join_literals) + rule.body)
+        )
+        return out
+
+    # -- (ii) grouping -----------------------------------------------------
+
+    def group(self, rule: Rule, position: int) -> list[Rule]:
+        head = rule.head
+        inner = head.args[position].inner  # type: ignore[union-attr]
+        if isinstance(inner, (Const, SetVal)) or (
+            not contains_group_term(inner) and not isinstance(inner, Var)
+        ):
+            # degenerate: <t> over a constant or a group-free complex
+            # term — bind a fresh variable to it instead.
+            fresh = self.fresh_var()
+            new_args = list(head.args)
+            new_args[position] = GroupTerm(fresh)
+            body = rule.body + (Literal(Atom("=", (fresh, inner))),)
+            return [Rule(Atom(head.pred, new_args), body)]
+        if not isinstance(inner, Func):
+            raise WellFormednessError(
+                f"unsupported grouped head term: {format_rule(rule)}"
+            )
+        var_positions, term_positions = _split_functor_args(inner.args)
+        y_vars = tuple(inner.args[i] for i in var_positions)
+        key_vars = y_vars
+        if self.alternative:
+            # (ii)': X participates in the grouping key.
+            x_names = _vars_outside_groups(head)
+            extra = tuple(
+                Var(name)
+                for name in x_names
+                if all(not (isinstance(y, Var) and y.name == name) for y in y_vars)
+            )
+            key_vars = extra + y_vars
+        terms = tuple(inner.args[i] for i in term_positions)
+
+        q = self.fresh.fresh(f"{head.pred}_q")
+        q1 = self.fresh.fresh(f"{head.pred}_q1")
+        out: list[Rule] = []
+        # q(Y, term_1..term_n) <- body.
+        out.append(Rule(Atom(q, key_vars + terms), rule.body))
+        # q1(Y, g(..Y..,..Yi..)) <- q(Y, Y1..Yn).
+        placeholders = {i: self.fresh_var() for i in term_positions}
+        rebuilt_args = tuple(
+            placeholders[i] if i in placeholders else inner.args[i]
+            for i in range(len(inner.args))
+        )
+        rebuilt = Func(inner.functor, rebuilt_args)
+        q_body_args = key_vars + tuple(placeholders[i] for i in term_positions)
+        out.append(
+            Rule(Atom(q1, key_vars + (rebuilt,)), [Literal(Atom(q, q_body_args))])
+        )
+        # p(X, <S>) <- q1(Y, S), body.
+        set_var = self.fresh_var()
+        new_args = list(head.args)
+        new_args[position] = GroupTerm(set_var)
+        out.append(
+            Rule(
+                Atom(head.pred, new_args),
+                (Literal(Atom(q1, key_vars + (set_var,))),) + rule.body,
+            )
+        )
+        return out
+
+    # -- (iii) nesting -------------------------------------------------------
+
+    def nest(self, rule: Rule, position: int) -> list[Rule]:
+        head = rule.head
+        arg = head.args[position]
+        if not isinstance(arg, Func):
+            raise WellFormednessError(
+                f"unsupported nested head term: {format_rule(rule)}"
+            )
+        z_vars = tuple(Var(v) for v in _vars_outside_groups(head))
+        var_positions, term_positions = _split_functor_args(arg.args)
+        terms = tuple(arg.args[i] for i in term_positions)
+
+        q1 = self.fresh.fresh(f"{head.pred}_n")
+        q2 = self.fresh.fresh(f"{head.pred}_n")
+        out: list[Rule] = []
+        # q1(Z, term_1..term_n) <- body.
+        out.append(Rule(Atom(q1, z_vars + terms), rule.body))
+        # q2(Z, g(Y.., Yi..)) <- q1(Z, Y1..Yn).
+        placeholders = {i: self.fresh_var() for i in term_positions}
+        rebuilt_args = tuple(
+            placeholders[i] if i in placeholders else arg.args[i]
+            for i in range(len(arg.args))
+        )
+        rebuilt = Func(arg.functor, rebuilt_args)
+        q1_body_args = z_vars + tuple(placeholders[i] for i in term_positions)
+        out.append(
+            Rule(Atom(q2, z_vars + (rebuilt,)), [Literal(Atom(q1, q1_body_args))])
+        )
+        # p(X, S) <- q2(Z, S), body.
+        set_var = self.fresh_var()
+        new_args = list(head.args)
+        new_args[position] = set_var
+        out.append(
+            Rule(
+                Atom(head.pred, new_args),
+                (Literal(Atom(q2, z_vars + (set_var,))),) + rule.body,
+            )
+        )
+        return out
+
+    # -- driver ---------------------------------------------------------------
+
+    def step(self, rule: Rule) -> list[Rule] | None:
+        """One transformation application, or None when base LDL1."""
+        if _is_base_rule(rule):
+            return None
+        group_positions = [
+            i for i, a in enumerate(rule.head.args) if contains_group_term(a)
+        ]
+        if len(group_positions) > 1:
+            return self.distribute(rule)
+        position = group_positions[0]
+        arg = rule.head.args[position]
+        if isinstance(arg, GroupTerm):
+            return self.group(rule, position)
+        return self.nest(rule, position)
+
+
+def compile_head_terms(program: Program, alternative: bool = False) -> Program:
+    """Expand all complex head terms into base LDL1 rules.
+
+    ``alternative=True`` selects the paper's (ii)′ semantics where the
+    outer ``X`` variables join the inner grouping key.
+    """
+    compiler = _HeadCompiler(program, alternative)
+    done: list[Rule] = []
+    worklist = list(program.rules)
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > _MAX_STEPS:
+            raise WellFormednessError(
+                "head-term compilation did not terminate"
+            )
+        rule = worklist.pop(0)
+        produced = compiler.step(rule)
+        if produced is None:
+            done.append(rule)
+        else:
+            worklist.extend(produced)
+    return Program(done)

@@ -1,0 +1,139 @@
+"""Negation elimination via grouping (paper Section 3.3).
+
+"Using grouping, a negative predicate may be converted into a positive
+one": an occurrence ``~p(T)`` becomes ``g(T, {⊥})`` where ``⊥`` is a
+reserved constant, supported by
+
+* ``ok(T, ⊥)``               — ⊥ is always a candidate,
+* ``ok(T, {T}) <- p(T)``     — and the tuple itself when p holds,
+* ``g(T, <S>) <- ok(T, S)``  — so the grouped set is {⊥} exactly when
+  ``p(T)`` fails.
+
+The paper's schematic ``ok(T, ⊥)`` fact has free variables; the
+executable version relativizes it to a *context* predicate — positive
+body literals that bind ``T``.  To preserve the paper's claim that "an
+admissible program remains so after this transformation", the context
+only uses literals whose predicates lie in strictly lower layers than
+the rewritten rule's head (plus built-ins evaluable from them); the
+grouping chain then never re-enters the head's stratum::
+
+    ctx(T)        <- lower-layer positive literals.
+    ok(X, ⊥)      <- ctx(X).
+    ok(X, {(X)})  <- ctx(X), p(X).
+    g(X, <S>)     <- ok(X, S).
+    rewritten r:  head <- positive-body, g(T, {⊥}).
+
+Both stated properties are tested: the transformed program is still
+admissible, and its standard model restricted to the original
+predicates equals the original standard model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NotAdmissibleError
+from repro.names import FreshNames, is_builtin_predicate
+from repro.program.rule import Atom, Literal, Program, Rule
+from repro.program.stratify import Layering, stratify
+from repro.terms.pretty import format_literal, format_rule
+from repro.terms.term import BOTTOM, Func, GroupTerm, SetPattern, SetVal, Term, Var
+
+
+def _tuple_term(args: tuple[Term, ...]) -> Term:
+    """Pack literal arguments into one term for the ok-set element."""
+    if len(args) == 1:
+        return args[0]
+    return Func("tuple", args)
+
+
+def _context_literals(
+    rule: Rule, neg: Literal, layering: Layering
+) -> list[Literal]:
+    """Positive literals from strictly lower layers that bind the
+    negated occurrence's variables.
+
+    Built-in literals are pulled in greedily once their variables are
+    covered.  Raises :class:`NotAdmissibleError` when the negation's
+    variables cannot be bound without same-layer (recursive) literals —
+    the transformation would then destroy admissibility.
+    """
+    head_layer = layering.index(rule.head.pred)
+    chosen: list[Literal] = []
+    covered: set[str] = set()
+    for lit in rule.positive_body():
+        pred = lit.atom.pred
+        if is_builtin_predicate(pred):
+            continue
+        if layering.index(pred) < head_layer:
+            chosen.append(lit)
+            covered |= lit.atom.variables()
+    changed = True
+    while changed:
+        changed = False
+        for lit in rule.positive_body():
+            if lit in chosen or not is_builtin_predicate(lit.atom.pred):
+                continue
+            if lit.atom.variables() <= covered:
+                chosen.append(lit)
+                changed = True
+    needed = neg.atom.variables()
+    if not needed <= covered:
+        raise NotAdmissibleError(
+            "cannot eliminate "
+            + format_literal(neg)
+            + " without same-layer context in: "
+            + format_rule(rule)
+        )
+    return chosen
+
+
+def eliminate_negation(program: Program) -> Program:
+    """Rewrite every negative literal into a positive grouping test.
+
+    Returns an equivalent positive program: its standard model,
+    restricted to the predicates of ``program``, is the standard model
+    of ``program`` (Section 3.3).  Auxiliary predicates are fresh.
+    """
+    layering = stratify(program)
+    fresh = FreshNames(program.predicates())
+    out: list[Rule] = []
+    for rule in program.rules:
+        negatives = rule.negative_body()
+        if not negatives:
+            out.append(rule)
+            continue
+        new_body: list[Literal] = list(rule.positive_body())
+        for neg in negatives:
+            pred = neg.atom.pred
+            arity = neg.atom.arity
+            context = _context_literals(rule, neg, layering)
+            ctx = fresh.fresh(f"ctx_{pred}")
+            ok = fresh.fresh(f"ok_{pred}")
+            g = fresh.fresh(f"g_{pred}")
+            xs = tuple(Var(f"X{i + 1}") for i in range(arity))
+
+            # ctx(T) <- lower-layer context.
+            out.append(Rule(Atom(ctx, neg.atom.args), context))
+            # ok(X, ⊥) <- ctx(X).
+            out.append(
+                Rule(Atom(ok, xs + (BOTTOM,)), [Literal(Atom(ctx, xs))])
+            )
+            # ok(X, {tuple(X)}) <- ctx(X), p(X).
+            out.append(
+                Rule(
+                    Atom(ok, xs + (SetPattern([_tuple_term(xs)]),)),
+                    [Literal(Atom(ctx, xs)), Literal(Atom(pred, xs))],
+                )
+            )
+            # g(X, <S>) <- ok(X, S).
+            out.append(
+                Rule(
+                    Atom(g, xs + (GroupTerm(Var("S")),)),
+                    [Literal(Atom(ok, xs + (Var("S"),)))],
+                )
+            )
+            # occurrence: g(T, {⊥}) replaces ~p(T).
+            new_body.append(
+                Literal(Atom(g, neg.atom.args + (SetVal([BOTTOM]),)))
+            )
+        out.append(Rule(rule.head, new_body))
+    return Program(out)

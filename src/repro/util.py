@@ -1,0 +1,29 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+#: Upper bound for temporary recursion-limit bumps.  Python frames in
+#: CPython ≥ 3.11 are cheap, but generator resumption still consumes C
+#: stack, so an unbounded limit could fault instead of raising.
+MAX_RECURSION_LIMIT = 500_000
+
+
+@contextmanager
+def deep_recursion(estimated_frames: int):
+    """Temporarily raise the interpreter recursion limit.
+
+    Deep derivations (a 1000-edge chain explained or solved top-down)
+    legitimately recurse proportionally to the data.  ``estimated_frames``
+    is the caller's worst-case need; the limit is only ever raised,
+    never lowered, and restored afterwards.
+    """
+    previous = sys.getrecursionlimit()
+    target = min(max(previous, estimated_frames), MAX_RECURSION_LIMIT)
+    sys.setrecursionlimit(target)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)

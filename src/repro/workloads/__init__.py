@@ -1,0 +1,36 @@
+"""Seeded synthetic workload generators for examples and benchmarks."""
+
+from repro.workloads.books import BOOK_DEAL_PROGRAM, BOOK_PAIR_PROGRAM, books
+from repro.workloads.family import (
+    chain_family,
+    generation_family,
+    leaves_of_chain,
+    random_family,
+    tree_family,
+)
+from repro.workloads.parts import ORDERED_SUM_PROGRAM, TC_PROGRAM, TC_SCOPED_PROGRAM, bom
+from repro.workloads.generator import GeneratedProgram, GeneratorConfig, random_program
+from repro.workloads.social import SOCIAL_PROGRAM, social_network
+from repro.workloads.suppliers import SUPPLIER_PROGRAM, supplies
+
+__all__ = [
+    "BOOK_DEAL_PROGRAM",
+    "BOOK_PAIR_PROGRAM",
+    "ORDERED_SUM_PROGRAM",
+    "TC_SCOPED_PROGRAM",
+    "GeneratedProgram",
+    "GeneratorConfig",
+    "SOCIAL_PROGRAM",
+    "SUPPLIER_PROGRAM",
+    "TC_PROGRAM",
+    "bom",
+    "books",
+    "chain_family",
+    "generation_family",
+    "leaves_of_chain",
+    "random_family",
+    "random_program",
+    "social_network",
+    "supplies",
+    "tree_family",
+]

@@ -1,0 +1,30 @@
+"""Book-price workloads for the Section 1 set-enumeration example (E10)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.program.rule import Atom
+from repro.terms.term import Const
+
+#: The Section 1 book_deal program: sets of up to three titles whose
+#: total price stays under the budget.  Duplicate titles collapse in
+#: the constructed set, so singleton and doublet deals appear too.
+BOOK_DEAL_PROGRAM = """
+book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz),
+                        Px + Py + Pz < 100.
+"""
+
+#: Pair variant used for larger sweeps (the triple join is cubic).
+BOOK_PAIR_PROGRAM = """
+book_pair({X, Y}) <- book(X, Px), book(Y, Py), X != Y, Px + Py < 100.
+"""
+
+
+def books(count: int, max_price: int = 120, seed: int = 0) -> list[Atom]:
+    """``book(title, price)`` facts with uniformly random prices."""
+    rng = random.Random(seed)
+    return [
+        Atom("book", (Const(f"b{i}"), Const(rng.randrange(5, max_price))))
+        for i in range(count)
+    ]

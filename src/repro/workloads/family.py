@@ -1,0 +1,104 @@
+"""Synthetic family workloads for ancestor / same-generation programs.
+
+Deterministic generators (seeded) producing ``parent`` and ``siblings``
+facts at laptop scale, used by experiments E1–E4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.program.rule import Atom
+from repro.terms.term import Const
+
+
+def _person(prefix: str, i: int) -> Const:
+    return Const(f"{prefix}{i}")
+
+
+def _parent(x: Const, y: Const) -> Atom:
+    return Atom("parent", (x, y))
+
+
+def chain_family(length: int, prefix: str = "p") -> list[Atom]:
+    """A single descent line: p0 -> p1 -> ... -> p(length)."""
+    return [
+        _parent(_person(prefix, i), _person(prefix, i + 1))
+        for i in range(length)
+    ]
+
+
+def tree_family(depth: int, fanout: int = 2, prefix: str = "t") -> list[Atom]:
+    """A complete ``fanout``-ary descent tree of the given depth.
+
+    Node ids follow heap numbering: node i has children
+    ``i * fanout + 1 .. i * fanout + fanout``.
+    """
+    facts: list[Atom] = []
+    level_start = 0
+    level_size = 1
+    node = 0
+    for _ in range(depth):
+        for i in range(level_start, level_start + level_size):
+            for c in range(fanout):
+                child = i * fanout + c + 1
+                facts.append(_parent(_person(prefix, i), _person(prefix, child)))
+        level_start = level_start * fanout + 1
+        level_size *= fanout
+    return facts
+
+
+def random_family(
+    people: int, edges: int, seed: int = 0, prefix: str = "r"
+) -> list[Atom]:
+    """Random acyclic parenthood: edges only from lower to higher ids."""
+    rng = random.Random(seed)
+    seen: set[tuple[int, int]] = set()
+    facts: list[Atom] = []
+    attempts = 0
+    while len(facts) < edges and attempts < edges * 20:
+        attempts += 1
+        a = rng.randrange(people - 1)
+        b = rng.randrange(a + 1, people)
+        if (a, b) not in seen:
+            seen.add((a, b))
+            facts.append(_parent(_person(prefix, a), _person(prefix, b)))
+    return facts
+
+
+def generation_family(
+    generations: int,
+    width: int,
+    prefix: str = "g",
+    parent_pred: str = "p",
+    siblings_pred: str = "siblings",
+) -> list[Atom]:
+    """A layered family for same-generation queries (Section 6 names).
+
+    ``width`` people per generation; person j of generation i is a
+    parent of persons j and (j+1) mod width of generation i+1.  The
+    first generation are all mutual siblings, giving the sg base case.
+    Predicate names default to the paper's ``p``/``siblings``.
+    """
+
+    def person(i: int, j: int) -> Const:
+        return Const(f"{prefix}_{i}_{j}")
+
+    facts: list[Atom] = []
+    for i in range(generations - 1):
+        for j in range(width):
+            facts.append(Atom(parent_pred, (person(i, j), person(i + 1, j))))
+            facts.append(
+                Atom(parent_pred, (person(i, j), person(i + 1, (j + 1) % width)))
+            )
+    for j in range(width):
+        for k in range(width):
+            if j != k:
+                facts.append(Atom(siblings_pred, (person(0, j), person(0, k))))
+    return facts
+
+
+def leaves_of_chain(length: int, prefix: str = "p") -> Const:
+    """The youngest member of :func:`chain_family`'s output."""
+    return _person(prefix, length)

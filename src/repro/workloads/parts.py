@@ -1,0 +1,92 @@
+"""Bill-of-materials workloads for the Section 1 parts-explosion program.
+
+Generates ``p(Part, Subpart)`` and ``q(LeafPart, Cost)`` facts forming
+a layered tree: aggregate parts decompose into ``fanout`` subparts for
+``depth`` levels; leaves carry costs.  Costs are integers so the
+expected total cost is exactly computable for verification.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.program.rule import Atom
+from repro.terms.term import Const
+
+
+def bom(depth: int, fanout: int = 2, seed: int = 0) -> tuple[list[Atom], dict[int, int]]:
+    """Build a BOM tree; returns (facts, expected_cost_per_part).
+
+    Part 1 is the root.  Heap numbering: part i has subparts
+    ``i * fanout + k`` for k in 1..fanout, down to ``depth`` levels.
+    """
+    rng = random.Random(seed)
+    facts: list[Atom] = []
+    cost: dict[int, int] = {}
+
+    def build(part: int, level: int) -> int:
+        if level == depth:
+            leaf_cost = rng.randrange(1, 100)
+            facts.append(Atom("q", (Const(part), Const(leaf_cost))))
+            cost[part] = leaf_cost
+            return leaf_cost
+        total = 0
+        for k in range(1, fanout + 1):
+            child = part * fanout + k
+            facts.append(Atom("p", (Const(part), Const(child))))
+            total += build(child, level + 1)
+        cost[part] = total
+        return total
+
+    build(1, 0)
+    return facts, cost
+
+
+#: The paper-faithful parts-explosion program (Section 1), with the
+#: nonempty-partition guards that make the recursive rule safe to run
+#: bottom-up, plus the result projection.
+TC_PROGRAM = """
+part(P, <S>) <- p(P, S).
+tc({X}, C) <- q(X, C).
+tc({X}, C) <- part(X, S), tc(S, C).
+tc(S, C) <- partition(S, S1, S2), S1 != {}, S2 != {},
+            tc(S1, C1), tc(S2, C2), C = C1 + C2.
+result(X, C) <- tc({X}, C).
+"""
+
+#: Scoped variant of the recursive rule: bottom-up, the paper's third
+#: ``tc`` rule unions *any* two disjoint cost sets, deriving a ``tc``
+#: fact for every subset of the whole part space (exponential in the
+#: total part count).  Restricting ``S`` to subsets of some part's
+#: actual subpart set keeps the same answers for ``result`` while
+#: staying exponential only in the *fan-out* — the relevance idea the
+#: paper's Section 6 motivates, hand-applied.
+TC_SCOPED_PROGRAM = """
+part(P, <S>) <- p(P, S).
+tc({X}, C) <- q(X, C).
+tc({X}, C) <- part(X, S), tc(S, C).
+tc(S, C) <- part(P, SS), subset(S, SS), partition(S, S1, S2),
+            S1 != {}, S2 != {}, tc(S1, C1), tc(S2, C2), C = C1 + C2.
+result(X, C) <- tc({X}, C).
+"""
+
+#: Ablation for experiment E6: the same part costs computed with a
+#: purely relational encoding — subparts are chained in id order with
+#: stratified negation, and costs accumulate along the chain.  Linear
+#: in the number of subparts where the paper's partition-based ``tc``
+#: is exponential in the subpart-set size.
+ORDERED_SUM_PROGRAM = """
+haslower(P, X) <- p(P, X), p(P, Y), Y < X.
+firstsub(P, X) <- p(P, X), ~haslower(P, X).
+somebetween(P, X, Y) <- p(P, X), p(P, Y), p(P, Z), X < Z, Z < Y.
+nextsub(P, X, Y) <- p(P, X), p(P, Y), X < Y, ~somebetween(P, X, Y).
+haslarger(P, X) <- p(P, X), p(P, Y), Y > X.
+lastsub(P, X) <- p(P, X), ~haslarger(P, X).
+
+cost(X, C) <- q(X, C).
+prefixcost(P, X, C) <- firstsub(P, X), cost(X, C).
+prefixcost(P, Y, C) <- prefixcost(P, X, C1), nextsub(P, X, Y),
+                       cost(Y, C2), C = C1 + C2.
+cost(P, C) <- lastsub(P, X), prefixcost(P, X, C).
+result2(P, C) <- cost(P, C).
+"""

@@ -1,0 +1,28 @@
+"""Supplier-parts workloads for the Section 1 grouping example (E5)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.program.rule import Atom
+from repro.terms.term import Const
+
+#: The Section 1 grouping program.
+SUPPLIER_PROGRAM = "supplier_parts(S, <P>) <- supplies(S, P)."
+
+
+def supplies(
+    suppliers: int, parts_per_supplier: int, seed: int = 0
+) -> list[Atom]:
+    """``supplies(s, p)`` facts: each supplier gets a random draw of
+    parts (exactly ``parts_per_supplier`` distinct ones)."""
+    rng = random.Random(seed)
+    part_pool = max(suppliers * parts_per_supplier // 2, parts_per_supplier + 1)
+    facts: list[Atom] = []
+    for s in range(suppliers):
+        chosen = rng.sample(range(part_pool), parts_per_supplier)
+        for p in chosen:
+            facts.append(
+                Atom("supplies", (Const(f"s{s}"), Const(f"p{p}")))
+            )
+    return facts

@@ -1,0 +1,12 @@
+"""Shared pytest fixtures for the LDL1 test suite."""
+
+import pytest
+
+
+@pytest.fixture
+def ancestor_program() -> str:
+    return """
+    parent(a, b). parent(b, c). parent(c, d).
+    ancestor(X, Y) <- parent(X, Y).
+    ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+    """

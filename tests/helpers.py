@@ -1,0 +1,18 @@
+"""Shared helpers for the LDL1 test suite."""
+
+from __future__ import annotations
+
+from repro.engine import evaluate
+from repro.parser import parse_program
+from repro.terms.pretty import format_atom
+
+
+def run(src: str, strategy: str = "seminaive", **kwargs):
+    """Parse and evaluate a program, returning the EvaluationResult."""
+    program, _ = parse_program(src)
+    return evaluate(program, strategy=strategy, **kwargs)
+
+
+def facts_of(result, pred: str) -> set[str]:
+    """The extension of one predicate, as formatted strings."""
+    return {format_atom(a) for a in result.database.atoms(pred)}

@@ -1,0 +1,55 @@
+"""Shared hypothesis strategies for LDL1 terms and workloads."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.terms.term import Const, Func, SetVal, Var
+
+#: Symbols drawn from a small pool so collisions (and therefore
+#: interesting set overlaps) are common.
+symbols = st.sampled_from(["a", "b", "c", "d", "foo", "bar"])
+
+scalar_constants = st.one_of(
+    st.integers(min_value=-20, max_value=20).map(Const),
+    symbols.map(Const),
+    st.sampled_from([0.5, 2.5, -1.25]).map(Const),
+)
+
+
+def _extend_ground(children: st.SearchStrategy) -> st.SearchStrategy:
+    functors = st.sampled_from(["f", "g", "pair"])
+    funcs = st.builds(
+        lambda name, args: Func(name, args),
+        functors,
+        st.lists(children, min_size=1, max_size=3),
+    )
+    sets = st.builds(lambda items: SetVal(items), st.lists(children, max_size=4))
+    return funcs | sets
+
+
+#: Arbitrary canonical ground terms (members of the LDL1 universe).
+ground_terms = st.recursive(scalar_constants, _extend_ground, max_leaves=12)
+
+#: Ground sets only.
+ground_sets = st.builds(
+    lambda items: SetVal(items), st.lists(ground_terms, max_size=5)
+)
+
+variables = st.sampled_from(["X", "Y", "Z", "W"]).map(Var)
+
+
+def _extend_pattern(children: st.SearchStrategy) -> st.SearchStrategy:
+    functors = st.sampled_from(["f", "g"])
+    return st.builds(
+        lambda name, args: Func(name, args),
+        functors,
+        st.lists(children, min_size=1, max_size=3),
+    )
+
+
+#: Terms that may contain variables (no set patterns: those are covered
+#: by dedicated tests since their matching is nondeterministic).
+pattern_terms = st.recursive(
+    scalar_constants | variables, _extend_pattern, max_leaves=8
+)

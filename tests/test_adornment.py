@@ -1,0 +1,113 @@
+"""Dedicated unit tests for the adornment pass (repro.magic.adornment)."""
+
+import pytest
+
+from repro.magic import adorn, adorned_name, atom_adornment
+from repro.parser import parse_atom, parse_query, parse_rules
+from repro.terms.term import GroupTerm, Var
+
+
+class TestAtomAdornment:
+    def test_constants_are_bound(self):
+        assert atom_adornment(parse_atom("p(a, X)"), set()) == "bf"
+
+    def test_bound_variables(self):
+        assert atom_adornment(parse_atom("p(X, Y)"), {"X"}) == "bf"
+        assert atom_adornment(parse_atom("p(X, Y)"), {"X", "Y"}) == "bb"
+
+    def test_compound_argument_bound_when_all_vars_bound(self):
+        assert atom_adornment(parse_atom("p(f(X, Y))"), {"X"}) == "f"
+        assert atom_adornment(parse_atom("p(f(X, Y))"), {"X", "Y"}) == "b"
+
+    def test_group_terms_always_free(self):
+        from repro.program.rule import Atom
+
+        atom = Atom("p", (Var("X"), GroupTerm(Var("Y"))))
+        assert atom_adornment(atom, {"X", "Y"}) == "bf"
+
+    def test_zero_arity(self):
+        assert atom_adornment(parse_atom("halt"), set()) == ""
+
+
+class TestAdornedNames:
+    def test_naming_scheme(self):
+        assert adorned_name("anc", "bf") == "anc__bf"
+
+    def test_name_clash_detected(self):
+        from repro.errors import MagicRewriteError
+
+        program = parse_rules("p__bf(X) <- q(X). q(1).")
+        with pytest.raises(MagicRewriteError):
+            adorn(program, parse_query("? p__bf(1)."))
+
+
+class TestDemandPropagation:
+    def test_multiple_adornments_of_one_predicate(self):
+        # anc is demanded both bf (outer) and bb (via the join below)
+        program = parse_rules(
+            """
+            anc(X, Y) <- e(X, Y).
+            anc(X, Y) <- e(X, Z), anc(Z, Y).
+            twice(X, Y) <- anc(X, Y), anc(Y, X).
+            """
+        )
+        adorned = adorn(program, parse_query("? twice(a, Y)."))
+        heads = {ar.rule.head.pred for ar in adorned.rules}
+        assert "anc__bf" in heads
+        assert "anc__bb" in heads
+
+    def test_unreachable_rules_dropped(self):
+        program = parse_rules(
+            """
+            anc(X, Y) <- e(X, Y).
+            unrelated(X) <- f(X).
+            """
+        )
+        adorned = adorn(program, parse_query("? anc(a, Y)."))
+        heads = {ar.rule.head.pred for ar in adorned.rules}
+        assert heads == {"anc__bf"}
+
+    def test_facts_of_idb_predicates_adorned(self):
+        program = parse_rules(
+            """
+            anc(seed, root).
+            anc(X, Y) <- e(X, Y).
+            """
+        )
+        adorned = adorn(program, parse_query("? anc(seed, Y)."))
+        fact_rules = [ar for ar in adorned.rules if not ar.rule.body]
+        assert fact_rules
+        assert fact_rules[0].rule.head.pred == "anc__bf"
+
+    def test_builtin_modes_propagate_bindings(self):
+        program = parse_rules(
+            """
+            cost(X, C) <- base(X, B), C = B + 1, ref(C, X).
+            ref(C, X) <- limits(C, X).
+            """
+        )
+        adorned = adorn(program, parse_query("? cost(a, C)."))
+        cost_rules = [
+            ar for ar in adorned.rules if ar.rule.head.pred.startswith("cost")
+        ]
+        [rule] = cost_rules
+        # after `C = B + 1`, C is bound; ref is demanded as bb.
+        ref_index = next(
+            i
+            for i, lit in enumerate(rule.rule.body)
+            if lit.atom.pred.startswith("ref")
+        )
+        assert rule.body_adornments[ref_index] == "bb"
+
+    def test_prefix_bound_recorded(self):
+        program = parse_rules("p(X, Y) <- e(X, Z), f(Z, Y).")
+        adorned = adorn(program, parse_query("? p(a, Y)."))
+        [ar] = adorned.rules
+        assert ar.prefix_bound[0] == frozenset({"X"})
+        assert ar.prefix_bound[1] == frozenset({"X", "Z"})
+
+    def test_query_adornment_field(self):
+        program = parse_rules("g(K, <V>) <- e(K, V).")
+        adorned = adorn(program, parse_query("? g(a, {1})."))
+        # the grouped position is forced free even though {1} is ground
+        assert adorned.query_adornment == "bf"

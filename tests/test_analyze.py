@@ -1,0 +1,104 @@
+"""Tests for static program analysis (repro.program.analyze)."""
+
+from repro.parser import parse_rules
+from repro.program.analyze import analyze
+
+PROGRAM = parse_rules(
+    """
+    parent(a, b). parent(b, c).
+    anc(X, Y) <- parent(X, Y).
+    anc(X, Y) <- parent(X, Z), anc(Z, Y).
+    has_kid(X) <- parent(X, _).
+    lonely(X) <- anc(_, X), ~has_kid(X).
+    kids(P, <C>) <- parent(P, C), card({1}, N), N = 1.
+    """
+)
+
+
+class TestAnalyze:
+    def test_counts(self):
+        report = analyze(PROGRAM)
+        assert report.rule_count == 7
+        assert report.fact_count == 2
+        assert report.grouping_rules == 1
+        assert report.negated_literals == 1
+        assert report.builtin_literals == 2
+
+    def test_predicate_roles(self):
+        report = analyze(PROGRAM)
+        assert report.predicates["parent"].kind == "edb"
+        assert report.predicates["anc"].kind == "idb"
+        assert report.predicates["parent"].arity == 2
+        assert report.predicates["parent"].fact_count == 2
+        assert report.predicates["anc"].rule_count == 2
+
+    def test_negated_and_grouped_usage(self):
+        report = analyze(PROGRAM)
+        assert report.predicates["has_kid"].negated_uses == 1
+        assert report.predicates["parent"].grouped_over
+
+    def test_layers_match_stratify(self):
+        report = analyze(PROGRAM)
+        assert report.predicates["lonely"].layer > report.predicates["has_kid"].layer
+        assert report.predicates["kids"].layer > report.predicates["parent"].layer
+
+    def test_recursive_components(self):
+        report = analyze(PROGRAM)
+        assert frozenset({"anc"}) in report.recursive_components
+
+    def test_mutual_recursion_component(self):
+        program = parse_rules(
+            """
+            even(X) <- z(X).
+            even(X) <- s(X, Y), odd(Y).
+            odd(X) <- s(X, Y), even(Y).
+            """
+        )
+        report = analyze(program)
+        assert frozenset({"even", "odd"}) in report.recursive_components
+
+    def test_format_is_readable(self):
+        text = analyze(PROGRAM).format()
+        assert "7 rules" in text
+        assert "layer 0" in text
+        assert "anc/2" in text
+        assert "recursive components" in text
+
+    def test_empty_program(self):
+        report = analyze(parse_rules(""))
+        assert report.rule_count == 0
+        assert report.recursive_components == []
+
+
+class TestCliIntegration:
+    def test_check_uses_report(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        path = tmp_path / "p.ldl"
+        path.write_text(
+            "anc(X, Y) <- parent(X, Y). anc(X, Y) <- parent(X, Z), anc(Z, Y)."
+        )
+        out = io.StringIO()
+        assert run(["--check", str(path)], out=out) == 0
+        text = out.getvalue()
+        assert "anc/2" in text
+        assert "recursive components" in text
+
+    def test_magic_plan_flag(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        path = tmp_path / "p.ldl"
+        path.write_text(
+            "parent(a, b). anc(X, Y) <- parent(X, Y). "
+            "anc(X, Y) <- parent(X, Z), anc(Z, Y)."
+        )
+        out = io.StringIO()
+        code = run([str(path), "--magic-plan", "? anc(a, X)."], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "[magic]" in text
+        assert "m_anc__bf(a)" in text

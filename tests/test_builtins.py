@@ -1,0 +1,234 @@
+"""Tests for built-in predicates (repro.engine.builtins, paper §2.2)."""
+
+import pytest
+
+from repro.engine.builtins import solve_builtin
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_term
+from repro.terms.term import Const, SetVal, mkset
+
+
+def solve(src, binding=None):
+    atom = parse_atom(src)
+    return list(solve_builtin(atom.pred, atom.args, binding or {}))
+
+
+class TestMember:
+    def test_enumerates_elements(self):
+        bindings = solve("member(X, {1, 2, 3})")
+        assert {b["X"].value for b in bindings} == {1, 2, 3}
+
+    def test_tests_membership(self):
+        assert solve("member(2, {1, 2})")
+        assert not solve("member(5, {1, 2})")
+
+    def test_member_of_empty_set(self):
+        assert not solve("member(X, {})")
+
+    def test_member_of_non_set_false(self):
+        # Section 2.2: member is false when S is not a set.
+        assert not solve("member(X, S)", {"S": Const(3)})
+
+    def test_unbound_set_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("member(1, S)")
+
+
+class TestUnion:
+    def test_computes_union(self):
+        [b] = solve("union({1}, {2}, S)")
+        assert b["S"] == parse_term("{1, 2}")
+
+    def test_tests_union(self):
+        assert solve("union({1}, {2}, {1, 2})")
+        assert not solve("union({1}, {2}, {1, 2, 3})")
+
+    def test_overlapping_operands(self):
+        [b] = solve("union({1, 2}, {2, 3}, S)")
+        assert b["S"] == parse_term("{1, 2, 3}")
+
+    def test_decomposes_bound_union(self):
+        bindings = solve("union(A, B, {1, 2})")
+        pairs = {
+            (frozenset(e.value for e in b["A"]), frozenset(e.value for e in b["B"]))
+            for b in bindings
+        }
+        # every cover of {1,2} appears
+        assert (frozenset({1}), frozenset({2})) in pairs
+        assert (frozenset({1, 2}), frozenset({1, 2})) in pairs
+        assert all(a | b == frozenset({1, 2}) for a, b in pairs)
+
+    def test_completes_missing_operand(self):
+        bindings = solve("union({1}, B, {1, 2})")
+        options = {frozenset(e.value for e in b["B"]) for b in bindings}
+        assert options == {frozenset({2}), frozenset({1, 2})}
+
+    def test_operand_not_subset_fails(self):
+        assert not solve("union({5}, B, {1, 2})")
+
+
+class TestPartition:
+    def test_enumerates_disjoint_splits(self):
+        bindings = solve("partition({1, 2}, A, B)")
+        pairs = {
+            (frozenset(e.value for e in b["A"]), frozenset(e.value for e in b["B"]))
+            for b in bindings
+        }
+        assert pairs == {
+            (frozenset(), frozenset({1, 2})),
+            (frozenset({1}), frozenset({2})),
+            (frozenset({2}), frozenset({1})),
+            (frozenset({1, 2}), frozenset()),
+        }
+
+    def test_recomposes_from_parts(self):
+        [b] = solve("partition(S, {1}, {2})")
+        assert b["S"] == parse_term("{1, 2}")
+
+    def test_rejects_overlapping_parts(self):
+        assert not solve("partition(S, {1, 2}, {2})")
+
+    def test_all_bound_test(self):
+        assert solve("partition({1, 2}, {1}, {2})")
+        assert not solve("partition({1, 2}, {1}, {1, 2})")
+
+
+class TestSubsetCard:
+    def test_subset_test(self):
+        assert solve("subset({1}, {1, 2})")
+        assert not solve("subset({3}, {1, 2})")
+
+    def test_subset_enumeration(self):
+        bindings = solve("subset(S, {1, 2})")
+        assert len(bindings) == 4
+
+    def test_empty_set_subset_of_all(self):
+        assert solve("subset({}, {})")
+
+    def test_card(self):
+        [b] = solve("card({1, 2, 3}, N)")
+        assert b["N"] == Const(3)
+
+    def test_card_test(self):
+        assert solve("card({}, 0)")
+        assert not solve("card({1}, 2)")
+
+
+class TestEqualityAndComparisons:
+    def test_eq_binds_left(self):
+        [b] = solve("X = 1 + 2")
+        assert b["X"] == Const(3)
+
+    def test_eq_binds_right(self):
+        [b] = solve("3 = X")
+        assert b["X"] == Const(3)
+
+    def test_eq_decomposes_set(self):
+        bindings = solve("{X | R} = {1, 2}")
+        assert len(bindings) == 2
+
+    def test_eq_both_bound(self):
+        assert solve("1 + 1 = 2")
+        assert not solve("1 + 1 = 3")
+
+    def test_eq_unbound_both_sides_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("X = Y")
+
+    def test_ne(self):
+        assert solve("1 != 2")
+        assert not solve("2 != 2")
+
+    def test_ne_on_sets(self):
+        assert solve("{1} != {}")
+
+    def test_comparisons_numeric(self):
+        assert solve("1 < 2")
+        assert solve("2 <= 2")
+        assert solve("3 > 2")
+        assert solve("3 >= 3")
+        assert not solve("2 < 1")
+
+    def test_comparisons_strings(self):
+        assert solve("a < b")
+
+    def test_mixed_comparison_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("a < 1")
+
+    def test_comparison_of_sets_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("{1} < {2}")
+
+    def test_int_float_comparison_ok(self):
+        assert solve("1 < 1.5")
+
+
+class TestEnumerationCap:
+    def test_subset_enumeration_cap(self):
+        big = SetVal([Const(i) for i in range(25)])
+        with pytest.raises(EvaluationError):
+            solve("subset(S, B)", {"B": big})
+
+    def test_unknown_builtin(self):
+        with pytest.raises(EvaluationError):
+            list(solve_builtin("frobnicate", (), {}))
+
+
+class TestSetAlgebraExtensions:
+    def test_intersection(self):
+        [b] = solve("intersection({1, 2, 3}, {2, 3, 4}, S)")
+        assert b["S"] == parse_term("{2, 3}")
+
+    def test_intersection_test_mode(self):
+        assert solve("intersection({1, 2}, {2}, {2})")
+        assert not solve("intersection({1, 2}, {2}, {1})")
+
+    def test_intersection_disjoint(self):
+        [b] = solve("intersection({1}, {2}, S)")
+        assert b["S"] == SetVal()
+
+    def test_difference(self):
+        [b] = solve("difference({1, 2, 3}, {2}, S)")
+        assert b["S"] == parse_term("{1, 3}")
+
+    def test_difference_of_non_set_false(self):
+        assert not solve("difference(S, {1}, R)", {"S": Const(3)})
+
+    def test_sum(self):
+        [b] = solve("sum({1, 2, 3}, N)")
+        assert b["N"] == Const(6)
+
+    def test_sum_empty_is_zero(self):
+        [b] = solve("sum({}, N)")
+        assert b["N"] == Const(0)
+
+    def test_sum_floats(self):
+        [b] = solve("sum({1.5, 2.5}, N)")
+        assert b["N"] == Const(4.0)
+
+    def test_sum_non_numeric_raises(self):
+        with pytest.raises(EvaluationError):
+            solve("sum({a, b}, N)")
+
+    def test_min_max(self):
+        [b] = solve("min_of({3, 1, 2}, N)")
+        assert b["N"] == Const(1)
+        [b] = solve("max_of({3, 1, 2}, N)")
+        assert b["N"] == Const(3)
+
+    def test_min_of_empty_fails(self):
+        assert not solve("min_of({}, N)")
+
+    def test_aggregates_in_rules(self):
+        from tests.helpers import facts_of, run
+
+        result = run(
+            """
+            bag(a, {1, 2, 3}). bag(b, {10}).
+            total(K, N) <- bag(K, S), sum(S, N).
+            spread(K, D) <- bag(K, S), min_of(S, L), max_of(S, H), D = H - L.
+            """
+        )
+        assert facts_of(result, "total") == {"total(a, 6)", "total(b, 10)"}
+        assert facts_of(result, "spread") == {"spread(a, 2)", "spread(b, 0)"}

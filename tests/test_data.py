@@ -1,0 +1,177 @@
+"""Tests for delimited-file data loading (repro.data)."""
+
+import pytest
+
+from repro import LDL
+from repro.data import dump_delimited, load_delimited, parse_cell
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_term
+from repro.terms.term import Const, SetVal
+
+
+class TestParseCell:
+    def test_integers(self):
+        assert parse_cell("42") == Const(42)
+        assert parse_cell("-3") == Const(-3)
+
+    def test_floats(self):
+        assert parse_cell("2.5") == Const(2.5)
+
+    def test_symbols(self):
+        assert parse_cell("john") == Const("john")
+        assert parse_cell("New York") == Const("New York")
+
+    def test_whitespace_trimmed(self):
+        assert parse_cell("  bob  ") == Const("bob")
+
+    def test_sets(self):
+        assert parse_cell("{1; 2; 3}") == parse_term("{1, 2, 3}")
+        assert parse_cell("{}") == SetVal()
+        assert parse_cell("{a; b}") == parse_term("{a, b}")
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(EvaluationError):
+            parse_cell("")
+
+
+class TestLoadDelimited:
+    def test_csv(self, tmp_path):
+        path = tmp_path / "parent.csv"
+        path.write_text("ann,bob\nbob,carl\n")
+        atoms = load_delimited(path, "parent")
+        assert atoms == [
+            parse_atom("parent(ann, bob)"),
+            parse_atom("parent(bob, carl)"),
+        ]
+
+    def test_tsv_by_extension(self, tmp_path):
+        path = tmp_path / "edge.tsv"
+        path.write_text("1\t2\n2\t3\n")
+        atoms = load_delimited(path, "edge")
+        assert atoms == [parse_atom("edge(1, 2)"), parse_atom("edge(2, 3)")]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("# header comment\na,1\n\n  ,\nb,2\n")
+        atoms = load_delimited(path, "d")
+        assert len(atoms) == 2
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,1\nb\n")
+        with pytest.raises(EvaluationError):
+            load_delimited(path, "bad")
+
+    def test_set_cells(self, tmp_path):
+        path = tmp_path / "stock.csv"
+        path.write_text("east,{bolts; nuts}\nnorth,{}\n")
+        atoms = load_delimited(path, "stock")
+        assert atoms[0] == parse_atom("stock(east, {bolts, nuts})")
+        assert atoms[1] == parse_atom("stock(north, {})")
+
+    def test_end_to_end_with_session(self, tmp_path):
+        path = tmp_path / "parent.csv"
+        path.write_text("ann,bob\nbob,carl\n")
+        db = LDL(
+            """
+            anc(X, Y) <- parent(X, Y).
+            anc(X, Y) <- parent(X, Z), anc(Z, Y).
+            """
+        ).add_atoms(load_delimited(path, "parent"))
+        assert db.query("? anc(ann, X).") == [{"X": "bob"}, {"X": "carl"}]
+
+
+class TestDumpDelimited:
+    def test_roundtrip(self, tmp_path):
+        facts = [
+            parse_atom("stock(east, {bolts, nuts})"),
+            parse_atom("stock(west, {})"),
+            parse_atom("count(east, 2)"),
+        ]
+        path = tmp_path / "out.csv"
+        count = dump_delimited(facts[:2], path)
+        assert count == 2
+        reloaded = load_delimited(path, "stock")
+        assert reloaded == facts[:2]
+
+    def test_cli_edb_flag(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        data = tmp_path / "parent.csv"
+        data.write_text("ann,bob\nbob,carl\n")
+        rules = tmp_path / "rules.ldl"
+        rules.write_text(
+            """
+            anc(X, Y) <- parent(X, Y).
+            anc(X, Y) <- parent(X, Z), anc(Z, Y).
+            ? anc(ann, X).
+            """
+        )
+        out = io.StringIO()
+        code = run([str(rules), "--edb", f"parent={data}"], out=out)
+        assert code == 0
+        assert "X = 'carl'" in out.getvalue()
+
+    def test_cli_explain_flag(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        rules = tmp_path / "rules.ldl"
+        rules.write_text(
+            """
+            parent(ann, bob). parent(bob, carl).
+            anc(X, Y) <- parent(X, Y).
+            anc(X, Y) <- parent(X, Z), anc(Z, Y).
+            """
+        )
+        out = io.StringIO()
+        code = run([str(rules), "--explain", "anc(ann, carl)"], out=out)
+        assert code == 0
+        assert "parent(bob, carl)" in out.getvalue()
+
+
+class TestCliSave:
+    def test_save_computed_extension(self, tmp_path):
+        import io
+
+        from repro.cli import run
+
+        rules = tmp_path / "rules.ldl"
+        rules.write_text(
+            """
+            parent(ann, bob). parent(bob, carl).
+            anc(X, Y) <- parent(X, Y).
+            anc(X, Y) <- parent(X, Z), anc(Z, Y).
+            """
+        )
+        out_file = tmp_path / "anc.csv"
+        out = io.StringIO()
+        code = run([str(rules), "--save", f"anc={out_file}"], out=out)
+        assert code == 0
+        assert "wrote 3 anc rows" in out.getvalue()
+        reloaded = load_delimited(out_file, "anc")
+        assert parse_atom("anc(ann, carl)") in reloaded
+
+    def test_pipeline_roundtrip(self, tmp_path):
+        # load CSV -> derive -> save CSV -> load again -> same extension
+        import io
+
+        from repro.cli import run
+
+        data = tmp_path / "edges.csv"
+        data.write_text("1,2\n2,3\n3,4\n")
+        rules = tmp_path / "tc.ldl"
+        rules.write_text(
+            "t(X, Y) <- e(X, Y). t(X, Y) <- e(X, Z), t(Z, Y)."
+        )
+        saved = tmp_path / "t.csv"
+        out = io.StringIO()
+        code = run(
+            [str(rules), "--edb", f"e={data}", "--save", f"t={saved}"],
+            out=out,
+        )
+        assert code == 0
+        assert len(load_delimited(saved, "t")) == 6

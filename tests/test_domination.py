@@ -1,0 +1,129 @@
+"""Tests for domination orders (repro.terms.domination, paper §2.4)."""
+
+from repro.program.rule import Atom
+from repro.terms.domination import (
+    element_dominated,
+    fact_dominated,
+    factset_dominated,
+)
+from repro.terms.term import Const, Func, mkset
+
+
+def atom(pred, *args):
+    return Atom(pred, args)
+
+
+class TestBasicFactDomination:
+    def test_equal_facts_dominate(self):
+        a = atom("p", Const(1), mkset([Const(1)]))
+        assert fact_dominated(a, a)
+
+    def test_subset_argument(self):
+        small = atom("p", mkset([Const(1)]))
+        large = atom("p", mkset([Const(1), Const(2)]))
+        assert fact_dominated(small, large)
+        assert not fact_dominated(large, small)
+
+    def test_non_set_argument_must_be_equal(self):
+        assert not fact_dominated(atom("p", Const(1)), atom("p", Const(2)))
+
+    def test_different_predicates_incomparable(self):
+        assert not fact_dominated(atom("p", Const(1)), atom("q", Const(1)))
+
+    def test_different_arities_incomparable(self):
+        assert not fact_dominated(
+            atom("p", Const(1)), atom("p", Const(1), Const(2))
+        )
+
+    def test_mixed_arguments(self):
+        small = atom("p", Const("a"), mkset([Const(1)]))
+        large = atom("p", Const("a"), mkset([Const(1), Const(2)]))
+        assert fact_dominated(small, large)
+
+    def test_paper_example_2_4(self):
+        # M2 - M1 = {p({1})} <= {p({1,2}), q(1)} = M1 - M2.
+        m2_minus_m1 = [atom("p", mkset([Const(1)]))]
+        m1_minus_m2 = [
+            atom("p", mkset([Const(1), Const(2)])),
+            atom("q", Const(2)),
+        ]
+        assert factset_dominated(m2_minus_m1, m1_minus_m2)
+        assert not factset_dominated(m1_minus_m2, m2_minus_m1)
+
+
+class TestElaborateElementDomination:
+    def test_reflexive(self):
+        t = Func("f", [mkset([Const(1)])])
+        assert element_dominated(t, t)
+
+    def test_functor_argwise(self):
+        small = Func("f", [mkset([Const(1)])])
+        large = Func("f", [mkset([Const(1), Const(2)])])
+        assert element_dominated(small, large)
+
+    def test_set_coverage(self):
+        # every element of the smaller set dominated by one of the larger
+        small = mkset([mkset([Const(1)])])
+        large = mkset([mkset([Const(1), Const(2)])])
+        assert element_dominated(small, large)
+
+    def test_constants_incomparable_unless_equal(self):
+        assert not element_dominated(Const(1), Const(2))
+
+    def test_functor_mismatch(self):
+        assert not element_dominated(
+            Func("f", [Const(1)]), Func("g", [Const(1)])
+        )
+
+    def test_elaborate_fact_domination(self):
+        small = atom("p", Func("f", [mkset([Const(1)])]))
+        large = atom("p", Func("f", [mkset([Const(1), Const(2)])]))
+        assert fact_dominated(small, large, elaborate=True)
+        # basic domination requires equality for non-set arguments:
+        assert not fact_dominated(small, large, elaborate=False)
+
+
+class TestFactsetDomination:
+    def test_empty_set_always_dominated(self):
+        assert factset_dominated([], [atom("p", Const(1))])
+        assert factset_dominated([], [])
+
+    def test_larger_set_cannot_be_dominated_by_smaller(self):
+        a = [atom("p", Const(1)), atom("q", Const(1))]
+        b = [atom("p", Const(1))]
+        assert not factset_dominated(a, b)
+
+    def test_injective_matching_required(self):
+        # Two facts both only dominated by the same single target fact:
+        # the matching must be injective, so domination fails.
+        a = [
+            atom("p", mkset([Const(1)])),
+            atom("p", mkset([Const(2)])),
+        ]
+        b = [atom("p", mkset([Const(1), Const(2)]))]
+        assert not factset_dominated(a, b)
+
+    def test_matching_found_with_two_targets(self):
+        a = [
+            atom("p", mkset([Const(1)])),
+            atom("p", mkset([Const(2)])),
+        ]
+        b = [
+            atom("p", mkset([Const(1), Const(3)])),
+            atom("p", mkset([Const(2), Const(3)])),
+        ]
+        assert factset_dominated(a, b)
+
+    def test_cross_matching(self):
+        # a1 fits only b2, a2 fits b1 and b2 — matching must route a2 to b1.
+        a1 = atom("p", mkset([Const(1), Const(2)]))
+        a2 = atom("p", mkset([Const(1)]))
+        b1 = atom("p", mkset([Const(1), Const(3)]))
+        b2 = atom("p", mkset([Const(1), Const(2), Const(3)]))
+        assert factset_dominated([a1, a2], [b1, b2])
+
+    def test_custom_dominates_predicate(self):
+        a = [atom("p", Const(1))]
+        b = [atom("p", Const(2))]
+        assert factset_dominated(a, b, dominates=lambda x, y: True)
+        assert not factset_dominated(a, b)

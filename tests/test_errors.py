@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and error reporting quality."""
+
+import pytest
+
+from repro import LDLError
+from repro.errors import (
+    EvaluationError,
+    LexerError,
+    MagicRewriteError,
+    NotAdmissibleError,
+    NotInUniverseError,
+    ParseError,
+    SafetyError,
+    WellFormednessError,
+)
+from repro.parser import parse_program, parse_rules
+from repro.program.stratify import stratify
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            EvaluationError,
+            MagicRewriteError,
+            NotAdmissibleError,
+            NotInUniverseError,
+            SafetyError,
+            WellFormednessError,
+        ],
+    )
+    def test_all_derive_from_ldl_error(self, exc_type):
+        assert issubclass(exc_type, LDLError)
+
+    def test_safety_is_wellformedness(self):
+        assert issubclass(SafetyError, WellFormednessError)
+
+    def test_lexer_and_parse_errors_carry_positions(self):
+        with pytest.raises(LexerError) as info:
+            parse_program("p(@).")
+        assert info.value.line == 1
+        assert info.value.column == 3
+        with pytest.raises(ParseError) as info:
+            parse_program("p(1\nq(2).")
+        assert info.value.line == 2
+
+
+class TestErrorMessages:
+    def test_not_admissible_names_cycle(self):
+        program = parse_rules("p(X) <- b(X), ~q(X). q(X) <- b(X), ~p(X).")
+        with pytest.raises(NotAdmissibleError) as info:
+            stratify(program)
+        assert set(info.value.cycle) == {"p", "q"}
+        assert "p" in str(info.value)
+
+    def test_safety_error_names_variables(self):
+        from repro.program.wellformed import check_rule_safe
+        from repro.parser import parse_rule
+
+        with pytest.raises(SafetyError) as info:
+            check_rule_safe(parse_rule("p(X, Y) <- q(X)."))
+        assert "Y" in str(info.value)
+
+    def test_wellformed_error_shows_rule(self):
+        from repro.program.wellformed import check_rule_wellformed
+        from repro.parser import parse_rule
+
+        with pytest.raises(WellFormednessError) as info:
+            check_rule_wellformed(parse_rule("p(<X>, <Y>) <- q(X, Y)."))
+        assert "<X>" in str(info.value) or "grouping" in str(info.value)
+
+    def test_catch_all_at_api_boundary(self):
+        from repro import LDL
+
+        db = LDL("p(X) <- b(X), ~p(X). b(1).")
+        with pytest.raises(LDLError):
+            db.query("? p(X).")
+
+    def test_lexer_error_message_mentions_character(self):
+        with pytest.raises(LexerError) as info:
+            parse_program("p(a) <- q($).")
+        assert "$" in str(info.value)

@@ -1,0 +1,108 @@
+"""Tests for derivation trees / provenance (repro.engine.explain)."""
+
+from repro import LDL
+from repro.engine import evaluate
+from repro.engine.explain import explain
+from repro.parser import parse_atom, parse_program
+from repro.terms.pretty import format_atom
+
+FAMILY = """
+parent(ann, bob). parent(bob, carl). parent(carl, dee).
+person(ann). person(bob). person(carl). person(dee).
+anc(X, Y) <- parent(X, Y).
+anc(X, Y) <- parent(X, Z), anc(Z, Y).
+excl(X, Y, Z) <- anc(X, Y), person(Z), ~anc(X, Z).
+children(P, <C>) <- parent(P, C).
+"""
+
+
+def session():
+    return LDL(FAMILY)
+
+
+class TestPlainDerivations:
+    def test_base_fact(self):
+        d = session().explain("parent(ann, bob)")
+        assert d is not None
+        assert d.is_base()
+        assert d.depth() == 1
+
+    def test_one_step(self):
+        d = session().explain("anc(ann, bob)")
+        assert d.rule is not None
+        assert [format_atom(p.fact) for p in d.premises] == ["parent(ann, bob)"]
+
+    def test_recursive_chain_depth(self):
+        d = session().explain("anc(ann, dee)")
+        assert d.depth() == 4  # anc -> anc -> anc -> parent
+
+    def test_absent_fact_returns_none(self):
+        assert session().explain("anc(dee, ann)") is None
+
+    def test_unknown_fact_returns_none(self):
+        assert session().explain("anc(nobody, ann)") is None
+
+    def test_every_model_fact_explainable(self):
+        db = session()
+        program = db.program
+        model = db.database()
+        for fact in model.sorted_atoms():
+            derivation = explain(program, model, fact)
+            assert derivation is not None, format_atom(fact)
+
+    def test_premises_are_model_facts(self):
+        db = session()
+        d = db.explain("anc(ann, dee)")
+        model = db.database()
+        stack = [d]
+        while stack:
+            node = stack.pop()
+            assert node.fact in model
+            stack.extend(node.premises)
+
+
+class TestNegationAndGrouping:
+    def test_negative_premise_recorded_as_absence(self):
+        d = session().explain("excl(bob, carl, ann)")
+        assert parse_atom("anc(bob, ann)") in d.absences
+
+    def test_grouping_premises_cover_all_elements(self):
+        db = LDL(
+            "children(P, <C>) <- parent(P, C)."
+            "parent(a, b). parent(a, c)."
+        )
+        d = db.explain("children(a, {b, c})")
+        premise_facts = {format_atom(p.fact) for p in d.premises}
+        assert premise_facts == {"parent(a, b)", "parent(a, c)"}
+
+    def test_wrong_group_set_not_explainable(self):
+        db = LDL(
+            "children(P, <C>) <- parent(P, C). parent(a, b). parent(a, c)."
+        )
+        assert db.explain("children(a, {b})") is None
+
+
+class TestFormatting:
+    def test_format_is_indented_tree(self):
+        text = session().explain("anc(ann, carl)").format()
+        lines = text.splitlines()
+        assert lines[0].startswith("anc(ann, carl)")
+        assert any(line.startswith("  ") for line in lines)
+        assert "parent(bob, carl)" in text
+
+    def test_size_counts_nodes(self):
+        d = session().explain("anc(ann, carl)")
+        assert d.size() == 4  # anc(ann,carl), parent(ann,bob), anc(bob,carl), parent(bob,carl)
+
+    def test_repr(self):
+        d = session().explain("anc(ann, bob)")
+        assert "anc(ann, bob)" in repr(d)
+
+
+class TestEdbUnderRulePredicate:
+    def test_edb_loaded_fact_is_base(self):
+        program, _ = parse_program("anc(X, Y) <- parent(X, Y). parent(a, b).")
+        result = evaluate(program, edb=[parse_atom("anc(x0, y0)")])
+        derivation = explain(program, result.database, parse_atom("anc(x0, y0)"))
+        assert derivation is not None
+        assert derivation.is_base()

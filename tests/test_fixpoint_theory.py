@@ -1,0 +1,107 @@
+"""Tests for the classical T_P operator and its LDL1 failure modes."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import evaluate
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_rules
+from repro.semantics.fixpoint_theory import (
+    is_monotone_on,
+    lfp,
+    tp,
+    tp_with_grouping,
+)
+
+SIMPLE = parse_rules(
+    """
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- e(X, Z), t(Z, Y).
+    """
+)
+
+
+def atoms(*sources):
+    return frozenset(parse_atom(s) for s in sources)
+
+
+class TestTp:
+    def test_one_step(self):
+        result = tp(SIMPLE, atoms("e(1, 2)"))
+        assert parse_atom("t(1, 2)") in result
+
+    def test_facts_included(self):
+        program = parse_rules("p(1). q(X) <- p(X).")
+        result = tp(program, frozenset())
+        assert parse_atom("p(1)") in result
+
+    def test_rejects_negation(self):
+        program = parse_rules("p(X) <- q(X), ~r(X).")
+        with pytest.raises(EvaluationError):
+            tp(program, frozenset())
+
+    def test_rejects_grouping(self):
+        program = parse_rules("g(<X>) <- q(X).")
+        with pytest.raises(EvaluationError):
+            tp(program, frozenset())
+
+    def test_lfp_equals_engine_for_simple_programs(self):
+        base = atoms("e(1, 2)", "e(2, 3)", "e(3, 4)")
+        fixpoint = lfp(SIMPLE, base)
+        engine = evaluate(SIMPLE, edb=base).database.as_set()
+        assert fixpoint == engine
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            max_size=12,
+            unique=True,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_monotonicity_property(self, pairs):
+        from repro.program.rule import Atom
+        from repro.terms.term import Const
+
+        base = frozenset(
+            Atom("e", (Const(a), Const(b))) for a, b in pairs
+        )
+        smaller = frozenset(list(base)[: len(base) // 2])
+        assert is_monotone_on(SIMPLE, smaller, base)
+
+    def test_monotone_requires_comparable(self):
+        with pytest.raises(ValueError):
+            is_monotone_on(SIMPLE, atoms("e(1, 2)"), atoms("e(3, 4)"))
+
+
+class TestGroupingBreaksTheLattice:
+    PROGRAM = parse_rules("g(<X>) <- q(X).")
+
+    def test_not_monotone(self):
+        # growing the input *changes* the grouped set: the old output is
+        # not a subset of the new one.
+        small = tp_with_grouping(self.PROGRAM, atoms("q(1)"))
+        large = tp_with_grouping(self.PROGRAM, atoms("q(1)", "q(2)"))
+        assert parse_atom("g({1})") in small
+        assert parse_atom("g({1})") not in large  # replaced by g({1,2})
+        assert not small <= large
+
+    def test_naive_iteration_diverges_on_russell_program(self):
+        # p(<X>) <- p(X), p(1): each application grows the grouped set —
+        # no fixpoint exists (the paper's no-model example).
+        program = parse_rules("p(<X>) <- p(X).")
+        current = atoms("p(1)")
+        seen = set()
+        for _ in range(5):
+            step = frozenset(current | tp_with_grouping(program, current))
+            assert step != current  # never stabilizes
+            assert step not in seen
+            seen.add(step)
+            current = step
+
+    def test_rejects_negation(self):
+        program = parse_rules("p(X) <- q(X), ~r(X).")
+        with pytest.raises(EvaluationError):
+            tp_with_grouping(program, frozenset())

@@ -1,0 +1,101 @@
+"""Unit tests for grouping-rule evaluation (repro.engine.grouping)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.grouping import apply_grouping_rule, apply_grouping_rules
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_rule
+from repro.terms.pretty import format_atom
+
+
+def db_of(*sources):
+    return Database(parse_atom(s) for s in sources)
+
+
+def derived(rule_src, *facts):
+    rule = parse_rule(rule_src)
+    return {format_atom(a) for a in apply_grouping_rule(rule, db_of(*facts))}
+
+
+class TestApplyGroupingRule:
+    def test_basic_grouping(self):
+        assert derived(
+            "g(K, <V>) <- e(K, V).", "e(a, 1)", "e(a, 2)", "e(b, 3)"
+        ) == {"g(a, {1, 2})", "g(b, {3})"}
+
+    def test_group_position_first(self):
+        assert derived(
+            "g(<V>, K) <- e(K, V).", "e(a, 1)", "e(a, 2)"
+        ) == {"g({1, 2}, a)"}
+
+    def test_zero_other_args(self):
+        assert derived("g(<V>) <- e(_, V).", "e(a, 1)", "e(b, 2)") == {
+            "g({1, 2})"
+        }
+
+    def test_empty_body_solutions_yield_nothing(self):
+        assert derived("g(K, <V>) <- e(K, V).") == set()
+
+    def test_duplicate_values_collapse(self):
+        assert derived(
+            "g(K, <V>) <- e(K, V, _).", "e(a, 1, x)", "e(a, 1, y)"
+        ) == {"g(a, {1})"}
+
+    def test_key_is_interpreted_term(self):
+        # keys are equivalence classes of *interpreted* head terms (§3.2)
+        assert derived(
+            "g(K + 0, <V>) <- e(K, V).", "e(1, a)", "e(1.0, b)"
+        ) == {"g(1, {a})", "g(1.0, {b})"}
+
+    def test_arithmetic_key_merges_classes(self):
+        assert derived(
+            "g(K * K, <V>) <- e(K, V).", "e(2, a)", "e(-2, b)"
+        ) == {"g(4, {a, b})"}
+
+    def test_functor_key(self):
+        assert derived(
+            "g(f(K), <V>) <- e(K, V).", "e(1, a)", "e(2, b)"
+        ) == {"g(f(1), {a})", "g(f(2), {b})"}
+
+    def test_grouping_set_values(self):
+        assert derived(
+            "g(K, <S>) <- e(K, S).", "e(a, {1})", "e(a, {2, 3})"
+        ) == {"g(a, {{1}, {2, 3}})"}
+
+    def test_body_with_builtins(self):
+        assert derived(
+            "g(K, <V>) <- e(K, V), V > 1.", "e(a, 1)", "e(a, 2)", "e(a, 3)"
+        ) == {"g(a, {2, 3})"}
+
+    def test_body_with_negation(self):
+        # extended grouping bodies (the §6 running example's shape)
+        assert derived(
+            "g(K, <V>) <- e(K, V), ~bad(V).",
+            "e(a, 1)", "e(a, 2)", "bad(2)",
+        ) == {"g(a, {1})"}
+
+    def test_non_variable_group_rejected(self):
+        rule = parse_rule("g(K, <f(V)>) <- e(K, V).")
+        with pytest.raises(EvaluationError):
+            list(apply_grouping_rule(rule, db_of("e(a, 1)")))
+
+    def test_multiple_group_terms_rejected(self):
+        rule = parse_rule("g(<K>, <V>) <- e(K, V).")
+        with pytest.raises(EvaluationError):
+            list(apply_grouping_rule(rule, db_of("e(a, 1)")))
+
+
+class TestApplyGroupingRules:
+    def test_several_rules_combined(self):
+        rules = [
+            parse_rule("by_key(K, <V>) <- e(K, V)."),
+            parse_rule("by_val(V, <K>) <- e(K, V)."),
+        ]
+        facts = apply_grouping_rules(rules, db_of("e(a, 1)", "e(b, 1)"))
+        rendered = {format_atom(a) for a in facts}
+        assert "by_key(a, {1})" in rendered
+        assert "by_val(1, {a, b})" in rendered
+
+    def test_no_rules(self):
+        assert apply_grouping_rules([], db_of("e(a, 1)")) == []

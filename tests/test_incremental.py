@@ -1,0 +1,167 @@
+"""Tests for incremental model maintenance (repro.engine.incremental)."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import evaluate
+from repro.engine.incremental import IncrementalModel
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_rules
+from repro.terms.pretty import format_atom
+
+ANCESTOR = parse_rules(
+    """
+    anc(X, Y) <- parent(X, Y).
+    anc(X, Y) <- parent(X, Z), anc(Z, Y).
+    """
+)
+
+STRATIFIED = parse_rules(
+    """
+    anc(X, Y) <- parent(X, Y).
+    anc(X, Y) <- parent(X, Z), anc(Z, Y).
+    person(X) <- parent(X, _).
+    person(Y) <- parent(_, Y).
+    has_kid(X) <- parent(X, _).
+    childless(X) <- person(X), ~has_kid(X).
+    kids(P, <C>) <- parent(P, C).
+    """
+)
+
+
+def fresh_model_equals(model: IncrementalModel) -> bool:
+    scratch = evaluate(model.program, edb=model._edb_facts)
+    return scratch.database.as_set() == model.as_set()
+
+
+def atoms(*sources):
+    return [parse_atom(s) for s in sources]
+
+
+class TestInsertions:
+    def test_initial_build(self):
+        model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
+        assert parse_atom("anc(a, b)") in model.database
+
+    def test_monotone_insert_uses_delta(self):
+        model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
+        stats = model.add_facts(atoms("parent(b, c)"))
+        assert stats.mode == "delta"
+        assert parse_atom("anc(a, c)") in model.database
+        assert fresh_model_equals(model)
+
+    def test_insert_through_negation_recomputes(self):
+        model = IncrementalModel(STRATIFIED, atoms("parent(a, b)"))
+        assert parse_atom("childless(b)") in model.database
+        stats = model.add_facts(atoms("parent(b, c)"))
+        assert stats.mode == "recompute"
+        assert parse_atom("childless(b)") not in model.database
+        assert fresh_model_equals(model)
+
+    def test_insert_updates_groups(self):
+        model = IncrementalModel(STRATIFIED, atoms("parent(a, b)"))
+        model.add_facts(atoms("parent(a, c)"))
+        kids = {
+            format_atom(a) for a in model.database.atoms("kids")
+        }
+        assert kids == {"kids(a, {b, c})"}
+        assert fresh_model_equals(model)
+
+    def test_duplicate_insert_is_noop(self):
+        model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
+        stats = model.add_facts(atoms("parent(a, b)"))
+        assert stats.mode == "none"
+
+    def test_insert_into_idb_rejected(self):
+        model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
+        with pytest.raises(EvaluationError):
+            model.add_facts(atoms("anc(x, y)"))
+
+
+class TestDeletions:
+    def test_delete_retracts_derivations(self):
+        model = IncrementalModel(
+            ANCESTOR, atoms("parent(a, b)", "parent(b, c)")
+        )
+        assert parse_atom("anc(a, c)") in model.database
+        stats = model.remove_facts(atoms("parent(b, c)"))
+        assert stats.mode == "recompute"
+        assert parse_atom("anc(a, c)") not in model.database
+        assert parse_atom("anc(a, b)") in model.database
+        assert fresh_model_equals(model)
+
+    def test_delete_keeps_alternative_derivations(self):
+        model = IncrementalModel(
+            ANCESTOR,
+            atoms("parent(a, b)", "parent(b, c)", "parent(a, c)"),
+        )
+        model.remove_facts(atoms("parent(b, c)"))
+        assert parse_atom("anc(a, c)") in model.database  # direct edge
+
+    def test_delete_flips_negation(self):
+        model = IncrementalModel(
+            STRATIFIED, atoms("parent(a, b)", "parent(b, c)")
+        )
+        assert parse_atom("childless(b)") not in model.database
+        model.remove_facts(atoms("parent(b, c)"))
+        assert parse_atom("childless(b)") in model.database
+        assert fresh_model_equals(model)
+
+    def test_delete_unknown_fact_noop(self):
+        model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
+        assert model.remove_facts(atoms("parent(z, z)")).mode == "none"
+
+
+class TestConeLocality:
+    TWO_ISLANDS = parse_rules(
+        """
+        anc(X, Y) <- parent(X, Y).
+        anc(X, Y) <- parent(X, Z), anc(Z, Y).
+        owner(X, Y) <- owns(X, Y).
+        owner(X, Y) <- owns(X, Z), owner(Z, Y).
+        """
+    )
+
+    def test_untouched_island_not_recomputed(self):
+        model = IncrementalModel(
+            self.TWO_ISLANDS,
+            atoms("parent(a, b)", "owns(o1, o2)", "owns(o2, o3)"),
+        )
+        stats = model.add_facts(atoms("parent(b, c)"))
+        # the owns/owner island is outside the cone
+        assert stats.affected_predicates == 2  # parent, anc
+        assert fresh_model_equals(model)
+
+    def test_program_facts_preserved_across_updates(self):
+        program = parse_rules(
+            "parent(seed, root). anc(X, Y) <- parent(X, Y)."
+        )
+        model = IncrementalModel(program)
+        assert parse_atom("anc(seed, root)") in model.database
+        model.add_facts(atoms("parent(a, b)"))
+        assert parse_atom("anc(seed, root)") in model.database
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+
+
+@given(edge_lists, edge_lists)
+@settings(max_examples=25, deadline=None)
+def test_property_updates_match_scratch_evaluation(initial, updates):
+    initial_atoms = [parse_atom(f"parent({a}, {b})") for a, b in initial]
+    model = IncrementalModel(STRATIFIED, initial_atoms)
+    assert fresh_model_equals(model)
+    update_atoms = [parse_atom(f"parent({a}, {b})") for a, b in updates]
+    model.add_facts(update_atoms)
+    assert fresh_model_equals(model)
+    model.remove_facts(update_atoms[: len(update_atoms) // 2])
+    assert fresh_model_equals(model)
+    model.remove_facts(initial_atoms)
+    assert fresh_model_equals(model)

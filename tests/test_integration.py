@@ -1,0 +1,184 @@
+"""Kitchen-sink integration tests combining every language feature.
+
+Each scenario exercises multiple subsystems at once — parsing,
+stratification, grouping, negation, set built-ins, arithmetic — and
+cross-checks all evaluation strategies where applicable.
+"""
+
+import pytest
+
+from repro import LDL
+from repro.engine import evaluate
+from repro.engine.topdown import evaluate_topdown
+from repro.magic import evaluate_magic, supplementary_rewrite
+from repro.parser import parse_program, parse_query
+
+from tests.helpers import facts_of, run
+
+
+class TestCourseworkScenario:
+    """A registrar database: prerequisites, transcripts, graduation."""
+
+    SRC = """
+    % course prerequisites (recursive)
+    prereq(calc2, calc1). prereq(calc3, calc2).
+    prereq(algo, discrete). prereq(ml, calc3). prereq(ml, algo).
+    requires(C, P) <- prereq(C, P).
+    requires(C, P) <- prereq(C, Q), requires(Q, P).
+
+    % transcripts
+    took(ann, calc1). took(ann, calc2). took(ann, calc3).
+    took(ann, discrete). took(ann, algo).
+    took(bob, calc1). took(bob, discrete).
+
+    % a student is blocked from a course if some requirement is missing
+    student(S) <- took(S, _).
+    course(C) <- prereq(C, _).
+    course(P) <- prereq(_, P).
+    missing(S, C, P) <- student(S), requires(C, P), ~took(S, P).
+    blocked(S, C) <- missing(S, C, _).
+    eligible(S, C) <- student(S), course(C), ~blocked(S, C), ~took(S, C).
+
+    % per-student sets of taken courses, with cardinality
+    transcript(S, <C>) <- took(S, C).
+    credits(S, N) <- transcript(S, T), card(T, N).
+    """
+
+    def test_eligibility(self):
+        result = run(self.SRC)
+        eligible = facts_of(result, "eligible")
+        assert "eligible(ann, ml)" in eligible
+        assert "eligible(bob, ml)" not in eligible
+        assert "eligible(bob, calc2)" in eligible
+
+    def test_transcript_sets(self):
+        result = run(self.SRC)
+        credits = facts_of(result, "credits")
+        assert "credits(ann, 5)" in credits
+        assert "credits(bob, 2)" in credits
+
+    def test_strategies_agree(self):
+        program, _ = parse_program(self.SRC)
+        query = parse_query("? eligible(X, ml).")
+        full = evaluate(program).answer_atoms(query)
+        magic = evaluate_magic(program, query).answer_atoms()
+        sup = evaluate_magic(
+            program, query, rewrite=supplementary_rewrite
+        ).answer_atoms()
+        topdown, _ = evaluate_topdown(program, query)
+        assert magic == full
+        assert sup == full
+        assert topdown == full
+
+    def test_naive_seminaive_agree(self):
+        a = run(self.SRC, strategy="naive")
+        b = run(self.SRC, strategy="seminaive")
+        assert a.database == b.database
+
+
+class TestInventoryScenario:
+    """Warehouses with set-valued stock and set algebra."""
+
+    SRC = """
+    stock(east, {bolts, nuts, washers}).
+    stock(west, {nuts, screws}).
+    stock(north, {}).
+
+    combined(A, B, S) <- stock(A, SA), stock(B, SB), A != B,
+                         union(SA, SB, S).
+    covers(A, B) <- stock(A, SA), stock(B, SB), subset(SB, SA).
+    item_at(W, I) <- stock(W, S), member(I, S).
+    where_is(I, <W>) <- item_at(W, I).
+    """
+
+    def test_union_and_subset(self):
+        result = run(self.SRC)
+        combined = facts_of(result, "combined")
+        assert "combined(east, west, {bolts, nuts, screws, washers})" in combined
+        covers = facts_of(result, "covers")
+        # the empty stock is covered by everyone; nothing covers east
+        assert "covers(east, north)" in covers
+        assert "covers(west, east)" not in covers
+
+    def test_inverted_index(self):
+        result = run(self.SRC)
+        where = facts_of(result, "where_is")
+        assert "where_is(nuts, {east, west})" in where
+        assert "where_is(screws, {west})" in where
+
+    def test_magic_on_set_query(self):
+        program, _ = parse_program(self.SRC)
+        query = parse_query("? where_is(nuts, W).")
+        full = evaluate(program).answer_atoms(query)
+        magic = evaluate_magic(program, query).answer_atoms()
+        assert magic == full
+
+
+class TestThreeLayerPipeline:
+    """Grouping over grouping over negation: three genuine strata."""
+
+    SRC = """
+    raw(a, 1). raw(a, 2). raw(b, 2). raw(b, 3). raw(c, 9).
+    noisy(9).
+    clean(K, V) <- raw(K, V), ~noisy(V).
+    bucket(K, <V>) <- clean(K, V).
+    profile(<S>) <- bucket(K, S).
+    singleton_key(K) <- bucket(K, S), card(S, N), N = 1.
+    """
+
+    def test_layering_depth(self):
+        from repro.program.stratify import stratify
+
+        program, _ = parse_program(self.SRC)
+        layering = stratify(program)
+        assert layering.index("profile") > layering.index("bucket")
+        assert layering.index("bucket") > layering.index("clean")
+        assert layering.index("clean") > layering.index("noisy")
+
+    def test_pipeline_output(self):
+        result = run(self.SRC)
+        assert facts_of(result, "bucket") == {
+            "bucket(a, {1, 2})",
+            "bucket(b, {2, 3})",
+        }
+        assert facts_of(result, "profile") == {"profile({{1, 2}, {2, 3}})"}
+        assert facts_of(result, "singleton_key") == set()
+
+    def test_c_disappears_entirely(self):
+        # c's only value is noisy: no clean facts, empty group, no bucket
+        result = run(self.SRC)
+        keys = {atom.args[0].value for atom in result.database.atoms("bucket")}
+        assert "c" not in keys
+
+
+class TestFunctionSymbolsWithSets:
+    SRC = """
+    point(p(1, 2)). point(p(3, 4)).
+    cloud(<P>) <- point(P).
+    boxed(K, b(K, S)) <- cloud(S), tag(K).
+    tag(t1). tag(t2).
+    """
+
+    def test_structured_terms_containing_sets(self):
+        result = run(self.SRC)
+        boxed = facts_of(result, "boxed")
+        assert "boxed(t1, b(t1, {p(1, 2), p(3, 4)}))" in boxed
+        assert len(boxed) == 2
+
+
+class TestSessionRoundtrip:
+    def test_python_values_through_everything(self):
+        db = LDL(
+            """
+            merged(A, B, U) <- bag(A, SA), bag(B, SB), A < B, union(SA, SB, U).
+            big(A) <- bag(A, S), card(S, N), N >= 3.
+            """
+        )
+        db.fact("bag", "x", frozenset({1, 2}))
+        db.fact("bag", "y", frozenset({2, 3}))
+        db.fact("bag", "z", frozenset({1, 2, 3}))
+        merged = dict(
+            ((a, b), u) for a, b, u in db.extension("merged")
+        )
+        assert merged[("x", "y")] == frozenset({1, 2, 3})
+        assert db.extension("big") == [("z",)]

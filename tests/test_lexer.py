@@ -1,0 +1,99 @@
+"""Tests for the tokenizer (repro.parser.lexer)."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.parser.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_identifiers_vs_variables(self):
+        tokens = list(tokenize("foo Bar _baz"))
+        assert tokens[0].kind == "IDENT"
+        assert tokens[1].kind == "VAR"
+        assert tokens[2].kind == "VAR"
+
+    def test_numbers(self):
+        tokens = list(tokenize("12 3.5 2e3"))
+        assert tokens[0].value == 12
+        assert tokens[1].value == 3.5
+        assert tokens[2].value == 2000.0
+
+    def test_number_then_dot_is_rule_end(self):
+        # "q(3)." — the final dot must be DOT, not part of the number.
+        assert kinds("3.")[:2] == ["NUMBER", "DOT"]
+
+    def test_strings_with_escapes(self):
+        tokens = list(tokenize(r"'a b' 'it\'s'"))
+        assert tokens[0].value == "a b"
+        assert tokens[1].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            list(tokenize("'oops"))
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            list(tokenize("p(@)"))
+
+    def test_bang_requires_equals(self):
+        with pytest.raises(LexerError):
+            list(tokenize("a ! b"))
+
+
+class TestOperators:
+    def test_arrow_vs_less_than(self):
+        assert kinds("<-")[:1] == ["ARROW"]
+        assert kinds("< -")[:2] == ["LT", "MINUS"]
+
+    def test_le_vs_lt(self):
+        assert kinds("<=")[:1] == ["LE"]
+        assert kinds("< =")[:2] == ["LT", "EQ"]
+
+    def test_ge_gt_ne(self):
+        assert kinds(">= > !=")[:3] == ["GE", "GT", "NE"]
+
+    def test_question_forms(self):
+        assert kinds("?")[:1] == ["QUESTION"]
+        assert kinds("?-")[:1] == ["QUESTION"]
+
+    def test_negation_glyphs(self):
+        assert kinds("~")[:1] == ["TILDE"]
+        assert kinds("¬")[:1] == ["TILDE"]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } , . |")[:7] == [
+            "LPAREN",
+            "RPAREN",
+            "LBRACE",
+            "RBRACE",
+            "COMMA",
+            "DOT",
+            "BAR",
+        ]
+
+
+class TestCommentsAndPositions:
+    def test_percent_comment(self):
+        assert kinds("a % rest of line\nb")[:2] == ["IDENT", "IDENT"]
+
+    def test_hash_comment(self):
+        assert kinds("a # comment\nb")[:2] == ["IDENT", "IDENT"]
+
+    def test_line_numbers(self):
+        tokens = list(tokenize("a\nb\n  c"))
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_eof_token_last(self):
+        assert kinds("")[-1] == "EOF"

@@ -1,0 +1,234 @@
+"""Tests for LPS, its interpreter, and the Theorem-3 translation (§5)."""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.errors import EvaluationError
+from repro.lps import (
+    LPSProgram,
+    LPSRule,
+    Quantifier,
+    evaluate_lps,
+    evaluate_translated,
+    lps_set_facts,
+    translate,
+)
+from repro.parser import parse_atom, parse_rules
+from repro.program.rule import Atom, Literal
+from repro.terms.pretty import format_atom
+from repro.terms.term import SetVal, Var, mkset, Const
+from repro.terms.universe import set_depth
+
+
+def disj_rule():
+    # disj(X,Y) <- (forall x in X)(forall y in Y) x != y
+    return LPSRule(
+        parse_atom("disj(X, Y)"),
+        [Quantifier("Ex", "X"), Quantifier("Ey", "Y")],
+        [Literal(Atom("!=", (Var("Ex"), Var("Ey"))))],
+    )
+
+
+def subset_rule():
+    # subset(X,Y) <- (forall x in X) member(x, Y)
+    return LPSRule(
+        parse_atom("subs(X, Y)"),
+        [Quantifier("Ex", "X")],
+        [Literal(Atom("member", (Var("Ex"), Var("Y"))))],
+        set_typed={"Y"},
+    )
+
+
+FACTS = [
+    parse_atom("s({1, 2})"),
+    parse_atom("s({2, 3})"),
+    parse_atom("s({3})"),
+    parse_atom("s({})"),
+]
+
+
+def extension(db_or_result, pred):
+    db = getattr(db_or_result, "database", db_or_result)
+    return {format_atom(a) for a in db.atoms(pred)}
+
+
+class TestSyntax:
+    def test_element_var_in_head_rejected(self):
+        with pytest.raises(ValueError):
+            LPSRule(
+                parse_atom("p(Ex)"),
+                [Quantifier("Ex", "X")],
+            )
+
+    def test_duplicate_element_var_rejected(self):
+        with pytest.raises(ValueError):
+            LPSRule(
+                parse_atom("p(X, Y)"),
+                [Quantifier("E", "X"), Quantifier("E", "Y")],
+            )
+
+    def test_free_variables(self):
+        rule = subset_rule()
+        assert rule.free_variables() == {"X", "Y"}
+        assert rule.typed_set_variables() == ("X", "Y")
+
+
+class TestInterpreter:
+    def test_disj_paper_example(self):
+        db = evaluate_lps(LPSProgram([disj_rule()]), FACTS)
+        disj = extension(db, "disj")
+        assert "disj({1, 2}, {3})" in disj
+        assert "disj({1, 2}, {2, 3})" not in disj
+        # the empty set is disjoint from everything (vacuous forall)
+        assert "disj({}, {1, 2})" in disj
+        assert "disj({}, {})" in disj
+
+    def test_subset_paper_example(self):
+        db = evaluate_lps(LPSProgram([subset_rule()]), FACTS)
+        subs = extension(db, "subs")
+        assert "subs({3}, {2, 3})" in subs
+        assert "subs({1, 2}, {2, 3})" not in subs
+        assert "subs({}, {3})" in subs
+        assert "subs({2, 3}, {2, 3})" in subs
+
+    def test_derived_predicates_chain(self):
+        # q(X) <- (forall x in X) p(x);  r(X) <- [q(X)]
+        q_rule = LPSRule(
+            parse_atom("q(X)"),
+            [Quantifier("Ex", "X")],
+            [Literal(Atom("p", (Var("Ex"),)))],
+        )
+        r_rule = LPSRule(
+            parse_atom("r(X)"),
+            [],
+            [Literal(Atom("q", (Var("X"),)))],
+            set_typed={"X"},
+        )
+        db = evaluate_lps(
+            LPSProgram([q_rule, r_rule]),
+            [parse_atom("p(1)"), parse_atom("p(2)"), parse_atom("d({1, 2})"),
+             parse_atom("d({1, 3})")],
+        )
+        assert extension(db, "q") == {"q({1, 2})", "q({})", "q({1})", "q({2})"} \
+            or "q({1, 2})" in extension(db, "q")
+        assert "r({1, 2})" in extension(db, "r")
+        assert "r({1, 3})" not in extension(db, "r")
+
+    def test_negated_derived_literal_rejected(self):
+        rule = LPSRule(
+            parse_atom("p(X)"),
+            [Quantifier("Ex", "X")],
+            [Literal(Atom("q", (Var("Ex"),)), positive=False)],
+        )
+        with pytest.raises(EvaluationError):
+            evaluate_lps(LPSProgram([rule]), FACTS)
+
+
+class TestTranslation:
+    def test_translated_program_is_valid_ldl1(self):
+        from repro.program.wellformed import check_program
+
+        program = translate(LPSProgram([disj_rule(), subset_rule()]))
+        check_program(program)
+
+    def test_disj_translation_equivalent(self):
+        direct = evaluate_lps(LPSProgram([disj_rule()]), FACTS)
+        translated = evaluate_translated(LPSProgram([disj_rule()]), FACTS)
+        assert extension(direct, "disj") == extension(translated, "disj")
+
+    def test_subset_translation_equivalent(self):
+        direct = evaluate_lps(LPSProgram([subset_rule()]), FACTS)
+        translated = evaluate_translated(LPSProgram([subset_rule()]), FACTS)
+        assert extension(direct, "subs") == extension(translated, "subs")
+
+    def test_combined_program_equivalent(self):
+        program = LPSProgram([disj_rule(), subset_rule()])
+        direct = evaluate_lps(program, FACTS)
+        translated = evaluate_translated(program, FACTS)
+        for pred in ("disj", "subs"):
+            assert extension(direct, pred) == extension(translated, pred)
+
+    def test_extra_sets_extend_domain(self):
+        extra = [mkset([Const(7)])]
+        direct = evaluate_lps(LPSProgram([disj_rule()]), FACTS, extra_sets=extra)
+        translated = evaluate_translated(
+            LPSProgram([disj_rule()]), FACTS, extra_sets=extra
+        )
+        assert "disj({3}, {7})" in extension(direct, "disj")
+        assert extension(direct, "disj") == extension(translated, "disj")
+
+    def test_lps_set_facts(self):
+        facts = lps_set_facts(FACTS)
+        assert parse_atom("lps_set({1, 2})") in facts
+        assert parse_atom("lps_set({})") in facts
+
+
+class TestProposition:
+    def test_ldl1_richer_models_than_lps(self):
+        # Section 5 Proposition: the LDL1 program below has a unique
+        # minimal model containing w({{1}}), a set of sets — outside
+        # the D ∪ P(D) domain any LPS model is based on.
+        program = parse_rules(
+            """
+            q(1).
+            p(<X>) <- q(X).
+            w(<X>) <- p(X).
+            """
+        )
+        result = evaluate(program)
+        w_facts = list(result.database.atoms("w"))
+        assert len(w_facts) == 1
+        nested = w_facts[0].args[0]
+        assert set_depth(nested) == 2  # {{1}}: deeper than P(D) allows
+
+
+class TestLpsParser:
+    def test_paper_examples_parse(self):
+        from repro.lps import parse_lps
+
+        program = parse_lps(
+            """
+            disj(X, Y) <- forall Ex in X, forall Ey in Y | Ex != Ey.
+            subs(X, Y) <- set Y, forall Ex in X where member(Ex, Y).
+            """
+        )
+        assert len(program) == 2
+        disj, subs = program.rules
+        assert len(disj.quantifiers) == 2
+        assert subs.set_typed == frozenset({"Y"})
+
+    def test_parsed_program_matches_handbuilt(self):
+        from repro.lps import parse_lps
+
+        parsed = parse_lps(
+            "disj(X, Y) <- forall Ex in X, forall Ey in Y | Ex != Ey."
+        )
+        direct_parsed = evaluate_lps(parsed, FACTS)
+        direct_built = evaluate_lps(LPSProgram([disj_rule()]), FACTS)
+        assert extension(direct_parsed, "disj") == extension(
+            direct_built, "disj"
+        )
+
+    def test_facts_and_plain_rules(self):
+        from repro.lps import parse_lps
+
+        program = parse_lps("base(1). derived(X) <- base(X).")
+        db = evaluate_lps(program, [])
+        assert extension(db, "derived") == {"derived(1)"}
+
+    def test_missing_in_keyword(self):
+        from repro.errors import ParseError
+        from repro.lps import parse_lps
+
+        with pytest.raises(ParseError):
+            parse_lps("p(X) <- forall Ex of X | member(Ex, X).")
+
+    def test_parsed_translation_roundtrip(self):
+        from repro.lps import parse_lps
+
+        program = parse_lps(
+            "subs(X, Y) <- set Y, forall Ex in X where member(Ex, Y)."
+        )
+        direct = evaluate_lps(program, FACTS)
+        translated = evaluate_translated(program, FACTS)
+        assert extension(direct, "subs") == extension(translated, "subs")

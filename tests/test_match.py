@@ -1,0 +1,169 @@
+"""Tests for one-way matching (repro.engine.match)."""
+
+from repro.engine.match import ground_atom, match_atom, match_term
+from repro.parser import parse_atom, parse_term
+from repro.program.rule import Atom
+from repro.terms.term import Const, SetVal, Var, mkset
+
+
+def matches(pattern_src, value_src, binding=None):
+    pattern = parse_term(pattern_src)
+    value = parse_term(value_src)
+    assert value.is_ground()
+    return list(match_term(pattern, value, binding or {}))
+
+
+class TestBasicMatching:
+    def test_variable_binds(self):
+        [b] = matches("X", "f(1)")
+        assert b["X"] == parse_term("f(1)")
+
+    def test_bound_variable_must_agree(self):
+        assert matches("X", "1", {"X": Const(1)})
+        assert not matches("X", "2", {"X": Const(1)})
+
+    def test_constants(self):
+        assert matches("a", "a")
+        assert not matches("a", "b")
+
+    def test_int_vs_float(self):
+        assert not matches("1", "1.0")
+
+    def test_functor_decomposition(self):
+        [b] = matches("f(X, g(Y))", "f(1, g(2))")
+        assert b["X"] == Const(1) and b["Y"] == Const(2)
+
+    def test_functor_mismatch(self):
+        assert not matches("f(X)", "g(1)")
+        assert not matches("f(X)", "f(1, 2)")
+
+    def test_shared_variable_consistency(self):
+        assert matches("f(X, X)", "f(1, 1)")
+        assert not matches("f(X, X)", "f(1, 2)")
+
+
+class TestSetMatching:
+    def test_ground_set_equality(self):
+        assert matches("{1, 2}", "{2, 1}")
+        assert not matches("{1}", "{1, 2}")
+
+    def test_singleton_pattern(self):
+        [b] = matches("{X}", "{7}")
+        assert b["X"] == Const(7)
+
+    def test_singleton_pattern_rejects_larger(self):
+        assert not matches("{X}", "{1, 2}")
+
+    def test_pair_pattern_covers_set(self):
+        bindings = matches("{X, Y}", "{1, 2}")
+        pairs = {(b["X"].value, b["Y"].value) for b in bindings}
+        assert pairs == {(1, 2), (2, 1)}
+
+    def test_pattern_items_may_collapse(self):
+        # {X, Y} can match a singleton with X = Y (duplicates collapse).
+        bindings = matches("{X, Y}", "{5}")
+        assert any(b["X"] == b["Y"] == Const(5) for b in bindings)
+
+    def test_rest_binds_uncovered(self):
+        bindings = matches("{X | R}", "{1, 2}")
+        by_x = {b["X"].value: b["R"] for b in bindings}
+        assert by_x[1] == mkset([Const(2)])
+        assert by_x[2] == mkset([Const(1)])
+
+    def test_rest_with_empty_remainder(self):
+        [b] = matches("{X | R}", "{9}")
+        assert b["R"] == SetVal()
+
+    def test_pattern_against_non_set_fails(self):
+        assert not matches("{X}", "f(1)")
+
+    def test_nested_set_pattern(self):
+        [b] = matches("{{X}}", "{{3}}")
+        assert b["X"] == Const(3)
+
+
+class TestSconsMatching:
+    def test_scons_decomposes(self):
+        bindings = matches("scons(X, T)", "{1, 2}")
+        options = {(b["X"].value, frozenset(e.value for e in b["T"])) for b in bindings}
+        # For each chosen element, the tail may or may not retain it.
+        assert (1, frozenset({2})) in options
+        assert (1, frozenset({1, 2})) in options
+        assert (2, frozenset({1})) in options
+
+    def test_ground_scons_pattern(self):
+        assert matches("scons(1, {2})", "{1, 2}")
+        assert not matches("scons(1, {2})", "{1, 3}")
+
+    def test_scons_onto_nonset_fails_quietly(self):
+        # pattern grounding falls outside U -> binding not applicable
+        assert not matches("scons(1, X)", "{1}", {"X": Const(5)})
+
+
+class TestAtomHelpers:
+    def test_match_atom(self):
+        atom = parse_atom("p(X, {Y})")
+        fact_args = (Const(1), mkset([Const(2)]))
+        [b] = match_atom(atom, fact_args, {})
+        assert b == {"X": Const(1), "Y": Const(2)}
+
+    def test_match_atom_arity_mismatch(self):
+        atom = parse_atom("p(X)")
+        assert not list(match_atom(atom, (Const(1), Const(2)), {}))
+
+    def test_ground_atom_canonicalizes(self):
+        atom = parse_atom("p(scons(X, {2}))")
+        fact = ground_atom(atom, {"X": Const(1)})
+        assert fact == Atom("p", (mkset([Const(1), Const(2)]),))
+
+    def test_ground_atom_outside_universe_is_none(self):
+        atom = parse_atom("p(scons(1, X))")
+        assert ground_atom(atom, {"X": Const(3)}) is None
+
+    def test_ground_atom_non_ground_is_none(self):
+        atom = parse_atom("p(X)")
+        assert ground_atom(atom, {}) is None
+
+    def test_ground_atom_folds_arithmetic(self):
+        atom = parse_atom("p(X + 1)")
+        assert ground_atom(atom, {"X": Const(2)}) == Atom("p", (Const(3),))
+
+
+# -- property: matching inverts substitution ---------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.terms.term import Const as _Const
+
+from tests.strategies import ground_terms, pattern_terms
+
+
+@given(pattern_terms, st.data())
+@settings(max_examples=60, deadline=None)
+def test_match_inverts_substitution(pattern, data):
+    binding = {
+        name: data.draw(ground_terms, label=name)
+        for name in sorted(pattern.variables())
+    }
+    value = pattern.substitute(binding)
+    assert value.is_ground()
+    from repro.terms.term import evaluate_ground
+
+    canonical = evaluate_ground(value)
+    solutions = list(match_term(pattern, canonical, {}))
+    assert any(
+        all(sol.get(name) == term for name, term in binding.items())
+        for sol in solutions
+    )
+
+
+@given(pattern_terms, ground_terms)
+@settings(max_examples=60, deadline=None)
+def test_match_solutions_reproduce_value(pattern, value):
+    from repro.terms.term import evaluate_ground
+
+    for solution in match_term(pattern, value, {}):
+        substituted = pattern.substitute(solution)
+        assert substituted.is_ground()
+        assert evaluate_ground(substituted) == value

@@ -1,0 +1,69 @@
+"""Tests for reserved names and fresh-name generation (repro.names)."""
+
+from repro.names import BUILTIN_PREDICATES, FreshNames, is_builtin_predicate
+
+
+class TestBuiltinRegistry:
+    def test_paper_reserved_symbols_present(self):
+        # §2.1: "Some predicate symbols are reserved by LDL1, e.g.
+        # member, union."
+        assert "member" in BUILTIN_PREDICATES
+        assert "union" in BUILTIN_PREDICATES
+        assert is_builtin_predicate("partition")
+        assert is_builtin_predicate("=")
+
+    def test_user_predicates_not_builtin(self):
+        assert not is_builtin_predicate("ancestor")
+        assert not is_builtin_predicate("memberx")
+
+
+class TestFreshNames:
+    def test_avoids_taken_names(self):
+        gen = FreshNames({"aux_1", "p"})
+        assert gen.fresh() == "aux_2"
+
+    def test_stem_override(self):
+        gen = FreshNames(set())
+        name = gen.fresh("ctx")
+        assert name.startswith("ctx_")
+
+    def test_never_repeats(self):
+        gen = FreshNames(set())
+        names = {gen.fresh() for _ in range(50)}
+        assert len(names) == 50
+
+    def test_never_collides_with_builtins(self):
+        gen = FreshNames(set(), prefix="member")
+        assert gen.fresh() not in BUILTIN_PREDICATES
+
+    def test_reserve(self):
+        gen = FreshNames(set())
+        gen.reserve("aux_1")
+        assert gen.fresh() != "aux_1"
+
+
+class TestDominationSampleChecker:
+    def test_partial_order_sample_holds_on_ground_terms(self):
+        from repro.terms.domination import is_partial_order_sample
+        from repro.terms.term import Const, Func, mkset
+
+        sample = [
+            Const(1),
+            Const("a"),
+            mkset([Const(1)]),
+            mkset([Const(1), Const(2)]),
+            Func("f", [mkset([Const(1)])]),
+            Func("f", [mkset([Const(1), Const(2)])]),
+        ]
+        assert is_partial_order_sample(sample)
+
+
+class TestDataDumpCompoundTerms:
+    def test_functor_cells_roundtrip_as_text(self, tmp_path):
+        from repro.data import dump_delimited
+        from repro.parser import parse_atom
+
+        path = tmp_path / "out.csv"
+        dump_delimited([parse_atom("p(f(1, 2), x)")], path)
+        content = path.read_text()
+        assert "f(1, 2)" in content

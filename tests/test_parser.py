@@ -1,0 +1,193 @@
+"""Tests for the parser (repro.parser.parser)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.parser import (
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    parse_rules,
+    parse_term,
+)
+from repro.program.rule import Atom, Literal, Rule
+from repro.terms.term import (
+    Const,
+    Func,
+    GroupTerm,
+    SetPattern,
+    SetVal,
+    Var,
+    mkset,
+)
+
+
+class TestTerms:
+    def test_constants(self):
+        assert parse_term("foo") == Const("foo")
+        assert parse_term("42") == Const(42)
+        assert parse_term("3.5") == Const(3.5)
+        assert parse_term("'hi there'") == Const("hi there", quoted=True)
+
+    def test_variables(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("_foo") == Var("_foo")
+
+    def test_anonymous_variables_distinct(self):
+        rule = parse_rule("p(X) <- q(_, X), r(_, X).")
+        anon = [v for v in rule.variables() if v.startswith("_Anon")]
+        assert len(anon) == 2
+
+    def test_compound(self):
+        assert parse_term("f(a, X)") == Func("f", [Const("a"), Var("X")])
+
+    def test_nested_compound(self):
+        assert parse_term("f(g(h(1)))") == Func(
+            "f", [Func("g", [Func("h", [Const(1)])])]
+        )
+
+    def test_empty_set(self):
+        assert parse_term("{}") == SetVal()
+
+    def test_ground_set_literal(self):
+        assert parse_term("{1, 2}") == mkset([Const(1), Const(2)])
+
+    def test_ground_set_dedup(self):
+        assert parse_term("{1, 1}") == mkset([Const(1)])
+
+    def test_nonground_set_pattern(self):
+        term = parse_term("{X, 2}")
+        assert isinstance(term, SetPattern)
+
+    def test_set_with_rest(self):
+        term = parse_term("{X | R}")
+        assert isinstance(term, SetPattern)
+        assert term.rest == Var("R")
+
+    def test_nested_sets(self):
+        assert parse_term("{{1}, {}}") == mkset([mkset([Const(1)]), SetVal()])
+
+    def test_group_term(self):
+        assert parse_term("<X>") == GroupTerm(Var("X"))
+
+    def test_nested_group_term(self):
+        term = parse_term("<h(Y, <Z>)>")
+        assert term == GroupTerm(Func("h", [Var("Y"), GroupTerm(Var("Z"))]))
+
+    def test_arithmetic_precedence(self):
+        term = parse_term("X + Y * Z")
+        assert term == Func("+", [Var("X"), Func("*", [Var("Y"), Var("Z")])])
+
+    def test_parenthesized(self):
+        term = parse_term("(X + Y) * Z")
+        assert term == Func("*", [Func("+", [Var("X"), Var("Y")]), Var("Z")])
+
+    def test_ground_arithmetic_folds(self):
+        assert parse_term("1 + 2 * 3") == Const(7)
+
+    def test_negative_number(self):
+        assert parse_term("-4") == Const(-4)
+
+    def test_mod_operator(self):
+        assert parse_term("X mod 2") == Func("mod", [Var("X"), Const(2)])
+
+
+class TestAtomsAndLiterals:
+    def test_plain_atom(self):
+        assert parse_atom("p(X, a)") == Atom("p", [Var("X"), Const("a")])
+
+    def test_zero_arity_atom(self):
+        assert parse_atom("halt") == Atom("halt", ())
+
+    def test_comparison_atom(self):
+        assert parse_atom("X < 3") == Atom("<", [Var("X"), Const(3)])
+
+    def test_equality_with_expression(self):
+        atom = parse_atom("C = C1 + C2")
+        assert atom == Atom("=", [Var("C"), Func("+", [Var("C1"), Var("C2")])])
+
+    def test_comparison_of_expressions(self):
+        atom = parse_atom("Px + Py < 100")
+        assert atom.pred == "<"
+
+    def test_number_alone_is_not_atom(self):
+        with pytest.raises(ParseError):
+            parse_atom("42")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule("parent(a, b).")
+        assert rule.is_fact()
+        assert rule.head == Atom("parent", [Const("a"), Const("b")])
+
+    def test_rule_with_body(self):
+        rule = parse_rule("p(X) <- q(X), r(X).")
+        assert len(rule.body) == 2
+        assert all(lit.positive for lit in rule.body)
+
+    def test_negation_tilde(self):
+        rule = parse_rule("p(X) <- q(X), ~r(X).")
+        assert rule.body[1].negative
+
+    def test_negation_keyword(self):
+        rule = parse_rule("p(X) <- q(X), not r(X).")
+        assert rule.body[1].negative
+
+    def test_not_as_predicate_name_left_intact(self):
+        # 'not' immediately before '(' cannot be parsed as a predicate in
+        # our grammar; 'not r(X)' is negation.  But a predicate named
+        # 'nothing' must not trigger the keyword.
+        rule = parse_rule("p(X) <- nothing(X).")
+        assert rule.body[0].positive
+        assert rule.body[0].atom.pred == "nothing"
+
+    def test_grouping_rule(self):
+        rule = parse_rule("part(P, <S>) <- p(P, S).")
+        assert rule.is_grouping()
+        assert rule.head.args[1] == GroupTerm(Var("S"))
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) <- q(X)")
+
+    def test_rule_roundtrip_equality(self):
+        a = parse_rule("p(X) <- q(X), ~r(X).")
+        b = parse_rule("p(X)  <-  q(X) , not r(X) .")
+        assert a == b
+
+
+class TestProgramsAndQueries:
+    def test_program_with_queries(self):
+        parsed = parse_program("p(1). q(X) <- p(X). ? q(X).")
+        assert len(parsed.program) == 2
+        assert len(parsed.queries) == 1
+
+    def test_query_forms(self):
+        assert parse_query("? p(X).") == parse_query("p(X)")
+        assert parse_query("?- p(X).") == parse_query("? p(X).")
+
+    def test_query_adornment(self):
+        assert parse_query("? young(john, S).").adornment() == "bf"
+        assert parse_query("? p(X, a, Y).").adornment() == "fbf"
+
+    def test_parse_rules_rejects_queries(self):
+        with pytest.raises(ParseError):
+            parse_rules("p(1). ? p(X).")
+
+    def test_empty_program(self):
+        parsed = parse_program("  % nothing here\n")
+        assert len(parsed.program) == 0
+
+    def test_paper_intro_programs_parse(self):
+        src = """
+        ancestor(X, Y) <- ancestor(X, Z), parent(Z, Y).
+        ancestor(X, Y) <- parent(X, Y).
+        excl_ancestor(X, Y, Z) <- ancestor(X, Y), ~ancestor(X, Z).
+        book_deal({X, Y, Z}) <- book(X, Px), book(Y, Py), book(Z, Pz),
+                                Px + Py + Pz < 100.
+        part(P, <S>) <- p(P, S).
+        """
+        parsed = parse_program(src)
+        assert len(parsed.program) == 5

@@ -1,0 +1,86 @@
+"""Round-trip tests for the pretty-printer (repro.terms.pretty)."""
+
+import pytest
+
+from repro.parser import parse_program, parse_rule, parse_term
+from repro.terms.pretty import format_program, format_rule, format_term
+
+
+TERMS = [
+    "x",
+    "X",
+    "42",
+    "-7",
+    "3.5",
+    "'hello world'",
+    "f(a, X)",
+    "{}",
+    "{1, 2, 3}",
+    "{{1}, {2, 3}}",
+    "{X, Y | R}",
+    "<X>",
+    "<h(Y, <Z>)>",
+    "(X + Y)",
+    "(X mod 2)",
+    "f(g(X), {a, b})",
+]
+
+
+@pytest.mark.parametrize("src", TERMS)
+def test_term_roundtrip(src):
+    term = parse_term(src)
+    assert parse_term(format_term(term)) == term
+
+
+RULES = [
+    "parent(a, b).",
+    "p(X) <- q(X), ~r(X).",
+    "part(P, <S>) <- p(P, S).",
+    "tc(S, C) <- partition(S, S1, S2), tc(S1, C1), tc(S2, C2), C = (C1 + C2).",
+    "deal({X, Y}) <- book(X, P1), book(Y, P2), P1 + P2 < 100.",
+    "q({1, 2, {3}}).",
+    "p(X) <- X = {1 | R}, member(2, R).",
+    "zero_arity <- other.",
+]
+
+
+@pytest.mark.parametrize("src", RULES)
+def test_rule_roundtrip(src):
+    rule = parse_rule(src)
+    assert parse_rule(format_rule(rule)) == rule
+
+
+def test_program_roundtrip():
+    src = """
+    parent(a, b). parent(b, c).
+    ancestor(X, Y) <- parent(X, Y).
+    ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+    young(X, <Y>) <- ~a(X, Z), sg(X, Y).
+    """
+    program, _ = parse_program(src)
+    reparsed, _ = parse_program(format_program(program))
+    assert reparsed == program
+
+
+def test_quoted_symbols_stay_quoted():
+    term = parse_term("'Weird Symbol!'")
+    text = format_term(term)
+    assert text.startswith("'") and parse_term(text) == term
+
+
+def test_symbol_needing_quotes_roundtrips():
+    # a constant built programmatically with spaces must print quoted
+    from repro.terms.term import Const
+
+    term = Const("two words")
+    assert parse_term(format_term(term)) == term
+
+
+def test_infix_comparison_printing():
+    rule = parse_rule("p(X) <- q(X), X < 3.")
+    assert "X < 3" in format_rule(rule)
+
+
+def test_negative_literal_printing():
+    rule = parse_rule("p(X) <- q(X), not r(X).")
+    assert "~r(X)" in format_rule(rule)

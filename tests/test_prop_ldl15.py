@@ -1,0 +1,138 @@
+"""Property-based oracle tests for the LDL1.5 head-term compiler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import evaluate
+from repro.parser import parse_rules
+from repro.program.rule import Atom
+from repro.program.wellformed import check_program
+from repro.terms.term import Const, Func, SetVal
+from repro.transform import compile_head_terms
+
+triples = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 4)),
+    min_size=1,
+    max_size=15,
+    unique=True,
+)
+
+
+def edb(rows):
+    return [
+        Atom("e3", (Const(k), Const(a), Const(b))) for k, a, b in rows
+    ]
+
+
+def extension(result, pred):
+    return set(result.database.atoms(pred))
+
+
+@given(triples)
+@settings(max_examples=40, deadline=None)
+def test_distribution_matches_python_groupby(rows):
+    program = compile_head_terms(
+        parse_rules("out(K, <A>, <B>) <- e3(K, A, B).")
+    )
+    check_program(program)
+    result = evaluate(program, edb=edb(rows))
+
+    expected = set()
+    by_key: dict[int, tuple[set, set]] = {}
+    for k, a, b in rows:
+        slot = by_key.setdefault(k, (set(), set()))
+        slot[0].add(a)
+        slot[1].add(b)
+    for k, (aset, bset) in by_key.items():
+        expected.add(
+            Atom(
+                "out",
+                (
+                    Const(k),
+                    SetVal(Const(v) for v in aset),
+                    SetVal(Const(v) for v in bset),
+                ),
+            )
+        )
+    assert extension(result, "out") == expected
+
+
+@given(triples)
+@settings(max_examples=40, deadline=None)
+def test_nested_grouping_matches_paper_semantics(rows):
+    # out(K, <h(A, <B>)>): the inner B-set is keyed by A *alone*
+    # (paper §4.2: "not necessarily with this teacher").
+    program = compile_head_terms(
+        parse_rules("out(K, <h(A, <B>)>) <- e3(K, A, B).")
+    )
+    check_program(program)
+    result = evaluate(program, edb=edb(rows))
+
+    b_by_a: dict[int, set[int]] = {}
+    for _k, a, b in rows:
+        b_by_a.setdefault(a, set()).add(b)
+    expected = set()
+    by_key: dict[int, set] = {}
+    for k, a, _b in rows:
+        by_key.setdefault(k, set()).add(a)
+    for k, aset in by_key.items():
+        h_tuples = {
+            Func("h", (Const(a), SetVal(Const(v) for v in b_by_a[a])))
+            for a in aset
+        }
+        expected.add(Atom("out", (Const(k), SetVal(h_tuples))))
+    assert extension(result, "out") == expected
+
+
+@given(triples)
+@settings(max_examples=30, deadline=None)
+def test_alternative_semantics_keys_inner_by_outer_too(rows):
+    # (ii)': the inner B-set is keyed by (K, A).
+    program = compile_head_terms(
+        parse_rules("out(K, <h(A, <B>)>) <- e3(K, A, B)."),
+        alternative=True,
+    )
+    check_program(program)
+    result = evaluate(program, edb=edb(rows))
+
+    b_by_ka: dict[tuple[int, int], set[int]] = {}
+    for k, a, b in rows:
+        b_by_ka.setdefault((k, a), set()).add(b)
+    expected = set()
+    by_key: dict[int, set] = {}
+    for k, a, _b in rows:
+        by_key.setdefault(k, set()).add(a)
+    for k, aset in by_key.items():
+        h_tuples = {
+            Func("h", (Const(a), SetVal(Const(v) for v in b_by_ka[(k, a)])))
+            for a in aset
+        }
+        expected.add(Atom("out", (Const(k), SetVal(h_tuples))))
+    assert extension(result, "out") == expected
+
+
+@given(triples)
+@settings(max_examples=30, deadline=None)
+def test_nesting_transformation_oracle(rows):
+    # out(K, g(A, <B>)): one fact per (K, A) with B grouped by... the
+    # paper's (iii) keys q1 on Z = all head vars outside <>, i.e. (K, A).
+    program = compile_head_terms(
+        parse_rules("out(K, g(A, <B>)) <- e3(K, A, B).")
+    )
+    check_program(program)
+    result = evaluate(program, edb=edb(rows))
+
+    b_by_ka: dict[tuple[int, int], set[int]] = {}
+    for k, a, b in rows:
+        b_by_ka.setdefault((k, a), set()).add(b)
+    expected = {
+        Atom(
+            "out",
+            (
+                Const(k),
+                Func("g", (Const(a), SetVal(Const(v) for v in bs))),
+            ),
+        )
+        for (k, a), bs in b_by_ka.items()
+    }
+    assert extension(result, "out") == expected

@@ -1,0 +1,182 @@
+"""Property-based equivalence tests for magic sets (Theorem 4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import evaluate
+from repro.magic import evaluate_magic
+from repro.parser import parse_rules
+from repro.program.rule import Atom, Query
+from repro.terms.term import Const, Var
+
+TC_RULES = """
+t(X, Y) <- e(X, Y).
+t(X, Y) <- e(X, Z), t(Z, Y).
+"""
+
+LEFT_TC_RULES = """
+t(X, Y) <- e(X, Y).
+t(X, Y) <- t(X, Z), e(Z, Y).
+"""
+
+NEG_RULES = """
+node(X) <- e(X, _).
+node(Y) <- e(_, Y).
+reach(X, X) <- node(X).
+reach(X, Y) <- reach(X, Z), e(Z, Y).
+blocked_pair(X, Y) <- node(X), node(Y), ~reach(X, Y).
+"""
+
+GROUP_RULES = """
+node(X) <- e(X, _).
+node(Y) <- e(_, Y).
+reach(X, X) <- node(X).
+reach(X, Y) <- reach(X, Z), e(Z, Y).
+reachset(X, <Y>) <- reach(X, Y).
+"""
+
+edges = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)),
+    min_size=1,
+    max_size=18,
+    unique=True,
+)
+
+
+def edge_atoms(pairs):
+    return [Atom("e", (Const(a), Const(b))) for a, b in pairs]
+
+
+def check(rules: str, pairs, query: Query):
+    program = parse_rules(rules)
+    edb = edge_atoms(pairs)
+    magic = evaluate_magic(program, query, edb=edb)
+    full = evaluate(program, edb=edb)
+    assert magic.answer_atoms() == full.answer_atoms(query)
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=40, deadline=None)
+def test_right_linear_tc_bound_free(pairs, start):
+    check(TC_RULES, pairs, Query(Atom("t", (Const(start), Var("Y")))))
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=40, deadline=None)
+def test_left_linear_tc_bound_free(pairs, start):
+    check(LEFT_TC_RULES, pairs, Query(Atom("t", (Const(start), Var("Y")))))
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=30, deadline=None)
+def test_tc_free_bound(pairs, end):
+    check(TC_RULES, pairs, Query(Atom("t", (Var("X"), Const(end)))))
+
+
+@given(edges, st.integers(0, 8), st.integers(0, 8))
+@settings(max_examples=30, deadline=None)
+def test_tc_bound_bound(pairs, start, end):
+    check(TC_RULES, pairs, Query(Atom("t", (Const(start), Const(end)))))
+
+
+@given(edges)
+@settings(max_examples=20, deadline=None)
+def test_tc_free_free(pairs):
+    check(TC_RULES, pairs, Query(Atom("t", (Var("X"), Var("Y")))))
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=25, deadline=None)
+def test_negation_bound_free(pairs, start):
+    check(
+        NEG_RULES, pairs, Query(Atom("blocked_pair", (Const(start), Var("Y"))))
+    )
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=25, deadline=None)
+def test_grouping_bound_query(pairs, start):
+    check(GROUP_RULES, pairs, Query(Atom("reachset", (Const(start), Var("S")))))
+
+
+@given(edges)
+@settings(max_examples=15, deadline=None)
+def test_grouping_free_query(pairs):
+    check(GROUP_RULES, pairs, Query(Atom("reachset", (Var("X"), Var("S")))))
+
+
+# -- three-way equivalence: bottom-up, magic, top-down tabling ---------------
+
+from repro.engine.topdown import evaluate_topdown
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=25, deadline=None)
+def test_three_strategies_agree_tc(pairs, start):
+    program = parse_rules(TC_RULES)
+    edb = edge_atoms(pairs)
+    query = Query(Atom("t", (Const(start), Var("Y"))))
+    full = evaluate(program, edb=edb).answer_atoms(query)
+    magic = evaluate_magic(program, query, edb=edb).answer_atoms()
+    topdown, _ = evaluate_topdown(program, query, edb=edb)
+    assert magic == full
+    assert topdown == full
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=20, deadline=None)
+def test_three_strategies_agree_grouping(pairs, start):
+    program = parse_rules(GROUP_RULES)
+    edb = edge_atoms(pairs)
+    query = Query(Atom("reachset", (Const(start), Var("S"))))
+    full = evaluate(program, edb=edb).answer_atoms(query)
+    magic = evaluate_magic(program, query, edb=edb).answer_atoms()
+    topdown, _ = evaluate_topdown(program, query, edb=edb)
+    assert magic == full
+    assert topdown == full
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=20, deadline=None)
+def test_three_strategies_agree_negation(pairs, start):
+    program = parse_rules(NEG_RULES)
+    edb = edge_atoms(pairs)
+    query = Query(Atom("blocked_pair", (Const(start), Var("Y"))))
+    full = evaluate(program, edb=edb).answer_atoms(query)
+    magic = evaluate_magic(program, query, edb=edb).answer_atoms()
+    topdown, _ = evaluate_topdown(program, query, edb=edb)
+    assert magic == full
+    assert topdown == full
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=20, deadline=None)
+def test_supplementary_rewrite_agrees(pairs, start):
+    from repro.magic import supplementary_rewrite
+
+    program = parse_rules(TC_RULES)
+    edb = edge_atoms(pairs)
+    query = Query(Atom("t", (Const(start), Var("Y"))))
+    full = evaluate(program, edb=edb).answer_atoms(query)
+    sup = evaluate_magic(
+        program, query, edb=edb, rewrite=supplementary_rewrite
+    ).answer_atoms()
+    assert sup == full
+
+
+@given(edges, st.integers(0, 8))
+@settings(max_examples=20, deadline=None)
+def test_bound_first_sip_agrees(pairs, start):
+    from repro.magic import bound_first_sip, magic_rewrite
+
+    program = parse_rules(LEFT_TC_RULES)
+    edb = edge_atoms(pairs)
+    query = Query(Atom("t", (Const(start), Var("Y"))))
+    full = evaluate(program, edb=edb).answer_atoms(query)
+    result = evaluate_magic(
+        program,
+        query,
+        edb=edb,
+        rewrite=lambda p, q: magic_rewrite(p, q, sip_strategy=bound_first_sip),
+    ).answer_atoms()
+    assert result == full

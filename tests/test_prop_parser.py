@@ -1,0 +1,79 @@
+"""Property-based robustness tests for the parser and printer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parser import parse_program, parse_rules
+from repro.terms.pretty import format_program, format_rule
+from repro.workloads.generator import random_program
+
+
+@given(st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_generated_programs_roundtrip(seed):
+    program = random_program(seed).program
+    text = format_program(program)
+    reparsed = parse_rules(text)
+    assert reparsed == program
+
+
+whitespace = st.sampled_from([" ", "\t", "\n", "  ", "\n\n", " % noise\n"])
+
+
+@given(st.integers(0, 50), st.lists(whitespace, min_size=3, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_whitespace_and_comments_are_insignificant(seed, paddings):
+    program = random_program(seed).program
+    text = format_program(program)
+    # inject padding after every rule terminator
+    chunks = text.split(".\n")
+    mutated = ""
+    for i, chunk in enumerate(chunks):
+        mutated += chunk
+        if i < len(chunks) - 1:
+            mutated += "." + paddings[i % len(paddings)]
+    reparsed = parse_rules(mutated)
+    assert reparsed == program
+
+
+@given(st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_rule_level_roundtrip(seed):
+    program = random_program(seed).program
+    for rule in program:
+        text = format_rule(rule)
+        [reparsed] = parse_rules(text).rules
+        assert reparsed == rule
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=120, deadline=None)
+def test_arbitrary_text_never_crashes_unexpectedly(text):
+    # any input must either parse or raise an LDL error with position
+    # info — never an arbitrary exception.
+    from repro.errors import LexerError, ParseError
+
+    try:
+        parse_program(text)
+    except (LexerError, ParseError) as exc:
+        assert exc.line >= 0
+    # (ValueError/TypeError/... would fail the test)
+
+
+@given(st.integers(0, 40))
+@settings(max_examples=20, deadline=None)
+def test_magic_rewritten_programs_roundtrip(seed):
+    # adorned/magic predicate names (p__bf, m_p__bf, sup_*) must survive
+    # the printer/parser cycle like any other program.
+    from repro.magic import magic_rewrite, supplementary_rewrite
+    from repro.program.rule import Atom, Query
+    from repro.terms.term import Const, Var
+
+    generated = random_program(seed)
+    idb = sorted(generated.program.idb_predicates())
+    if not idb:
+        return
+    query = Query(Atom(idb[0], (Const(0), Var("Y"))))
+    for rewrite in (magic_rewrite, supplementary_rewrite):
+        rewritten = rewrite(generated.program, query).all_rules()
+        assert parse_rules(format_program(rewritten)) == rewritten

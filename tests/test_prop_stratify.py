@@ -1,0 +1,75 @@
+"""Property-based tests for layering (Lemma 3.1, Theorem 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import evaluate
+from repro.parser import parse_rules
+from repro.program.dependency import is_admissible
+from repro.program.rule import Atom
+from repro.program.stratify import linear_layerings, stratify, validate_layering
+from repro.terms.term import Const
+
+
+def _program_source(layers: int, with_grouping: bool) -> str:
+    """A chain of strata: each layer filters the previous by negation,
+    optionally topped with a grouping layer."""
+    rules = ["keep0(X, Y) <- e(X, Y)."]
+    for i in range(1, layers):
+        rules.append(f"drop{i}(X) <- keep{i - 1}(X, Y), Y < {i}.")
+        rules.append(
+            f"keep{i}(X, Y) <- keep{i - 1}(X, Y), ~drop{i}(X)."
+        )
+    if with_grouping:
+        rules.append(f"grouped(X, <Y>) <- keep{layers - 1}(X, Y).")
+    return "\n".join(rules)
+
+
+edges = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)),
+    min_size=1,
+    max_size=15,
+    unique=True,
+)
+
+
+@given(st.integers(2, 5), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_canonical_layering_validates(layers, with_grouping):
+    program = parse_rules(_program_source(layers, with_grouping))
+    assert is_admissible(program)
+    layering = stratify(program)
+    assert validate_layering(program, layering)
+
+
+@given(st.integers(2, 4), st.booleans(), edges)
+@settings(max_examples=20, deadline=None)
+def test_theorem2_all_layerings_same_model(layers, with_grouping, pairs):
+    program = parse_rules(_program_source(layers, with_grouping))
+    edb = [Atom("e", (Const(a), Const(b))) for a, b in pairs]
+    reference = evaluate(program, edb=edb)
+    for layering in linear_layerings(program, limit=5):
+        result = evaluate(program, edb=edb, layering=layering)
+        assert result.database == reference.database
+
+
+@given(st.integers(2, 5))
+@settings(max_examples=15, deadline=None)
+def test_layer_indices_respect_strictness(layers):
+    program = parse_rules(_program_source(layers, with_grouping=True))
+    layering = stratify(program)
+    for i in range(1, layers):
+        # negation forces drop_i strictly below keep_i
+        assert layering.index(f"drop{i}") < layering.index(f"keep{i}")
+        assert layering.index(f"keep{i - 1}") <= layering.index(f"drop{i}")
+    assert layering.index("grouped") > layering.index(f"keep{layers - 1}")
+
+
+@given(st.integers(2, 4), st.booleans())
+@settings(max_examples=15, deadline=None)
+def test_strategies_agree_on_stratified_programs(layers, with_grouping):
+    program = parse_rules(_program_source(layers, with_grouping))
+    edb = [Atom("e", (Const(i), Const(i + 1))) for i in range(5)]
+    naive = evaluate(program, edb=edb, strategy="naive")
+    semi = evaluate(program, edb=edb, strategy="seminaive")
+    assert naive.database == semi.database

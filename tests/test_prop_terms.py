@@ -1,0 +1,90 @@
+"""Property-based tests for the term algebra and printer/parser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parser import parse_term
+from repro.terms.pretty import format_term
+from repro.terms.term import Const, SetVal, Term, evaluate_ground
+from repro.terms.universe import in_universe, set_depth
+
+from tests.strategies import ground_terms, pattern_terms
+
+
+@given(ground_terms)
+def test_ground_terms_are_in_universe(term):
+    assert term.is_ground()
+    assert in_universe(term)
+
+
+@given(ground_terms)
+def test_evaluate_ground_is_identity_on_canonical_terms(term):
+    assert evaluate_ground(term) == term
+
+
+@given(ground_terms)
+def test_format_parse_roundtrip_ground(term):
+    assert parse_term(format_term(term)) == term
+
+
+@given(pattern_terms)
+def test_format_parse_roundtrip_patterns(term):
+    assert parse_term(format_term(term)) == term
+
+
+@given(ground_terms)
+def test_sort_key_consistent_with_equality(term):
+    # equal terms always produce equal keys; rebuilt copies agree.
+    clone = parse_term(format_term(term))
+    assert term.sort_key() == clone.sort_key()
+
+
+@given(st.lists(ground_terms, min_size=2, max_size=6))
+def test_sort_keys_give_total_preorder(terms):
+    keys = sorted(t.sort_key() for t in terms)  # must not raise
+    assert len(keys) == len(terms)
+
+
+@given(st.lists(ground_terms, min_size=2, max_size=6))
+def test_distinct_terms_have_distinct_keys(terms):
+    for a in terms:
+        for b in terms:
+            if a.sort_key() == b.sort_key():
+                assert a == b
+
+
+@given(ground_terms)
+def test_variables_empty_for_ground(term):
+    assert term.variables() == frozenset()
+
+
+@given(pattern_terms)
+def test_substitute_closes_variables(term):
+    binding = {name: Const(0) for name in term.variables()}
+    assert term.substitute(binding).is_ground()
+
+
+@given(pattern_terms)
+def test_substitution_composition(term):
+    # substituting in two steps equals substituting the composition
+    first = {"X": Const(1)}
+    second = {"Y": Const(2)}
+    combined = {"X": Const(1), "Y": Const(2)}
+    assert term.substitute(first).substitute(second) == term.substitute(combined)
+
+
+@given(st.lists(ground_terms, max_size=5))
+def test_set_depth_of_setval(items):
+    s = SetVal(items)
+    inner = max((set_depth(t) for t in s.elements), default=0)
+    assert set_depth(s) == inner + 1
+
+
+@given(st.lists(ground_terms, max_size=5), st.lists(ground_terms, max_size=5))
+def test_setval_union_via_frozenset(a_items, b_items):
+    a = SetVal(a_items)
+    b = SetVal(b_items)
+    union = SetVal(a.elements | b.elements)
+    assert all(x in union for x in a)
+    assert all(x in union for x in b)
+    assert len(union) <= len(a) + len(b)

@@ -1,0 +1,82 @@
+"""Property test: well-founded win-move equals backward induction.
+
+The win-move game has a classical game-theoretic solution computable
+without logic programming: positions with no moves LOSE; a position
+WINS iff some move reaches a LOSing position; iterate to fixpoint;
+everything unresolved is a DRAW.  The well-founded model of
+``win(X) <- move(X, Y), ~win(Y)`` must agree exactly: WIN = true,
+LOSE = false, DRAW = undefined.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parser import parse_program
+from repro.program.rule import Atom
+from repro.semantics.wellfounded import wellfounded
+from repro.terms.term import Const
+
+WIN_RULE = "win(X) <- move(X, Y), ~win(Y)."
+
+edges = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    min_size=1,
+    max_size=16,
+    unique=True,
+)
+
+
+def backward_induction(pairs):
+    """Classical WIN/LOSE/DRAW labelling of a finite game graph."""
+    nodes = {a for a, _ in pairs} | {b for _, b in pairs}
+    moves = {n: set() for n in nodes}
+    for a, b in pairs:
+        moves[a].add(b)
+    label = {}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            if n in label:
+                continue
+            succ = moves[n]
+            if any(label.get(s) == "lose" for s in succ):
+                label[n] = "win"
+                changed = True
+            elif all(label.get(s) == "win" for s in succ):
+                # includes the no-moves case (vacuously all win)
+                label[n] = "lose"
+                changed = True
+    for n in nodes:
+        label.setdefault(n, "draw")
+    return label
+
+
+@given(edges)
+@settings(max_examples=60, deadline=None)
+def test_wellfounded_matches_backward_induction(pairs):
+    facts = " ".join(f"move({a}, {b})." for a, b in pairs)
+    program, _ = parse_program(facts + WIN_RULE)
+    model = wellfounded(program)
+    expected = backward_induction(pairs)
+    for node, verdict in expected.items():
+        fact = Atom("win", (Const(node),))
+        wf = model.value_of(fact)
+        if verdict == "win":
+            assert wf == "true", node
+        elif verdict == "lose":
+            assert wf == "false", node
+        else:
+            assert wf == "undefined", node
+
+
+@given(edges)
+@settings(max_examples=30, deadline=None)
+def test_wellfounded_true_subset_of_over(pairs):
+    facts = " ".join(f"move({a}, {b})." for a, b in pairs)
+    program, _ = parse_program(facts + WIN_RULE)
+    model = wellfounded(program)
+    # structural invariants of the three-valued model
+    assert not (model.true & model.undefined)
+    for fact in model.undefined:
+        assert fact.pred == "win"  # move facts are never undefined

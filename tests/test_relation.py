@@ -1,0 +1,110 @@
+"""Tests for indexed relations and the fact database (repro.engine)."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.relation import Relation
+from repro.parser import parse_atom
+from repro.terms.term import Const
+
+
+def t(*values):
+    return tuple(Const(v) for v in values)
+
+
+class TestRelation:
+    def test_add_is_idempotent(self):
+        rel = Relation("p", 2)
+        assert rel.add(t(1, 2))
+        assert not rel.add(t(1, 2))
+        assert len(rel) == 1
+
+    def test_arity_enforced(self):
+        rel = Relation("p", 2)
+        with pytest.raises(ValueError):
+            rel.add(t(1))
+
+    def test_lookup_builds_index(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(1, 3), t(2, 4)])
+        hits = set(rel.lookup((0,), t(1)))
+        assert hits == {t(1, 2), t(1, 3)}
+
+    def test_index_maintained_after_insert(self):
+        rel = Relation("p", 2)
+        rel.add(t(1, 2))
+        assert len(list(rel.lookup((0,), t(1)))) == 1
+        rel.add(t(1, 9))  # inserted after the index exists
+        assert len(list(rel.lookup((0,), t(1)))) == 2
+
+    def test_lookup_multiple_positions(self):
+        rel = Relation("p", 3)
+        rel.add_all([t(1, 2, 3), t(1, 2, 4), t(1, 5, 3)])
+        assert len(list(rel.lookup((0, 1), t(1, 2)))) == 2
+
+    def test_empty_signature_scans_all(self):
+        rel = Relation("p", 1)
+        rel.add_all([t(1), t(2)])
+        assert len(list(rel.lookup((), ()))) == 2
+
+    def test_miss_returns_empty(self):
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        assert list(rel.lookup((0,), t(9))) == []
+
+    def test_copy_is_independent(self):
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        clone = rel.copy()
+        clone.add(t(2))
+        assert len(rel) == 1 and len(clone) == 2
+
+
+class TestDatabase:
+    def test_add_and_contains(self):
+        db = Database()
+        atom = parse_atom("p(1, 2)")
+        assert db.add(atom)
+        assert atom in db
+        assert not db.add(atom)
+
+    def test_rejects_non_ground(self):
+        db = Database()
+        with pytest.raises(ValueError):
+            db.add(parse_atom("p(X)"))
+
+    def test_count(self):
+        db = Database([parse_atom("p(1)"), parse_atom("p(2)"), parse_atom("q(1)")])
+        assert db.count("p") == 2
+        assert db.count("missing") == 0
+        assert db.count() == 3
+
+    def test_atoms_roundtrip(self):
+        facts = {parse_atom("p(1)"), parse_atom("q(2, 3)")}
+        db = Database(facts)
+        assert set(db.atoms()) == facts
+
+    def test_sorted_atoms_deterministic(self):
+        db = Database([parse_atom("p(2)"), parse_atom("p(1)")])
+        assert [a.args[0].value for a in db.sorted_atoms("p")] == [1, 2]
+
+    def test_copy_independent(self):
+        db = Database([parse_atom("p(1)")])
+        clone = db.copy()
+        clone.add(parse_atom("p(2)"))
+        assert db.count() == 1 and clone.count() == 2
+
+    def test_equality_by_content(self):
+        a = Database([parse_atom("p(1)")])
+        b = Database([parse_atom("p(1)")])
+        assert a == b
+        b.add(parse_atom("p(2)"))
+        assert a != b
+
+    def test_tuples_of_unknown_pred_empty(self):
+        assert list(Database().tuples("nope")) == []
+
+    def test_same_pred_same_arity_enforced(self):
+        db = Database([parse_atom("p(1)")])
+        with pytest.raises(ValueError):
+            db.add(parse_atom("p(1, 2)"))

@@ -1,0 +1,157 @@
+"""Unit tests for model checking, minimality, and model enumeration."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_rules
+from repro.semantics import (
+    all_models,
+    enumerate_models,
+    first_violation,
+    generate_candidates,
+    has_model,
+    improves_on,
+    is_minimal_among,
+    is_model,
+    minimal_models,
+    submodel,
+    violations,
+)
+from repro.terms.term import Const
+
+
+def atoms(*sources):
+    return frozenset(parse_atom(s) for s in sources)
+
+
+class TestIsModel:
+    def test_empty_program_any_interpretation(self):
+        program = parse_rules("")
+        assert is_model(program, atoms("junk(1)"))
+
+    def test_fact_must_be_present(self):
+        program = parse_rules("p(1).")
+        assert not is_model(program, frozenset())
+        assert is_model(program, atoms("p(1)"))
+
+    def test_simple_rule(self):
+        program = parse_rules("q(X) <- p(X).")
+        assert is_model(program, atoms("p(1)", "q(1)"))
+        assert not is_model(program, atoms("p(1)"))
+
+    def test_negation(self):
+        program = parse_rules("q(X) <- p(X), ~r(X).")
+        assert not is_model(program, atoms("p(1)"))
+        assert is_model(program, atoms("p(1)", "r(1)"))
+        assert is_model(program, atoms("p(1)", "q(1)"))
+
+    def test_builtin_in_body(self):
+        program = parse_rules("q(X) <- p(X), X < 2.")
+        assert not is_model(program, atoms("p(1)"))
+        assert is_model(program, atoms("p(3)"))
+
+    def test_grouping_rule_requires_grouped_fact(self):
+        program = parse_rules("g(<X>) <- q(X).")
+        assert is_model(program, atoms("q(1)", "q(2)", "g({1, 2})"))
+        # a partial group does not satisfy the formula
+        assert not is_model(program, atoms("q(1)", "q(2)", "g({1})"))
+
+    def test_grouping_rule_with_empty_body_trivially_true(self):
+        program = parse_rules("g(<X>) <- q(X).")
+        assert is_model(program, frozenset())
+
+    def test_extra_facts_allowed(self):
+        # models need not be tight: g({9}) extra is fine
+        program = parse_rules("g(<X>) <- q(X).")
+        assert is_model(program, atoms("q(1)", "g({1})", "g({9})"))
+
+    def test_violation_witness(self):
+        program = parse_rules("q(X) <- p(X).")
+        violation = first_violation(program, atoms("p(1)"))
+        assert violation is not None
+        assert violation.missing_head == parse_atom("q(1)")
+
+    def test_violations_one_per_rule(self):
+        program = parse_rules("q(X) <- p(X). r(X) <- p(X).")
+        found = list(violations(program, atoms("p(1)")))
+        assert len(found) == 2
+
+
+class TestSubmodelAndImproves:
+    def test_submodel_via_domination(self):
+        small = atoms("p({1})")
+        large = atoms("p({1, 2})", "q(1)")
+        assert submodel(small, large)
+        assert not submodel(large, small)
+
+    def test_improves_on_strict_subset(self):
+        assert improves_on(atoms("p(1)"), atoms("p(1)", "q(1)"))
+
+    def test_improves_on_requires_difference(self):
+        m = atoms("p(1)")
+        assert not improves_on(m, m)
+
+    def test_is_minimal_among(self):
+        m1 = atoms("q(1)", "q(2)", "p({1, 2})")
+        m2 = atoms("q(1)", "p({1})")
+        assert is_minimal_among(m2, [m1, m2])
+        assert not is_minimal_among(m1, [m1, m2])
+
+    def test_minimal_models_filter(self):
+        m1 = atoms("q(1)", "q(2)", "p({1, 2})")
+        m2 = atoms("q(1)", "p({1})")
+        assert minimal_models([m1, m2]) == [m2]
+
+
+class TestEnumeration:
+    def test_enumerates_all_models(self):
+        program = parse_rules("q(X) <- p(X). p(1).")
+        candidates = [parse_atom("q(1)"), parse_atom("q(2)")]
+        models = all_models(program, candidates)
+        # q(1) forced; q(2) optional
+        assert frozenset(atoms("p(1)", "q(1)")) in models
+        assert frozenset(atoms("p(1)", "q(1)", "q(2)")) in models
+        assert len(models) == 2
+
+    def test_smallest_first(self):
+        program = parse_rules("p(1).")
+        candidates = [parse_atom("q(1)"), parse_atom("q(2)")]
+        models = all_models(program, candidates)
+        assert models[0] == atoms("p(1)")
+
+    def test_cap_enforced(self):
+        program = parse_rules("p(1).")
+        candidates = [parse_atom(f"q({i})") for i in range(30)]
+        with pytest.raises(EvaluationError):
+            list(enumerate_models(program, candidates))
+
+    def test_has_model(self):
+        program = parse_rules("q(X) <- p(X). p(1).")
+        assert has_model(program, [parse_atom("q(1)")])
+        assert not has_model(program, [parse_atom("q(2)")])
+
+
+class TestGenerateCandidates:
+    def test_covers_program_predicates(self):
+        program = parse_rules("q(X) <- p(X).")
+        candidates = generate_candidates(
+            program, [Const(1)], max_set_size=0, max_set_depth=0
+        )
+        preds = {a.pred for a in candidates}
+        assert preds == {"p", "q"}
+
+    def test_set_closure(self):
+        program = parse_rules("p(1).")
+        candidates = generate_candidates(
+            program, [Const(1)], max_set_size=1, max_set_depth=1
+        )
+        assert parse_atom("p({1})") in candidates
+        assert parse_atom("p({})") in candidates
+
+    def test_explicit_predicates(self):
+        program = parse_rules("")
+        candidates = generate_candidates(
+            program, [Const(1)], predicates=[("r", 2)],
+            max_set_size=0, max_set_depth=0,
+        )
+        assert candidates == [parse_atom("r(1, 1)")]

@@ -1,0 +1,165 @@
+"""Tests for sip construction and validation (paper §6 conditions 1-3)."""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.errors import MagicRewriteError
+from repro.magic import (
+    HEAD_NODE,
+    bound_first_sip,
+    evaluate_magic,
+    left_to_right_sip,
+    magic_rewrite,
+    validate_sip,
+)
+from repro.magic.sips import Sip, SipArc
+from repro.parser import parse_program, parse_query, parse_rule, parse_rules
+
+
+class TestDefaultSipConstruction:
+    def test_paper_rule2_sip(self):
+        # rule 2: a(X,Y) <- a(X,Z), a(Z,Y) with head bf.
+        # paper: {a_h} ->X a1, {a_h, a1} ->Z a2
+        rule = parse_rule("a(X, Y) <- a(X, Z), a(Z, Y).")
+        sip = left_to_right_sip(rule, "bf")
+        assert len(sip.arcs) == 2
+        first, second = sip.arcs
+        assert first.sources == {HEAD_NODE}
+        assert first.target == 0
+        assert first.label == {"X"}
+        assert HEAD_NODE not in second.sources or second.sources >= {0}
+        assert second.target == 1
+        assert second.label == {"Z"}
+
+    def test_paper_rule4_sip(self):
+        # rule 4: sg(X,Y) <- p(Z1,X), sg(Z1,Z2), p(Z2,Y) with head bf.
+        # paper: {sg_h, p} ->Z1 sg
+        rule = parse_rule("sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).")
+        sip = left_to_right_sip(rule, "bf")
+        to_sg = [arc for arc in sip.arcs if arc.target == 1]
+        assert to_sg
+        assert to_sg[0].label == {"Z1"}
+        assert 0 in to_sg[0].sources  # the p occurrence supplies Z1
+
+    def test_free_head_no_initial_arc(self):
+        rule = parse_rule("a(X, Y) <- a(X, Z), a(Z, Y).")
+        sip = left_to_right_sip(rule, "ff")
+        # nothing bound before the first literal
+        assert all(arc.target != 0 for arc in sip.arcs)
+
+    def test_sips_validate(self):
+        rules = parse_rules(
+            """
+            a(X, Y) <- a(X, Z), a(Z, Y).
+            sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).
+            young(X, <Y>) <- sg(X, Y), ~has_desc(X).
+            """
+        )
+        for rule in rules:
+            for adornment_char in ("b", "f"):
+                adornment = adornment_char + "f" * (rule.head.arity - 1)
+                for strategy in (left_to_right_sip, bound_first_sip):
+                    sip = strategy(rule, adornment)
+                    validate_sip(rule, adornment, sip)
+
+    def test_grouped_head_argument_contributes_nothing(self):
+        # footnote 6: even if marked bound, <Y> passes no bindings.
+        rule = parse_rule("young(X, <Y>) <- sg(X, Y), other(Y).")
+        sip = left_to_right_sip(rule, "bf")
+        for arc in sip.arcs:
+            if HEAD_NODE in arc.sources:
+                assert "Y" not in arc.label or arc.target != 0
+
+
+class TestBoundFirstSip:
+    def test_reorders_to_propagate_bindings(self):
+        rule = parse_rule("t(X, Y) <- t(Z, Y), e(X, Z).")
+        ltr = left_to_right_sip(rule, "bf")
+        bf = bound_first_sip(rule, "bf")
+        assert ltr.order == (0, 1)
+        assert bf.order == (1, 0)
+        # with e first, the recursive call receives Z bound
+        to_t = [arc for arc in bf.arcs if arc.target == 0]
+        assert to_t and to_t[0].label == {"Z"}
+
+    def test_avoids_ff_adornment_blowup(self):
+        src = """
+        e(1, 2). e(2, 3). e(3, 4). e(10, 11).
+        t(X, Y) <- t(Z, Y), e(X, Z).
+        t(X, Y) <- e(X, Y).
+        """
+        program = parse_rules(src)
+        query = parse_query("? t(1, X).")
+        ltr = magic_rewrite(program, query)
+        bf = magic_rewrite(program, query, sip_strategy=bound_first_sip)
+        ltr_preds = {r.head.pred for r in ltr.modified_rules}
+        bf_preds = {r.head.pred for r in bf.modified_rules}
+        assert "t__ff" in ltr_preds  # left-to-right loses the binding
+        assert bf_preds == {"t__bf"}  # bound-first keeps it
+
+    def test_same_answers_under_both_sips(self):
+        src = """
+        e(1, 2). e(2, 3). e(3, 4). e(10, 11).
+        t(X, Y) <- t(Z, Y), e(X, Z).
+        t(X, Y) <- e(X, Y).
+        """
+        program = parse_rules(src)
+        query = parse_query("? t(1, X).")
+        full = evaluate(program).answer_atoms(query)
+        for strategy in (None, bound_first_sip):
+            result = evaluate_magic(
+                program,
+                query,
+                rewrite=lambda p, q, s=strategy: magic_rewrite(p, q, sip_strategy=s),
+            )
+            assert result.answer_atoms() == full
+
+
+class TestValidation:
+    def test_rejects_bad_order(self):
+        rule = parse_rule("p(X) <- q(X), r(X).")
+        bad = Sip(arcs=(), order=(0,))
+        with pytest.raises(MagicRewriteError):
+            validate_sip(rule, "b", bad)
+
+    def test_rejects_source_after_target(self):
+        rule = parse_rule("p(X) <- q(X), r(X).")
+        bad = Sip(
+            arcs=(SipArc(frozenset({1}), 0, frozenset({"X"})),),
+            order=(0, 1),
+        )
+        with pytest.raises(MagicRewriteError):
+            validate_sip(rule, "b", bad)
+
+    def test_rejects_label_var_not_in_target(self):
+        rule = parse_rule("p(X, Y) <- q(X), r(Y).")
+        bad = Sip(
+            arcs=(SipArc(frozenset({HEAD_NODE}), 1, frozenset({"X"})),),
+            order=(0, 1),
+        )
+        with pytest.raises(MagicRewriteError):
+            validate_sip(rule, "bb", bad)
+
+    def test_rejects_disconnected_source(self):
+        rule = parse_rule("p(X, Y) <- q(X), r(X, Y).")
+        bad = Sip(
+            arcs=(
+                SipArc(frozenset({HEAD_NODE, 0}), 1, frozenset({"Y"})),
+            ),
+            order=(0, 1),
+        )
+        # q(X) shares no variable with the label {Y}
+        with pytest.raises(MagicRewriteError):
+            validate_sip(rule, "fb", bad)
+
+    def test_accepts_paper_young_sip(self):
+        # sips for rule 5: {young_h} ->X ~a, {young_h, ~a} ->X sg
+        rule = parse_rule("young(X, <Y>) <- ~a(X, Z), sg(X, Y).")
+        sip = Sip(
+            arcs=(
+                SipArc(frozenset({HEAD_NODE}), 0, frozenset({"X"})),
+                SipArc(frozenset({HEAD_NODE}), 1, frozenset({"X"})),
+            ),
+            order=(0, 1),
+        )
+        validate_sip(rule, "bf", sip)

@@ -1,0 +1,228 @@
+"""Unit tests for the term algebra (repro.terms.term)."""
+
+import pytest
+
+from repro.errors import EvaluationError, NotInUniverseError
+from repro.terms.term import (
+    BOTTOM,
+    EMPTY_SET,
+    Const,
+    Func,
+    GroupTerm,
+    SetPattern,
+    SetVal,
+    Var,
+    contains_group_term,
+    evaluate_ground,
+    group_terms_of,
+    mkset,
+)
+
+
+class TestVar:
+    def test_not_ground(self):
+        assert not Var("X").is_ground()
+
+    def test_variables(self):
+        assert Var("X").variables() == {"X"}
+
+    def test_substitute_bound(self):
+        assert Var("X").substitute({"X": Const(1)}) == Const(1)
+
+    def test_substitute_unbound(self):
+        assert Var("X").substitute({"Y": Const(1)}) == Var("X")
+
+    def test_equality_and_hash(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+        assert hash(Var("X")) == hash(Var("X"))
+
+
+class TestConst:
+    def test_ground(self):
+        assert Const("a").is_ground()
+        assert Const(3).is_ground()
+
+    def test_int_float_distinct(self):
+        # 1 and 1.0 are distinct U-elements.
+        assert Const(1) != Const(1.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            Const(None)
+
+    def test_quoted_only_for_strings(self):
+        assert not Const(3, quoted=True).quoted
+        assert Const("a b", quoted=True).quoted
+
+    def test_quoted_flag_does_not_affect_equality(self):
+        assert Const("a", quoted=True) == Const("a")
+
+
+class TestFunc:
+    def test_rejects_zero_arity(self):
+        with pytest.raises(ValueError):
+            Func("f", ())
+
+    def test_groundness(self):
+        assert Func("f", [Const(1)]).is_ground()
+        assert not Func("f", [Var("X")]).is_ground()
+
+    def test_variables_recursive(self):
+        term = Func("f", [Var("X"), Func("g", [Var("Y")])])
+        assert term.variables() == {"X", "Y"}
+
+    def test_substitute(self):
+        term = Func("f", [Var("X")])
+        assert term.substitute({"X": Const(1)}) == Func("f", [Const(1)])
+
+    def test_walk_preorder(self):
+        inner = Func("g", [Const(1)])
+        term = Func("f", [inner])
+        walked = list(term.walk())
+        assert walked[0] == term
+        assert inner in walked
+        assert Const(1) in walked
+
+
+class TestSetVal:
+    def test_deduplicates(self):
+        assert mkset([Const(1), Const(1)]) == mkset([Const(1)])
+
+    def test_order_insensitive(self):
+        assert mkset([Const(1), Const(2)]) == mkset([Const(2), Const(1)])
+
+    def test_rejects_non_ground_elements(self):
+        with pytest.raises(ValueError):
+            SetVal([Var("X")])
+
+    def test_empty_set_constant(self):
+        assert EMPTY_SET == SetVal()
+        assert len(EMPTY_SET) == 0
+
+    def test_iteration_deterministic(self):
+        s = mkset([Const(3), Const(1), Const(2)])
+        assert list(s) == [Const(1), Const(2), Const(3)]
+
+    def test_contains(self):
+        assert Const(1) in mkset([Const(1)])
+        assert Const(2) not in mkset([Const(1)])
+
+    def test_nested_sets(self):
+        nested = mkset([mkset([Const(1)])])
+        assert mkset([Const(1)]) in nested
+
+    def test_hashable(self):
+        assert hash(mkset([Const(1)])) == hash(mkset([Const(1)]))
+
+
+class TestSetPattern:
+    def test_ground_substitution_becomes_setval(self):
+        pattern = SetPattern([Var("X"), Const(2)])
+        result = pattern.substitute({"X": Const(1)})
+        assert result == mkset([Const(1), Const(2)])
+
+    def test_rest_union(self):
+        pattern = SetPattern([Var("X")], rest=Var("R"))
+        result = pattern.substitute({"X": Const(1), "R": mkset([Const(2)])})
+        assert result == mkset([Const(1), Const(2)])
+
+    def test_duplicates_collapse(self):
+        pattern = SetPattern([Var("X"), Var("Y")])
+        result = pattern.substitute({"X": Const(1), "Y": Const(1)})
+        assert result == mkset([Const(1)])
+
+    def test_partial_substitution_stays_pattern(self):
+        pattern = SetPattern([Var("X"), Var("Y")])
+        result = pattern.substitute({"X": Const(1)})
+        assert isinstance(result, SetPattern)
+        assert result.variables() == {"Y"}
+
+
+class TestGroupTerm:
+    def test_never_ground(self):
+        assert not GroupTerm(Const(1)).is_ground()
+
+    def test_detection(self):
+        term = Func("f", [GroupTerm(Var("X"))])
+        assert contains_group_term(term)
+        assert not contains_group_term(Func("f", [Var("X")]))
+
+    def test_group_terms_of(self):
+        inner = GroupTerm(Var("X"))
+        term = Func("f", [inner, GroupTerm(Var("Y"))])
+        assert len(group_terms_of(term)) == 2
+
+
+class TestEvaluateGround:
+    def test_scons_adds_element(self):
+        term = Func("scons", [Const(1), mkset([Const(2)])])
+        assert evaluate_ground(term) == mkset([Const(1), Const(2)])
+
+    def test_scons_idempotent_on_member(self):
+        term = Func("scons", [Const(1), mkset([Const(1)])])
+        assert evaluate_ground(term) == mkset([Const(1)])
+
+    def test_scons_on_non_set_outside_universe(self):
+        term = Func("scons", [Const(1), Const(2)])
+        with pytest.raises(NotInUniverseError):
+            evaluate_ground(term)
+
+    def test_nested_scons(self):
+        term = Func("scons", [Const(1), Func("scons", [Const(2), SetVal()])])
+        assert evaluate_ground(term) == mkset([Const(1), Const(2)])
+
+    def test_arithmetic_folds(self):
+        term = Func("+", [Const(1), Const(2)])
+        assert evaluate_ground(term) == Const(3)
+
+    def test_arithmetic_on_symbols_is_error(self):
+        term = Func("+", [Const("a"), Const(1)])
+        with pytest.raises(EvaluationError):
+            evaluate_ground(term)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            evaluate_ground(Func("/", [Const(1), Const(0)]))
+
+    def test_integer_division_stays_integral(self):
+        assert evaluate_ground(Func("/", [Const(6), Const(3)])) == Const(2)
+
+    def test_free_functor_maps_to_itself(self):
+        term = Func("f", [Const(1)])
+        assert evaluate_ground(term) == term
+
+    def test_non_ground_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_ground(Var("X"))
+
+    def test_group_term_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate_ground(GroupTerm(Const(1)))
+
+    def test_set_inside_functor(self):
+        term = Func("f", [Func("scons", [Const(1), SetVal()])])
+        assert evaluate_ground(term) == Func("f", [mkset([Const(1)])])
+
+
+class TestSortKeys:
+    def test_total_order_across_kinds(self):
+        terms = [
+            Var("X"),
+            Const(1),
+            Const("a"),
+            Func("f", [Const(1)]),
+            mkset([Const(1)]),
+            BOTTOM,
+        ]
+        keys = [t.sort_key() for t in terms]
+        assert sorted(keys) is not None  # all keys mutually comparable
+
+    def test_key_consistent_with_equality(self):
+        a = mkset([Const(1), Const(2)])
+        b = mkset([Const(2), Const(1)])
+        assert a.sort_key() == b.sort_key()

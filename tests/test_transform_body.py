@@ -1,0 +1,135 @@
+"""Tests for LDL1.5 complex body terms (paper §4.1)."""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.errors import WellFormednessError
+from repro.parser import parse_rules
+from repro.program.wellformed import check_program
+from repro.transform import compile_body_sets
+from repro.terms.pretty import format_atom
+
+
+def run_compiled(src, pred):
+    program = compile_body_sets(parse_rules(src))
+    check_program(program)  # result must be valid base LDL1
+    result = evaluate(program)
+    return {format_atom(a) for a in result.database.atoms(pred)}
+
+
+class TestSimpleBodyGroups:
+    def test_element_ranging(self):
+        # p(<X>) matches set-valued p tuples, X over elements.
+        facts = run_compiled(
+            "p({1, 2}). p(3). p({4}). q(X) <- p(<X>).", "q"
+        )
+        assert facts == {"q(1)", "q(2)", "q(4)"}
+
+    def test_non_set_tuples_skipped(self):
+        facts = run_compiled("p(3). q(X) <- p(<X>).", "q")
+        assert facts == set()
+
+    def test_empty_set_contributes_nothing(self):
+        # t must be a member, so {} cannot match.
+        facts = run_compiled("p({}). p({1}). q(X) <- p(<X>).", "q")
+        assert facts == {"q(1)"}
+
+    def test_group_at_non_first_position(self):
+        facts = run_compiled(
+            "p(a, {1, 2}). p(b, 7). q(K, X) <- p(K, <X>).", "q"
+        )
+        assert facts == {"q(a, 1)", "q(a, 2)"}
+
+    def test_two_groups_in_one_literal(self):
+        facts = run_compiled(
+            "p({1}, {a, b}). q(X, Y) <- p(<X>, <Y>).", "q"
+        )
+        assert facts == {"q(1, a)", "q(1, b)"}
+
+    def test_rewrite_is_identity_without_groups(self):
+        program = parse_rules("p(1). q(X) <- p(X).")
+        assert compile_body_sets(program) == program
+
+
+class TestUniformStructure:
+    def test_paper_nested_example(self):
+        # the paper: p(<<X>>) does not match p({{1,2}, 3, {4,5}}) because
+        # 3 is not a set; it does match p({{1,2}, {3}, {4,5}}).
+        facts = run_compiled(
+            """
+            bad({{1, 2}, 3, {4, 5}}).
+            q(X) <- bad(<<X>>).
+            """,
+            "q",
+        )
+        assert facts == set()
+        facts = run_compiled(
+            """
+            good({{1, 2}, {3}, {4, 5}}).
+            q(X) <- good(<<X>>).
+            """,
+            "q",
+        )
+        assert facts == {"q(1)", "q(2)", "q(3)", "q(4)", "q(5)"}
+
+    def test_structured_elements(self):
+        facts = run_compiled(
+            """
+            p({f(1, {a, b}), f(2, {c})}).
+            p({f(1, {a}), g(2)}).
+            q(X, Y) <- p(<f(X, <Y>)>).
+            """,
+            "q",
+        )
+        # the second p fact mixes f- and g-shaped elements: not uniform.
+        assert facts == {"q(1, a)", "q(1, b)", "q(2, c)"}
+
+    def test_inner_non_set_breaks_uniformity(self):
+        facts = run_compiled(
+            """
+            p({f(1, {a}), f(2, b)}).
+            q(X, Y) <- p(<f(X, <Y>)>).
+            """,
+            "q",
+        )
+        assert facts == set()
+
+    def test_uniformity_is_per_tuple(self):
+        # one malformed p tuple must not poison a well-formed one
+        facts = run_compiled(
+            """
+            p({{1}, 2}).
+            p({{3}}).
+            q(X) <- p(<<X>>).
+            """,
+            "q",
+        )
+        assert facts == {"q(3)"}
+
+
+class TestInteractionWithRuleContext:
+    def test_join_with_other_literals(self):
+        facts = run_compiled(
+            """
+            p({1, 2, 3}). odd(1). odd(3).
+            q(X) <- p(<X>), odd(X).
+            """,
+            "q",
+        )
+        assert facts == {"q(1)", "q(3)"}
+
+    def test_group_var_shared_with_head_function(self):
+        facts = run_compiled(
+            "p({1, 2}). q(f(X)) <- p(<X>).", "q"
+        )
+        assert facts == {"q(f(1))", "q(f(2))"}
+
+    def test_negated_occurrence_rejected(self):
+        program = parse_rules("p({1}). q(X) <- r(X), ~p(<X>). r(1).")
+        with pytest.raises(WellFormednessError):
+            compile_body_sets(program)
+
+    def test_builtin_occurrence_rejected(self):
+        program = parse_rules("q(X) <- r(X), member(<X>, {1}). r(1).")
+        with pytest.raises(WellFormednessError):
+            compile_body_sets(program)

@@ -1,0 +1,146 @@
+"""Tests for LDL1.5 complex head terms (paper §4.2)."""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.parser import parse_rules, parse_term
+from repro.program.wellformed import check_program
+from repro.transform import compile_head_terms, compile_ldl15
+from repro.terms.pretty import format_atom
+
+TEACHING = """
+r(t1, s1, c1, mon). r(t1, s1, c1, wed). r(t1, s2, c2, tue).
+r(t2, s1, c3, mon).
+"""
+
+
+def run_compiled(src, pred, alternative=False):
+    program = compile_head_terms(parse_rules(src), alternative=alternative)
+    check_program(program)
+    result = evaluate(program)
+    return {format_atom(a) for a in result.database.atoms(pred)}
+
+
+class TestValidHeadTermsParse:
+    # §4.2.1: "Some valid head terms"
+    EXAMPLES = [
+        "X",
+        "<X>",
+        "(X, Y)",
+        "<g(X, Y)>",
+        "(X, <X>, <Y>)",
+        "(X, <h(Y, <Z>)>, (Y, <W>))",
+        "(X, Y, Z, <W>)",
+    ]
+
+    @pytest.mark.parametrize("src", EXAMPLES)
+    def test_parses(self, src):
+        parse_term(src)
+
+
+class TestDistribution:
+    def test_teacher_students_days(self):
+        # (T, <S>, <D>) from §4.2.1
+        facts = run_compiled(
+            TEACHING + "out(T, <S>, <D>) <- r(T, S, C, D).", "out"
+        )
+        assert facts == {
+            "out(t1, {s1, s2}, {mon, tue, wed})",
+            "out(t2, {s1}, {mon})",
+        }
+
+    def test_distribution_with_plain_args_kept(self):
+        facts = run_compiled(
+            "e(a, 1, x). e(a, 2, y). out(K, <N>, <V>) <- e(K, N, V).", "out"
+        )
+        assert facts == {"out(a, {1, 2}, {x, y})"}
+
+
+class TestGroupingTransformation:
+    def test_nested_grouping_teacher_example(self):
+        # (T, <h(S, <D>)>): "a set of days in which the student takes
+        # some class (not necessarily with this teacher)"
+        facts = run_compiled(
+            TEACHING + "out(T, <h(S, <D>)>) <- r(T, S, C, D).", "out"
+        )
+        assert facts == {
+            "out(t1, {h(s1, {mon, wed}), h(s2, {tue})})",
+            # s1's day set includes wed even under t2
+            "out(t2, {h(s1, {mon, wed})})",
+        }
+
+    def test_tuple_head_per_teacher_student(self):
+        # ((T, S), <(C, <D>)>): per (teacher, student), classes with the
+        # days each class is taught by anyone.
+        facts = run_compiled(
+            TEACHING + "out((T, S), <(C, <D>)>) <- r(T, S, C, D).", "out"
+        )
+        assert facts == {
+            "out((t1, s1), {(c1, {mon, wed})})",
+            "out((t1, s2), {(c2, {tue})})",
+            "out((t2, s1), {(c3, {mon})})",
+        }
+
+    def test_grouped_constant(self):
+        facts = run_compiled("b(1). b(2). out(<c>) <- b(X).", "out")
+        assert facts == {"out({c})"}
+
+    def test_grouped_complex_term_without_nesting(self):
+        facts = run_compiled(
+            "e(1, a). e(2, b). out(<f(X, Y)>) <- e(X, Y).", "out"
+        )
+        assert facts == {"out({f(1, a), f(2, b)})"}
+
+    def test_base_rules_untouched(self):
+        program = parse_rules("g(K, <V>) <- e(K, V). e(a, 1).")
+        assert compile_head_terms(program) == program
+
+
+class TestAlternativeSemantics:
+    def test_alternative_keys_include_outer_vars(self):
+        # (ii)': under T's grouping, S's day-set is restricted to this T.
+        default = run_compiled(
+            TEACHING + "out(T, <h(S, <D>)>) <- r(T, S, C, D).", "out"
+        )
+        alt = run_compiled(
+            TEACHING + "out(T, <h(S, <D>)>) <- r(T, S, C, D).",
+            "out",
+            alternative=True,
+        )
+        assert default != alt
+        # t2 now sees only its own day with s1
+        assert "out(t2, {h(s1, {mon})})" in alt
+
+    def test_alternative_same_when_no_outer_vars(self):
+        src = "e(1, a). e(2, a). out(<f(X)>) <- e(X, Y)."
+        assert run_compiled(src, "out") == run_compiled(
+            src, "out", alternative=True
+        )
+
+
+class TestNesting:
+    def test_ungrouped_complex_arg_with_inner_group(self):
+        # p(X, g(Y, <D>)): one g-fact per (X, Y) with the grouped days.
+        facts = run_compiled(
+            "e(a, u, 1). e(a, u, 2). e(b, v, 3). out(X, g(Y, <D>)) <- e(X, Y, D).",
+            "out",
+        )
+        assert facts == {
+            "out(a, g(u, {1, 2}))",
+            "out(b, g(v, {3}))",
+        }
+
+
+class TestFullPipeline:
+    def test_compile_ldl15_head_and_body(self):
+        program = parse_rules(
+            """
+            raw(k1, {1, 2}). raw(k2, {3}).
+            collected(<f(K, X)>) <- raw(K, <X>).
+            """
+        )
+        compiled = compile_ldl15(program)
+        check_program(compiled)
+        result = evaluate(compiled)
+        facts = {format_atom(a) for a in result.database.atoms("collected")}
+        assert facts == {"collected({f(k1, 1), f(k1, 2), f(k2, 3)})"}

@@ -1,0 +1,139 @@
+"""Tests for negation elimination via grouping (paper §3.3)."""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.errors import NotAdmissibleError
+from repro.parser import parse_rules
+from repro.program.dependency import is_admissible
+from repro.transform import eliminate_negation
+from repro.terms.pretty import format_atom
+
+
+def model_of(program, preds):
+    result = evaluate(program)
+    return {
+        format_atom(a)
+        for pred in preds
+        for a in result.database.atoms(pred)
+    }
+
+
+EXCL_ANCESTOR = """
+parent(a, b). parent(b, c).
+person(a). person(b). person(c).
+anc(X, Y) <- parent(X, Y).
+anc(X, Y) <- parent(X, Z), anc(Z, Y).
+excl(X, Y, Z) <- anc(X, Y), person(Z), ~anc(X, Z).
+"""
+
+
+class TestEliminateNegation:
+    def test_result_is_positive(self):
+        program = parse_rules(EXCL_ANCESTOR)
+        assert not program.is_positive()
+        assert eliminate_negation(program).is_positive()
+
+    def test_admissibility_preserved(self):
+        # paper §3.3 observation (1)
+        program = parse_rules(EXCL_ANCESTOR)
+        assert is_admissible(eliminate_negation(program))
+
+    def test_standard_model_preserved(self):
+        # paper §3.3 observation (2): the standard model of the
+        # transformed program restricted to original predicates equals
+        # the original standard model.
+        program = parse_rules(EXCL_ANCESTOR)
+        preds = program.predicates()
+        assert model_of(program, preds) == model_of(
+            eliminate_negation(program), preds
+        )
+
+    def test_no_negation_is_identity(self):
+        program = parse_rules("p(1). q(X) <- p(X).")
+        assert eliminate_negation(program) == program
+
+    def test_unary_negation(self):
+        program = parse_rules(
+            """
+            b(1). b(2). r(1).
+            p(X) <- b(X), ~r(X).
+            """
+        )
+        transformed = eliminate_negation(program)
+        assert transformed.is_positive()
+        assert model_of(program, {"p"}) == model_of(transformed, {"p"})
+        assert model_of(transformed, {"p"}) == {"p(2)"}
+
+    def test_multiple_negations_in_one_rule(self):
+        program = parse_rules(
+            """
+            b(1). b(2). b(3). r(1). s(2).
+            p(X) <- b(X), ~r(X), ~s(X).
+            """
+        )
+        transformed = eliminate_negation(program)
+        assert transformed.is_positive()
+        assert model_of(transformed, {"p"}) == {"p(3)"}
+
+    def test_negation_in_two_rules(self):
+        program = parse_rules(
+            """
+            b(1). b(2). r(1).
+            p(X) <- b(X), ~r(X).
+            q(X) <- b(X), ~p(X).
+            """
+        )
+        transformed = eliminate_negation(program)
+        assert transformed.is_positive()
+        assert model_of(program, {"p", "q"}) == model_of(
+            transformed, {"p", "q"}
+        )
+
+    def test_negation_over_set_arguments(self):
+        program = parse_rules(
+            """
+            s(1, {a}). s(2, {a, b}). keyset({a}).
+            odd(X) <- s(X, S), ~keyset(S).
+            """
+        )
+        transformed = eliminate_negation(program)
+        assert transformed.is_positive()
+        assert model_of(transformed, {"odd"}) == {"odd(2)"}
+
+    def test_recursive_rule_with_lower_layer_binding(self):
+        # negation whose variables are bound by a lower-layer literal in
+        # a recursive rule: context must avoid the recursive predicate.
+        program = parse_rules(
+            """
+            edge(1, 2). edge(2, 3). edge(3, 4). blocked(3).
+            reach(1).
+            reach(Y) <- reach(X), edge(X, Y), ~blocked(Y).
+            """
+        )
+        transformed = eliminate_negation(program)
+        assert is_admissible(transformed)
+        assert model_of(program, {"reach"}) == model_of(
+            transformed, {"reach"}
+        )
+        assert model_of(transformed, {"reach"}) == {"reach(1)", "reach(2)"}
+
+    def test_unbindable_context_raises(self):
+        # X is only bound by the recursive literal: the executable
+        # transformation cannot build a lower-layer context.
+        program = parse_rules(
+            """
+            seed(1). bad(2).
+            t(X) <- seed(X).
+            t(X) <- t(X), ~bad(X).
+            """
+        )
+        with pytest.raises(NotAdmissibleError):
+            eliminate_negation(program)
+
+    def test_bottom_constant_unparsable_name(self):
+        # the reserved constant cannot collide with user symbols: it is
+        # only writable as a quoted string.
+        from repro.terms.term import BOTTOM
+
+        assert BOTTOM.value == "$bottom"

@@ -1,0 +1,87 @@
+"""Tests for the LDL1 universe (repro.terms.universe)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.terms.term import Const, Func, GroupTerm, SetPattern, SetVal, Var, mkset
+from repro.terms.universe import finite_subsets, in_universe, set_depth, universe_rank
+
+
+class TestMembership:
+    def test_constants_in_u0(self):
+        assert in_universe(Const("a"))
+        assert in_universe(Const(7))
+
+    def test_variables_not_in_u(self):
+        assert not in_universe(Var("X"))
+
+    def test_scons_terms_not_in_u(self):
+        # "terms involving scons are not contained in U0" and are
+        # interpreted into U rather than being members.
+        assert not in_universe(Func("scons", [Const(1), SetVal()]))
+
+    def test_set_patterns_not_canonical(self):
+        assert not in_universe(SetPattern([Const(1)]))
+
+    def test_group_terms_not_in_u(self):
+        assert not in_universe(GroupTerm(Var("X")))
+
+    def test_free_functor_terms(self):
+        assert in_universe(Func("s", [Func("s", [Const(0)])]))
+
+    def test_sets_of_sets(self):
+        assert in_universe(mkset([mkset([Const(1)]), Const(2)]))
+
+    def test_functor_over_set(self):
+        assert in_universe(Func("f", [mkset([Const(1)])]))
+
+
+class TestRank:
+    def test_simple_terms_rank_zero(self):
+        assert universe_rank(Const("a")) == 0
+        assert universe_rank(Func("s", [Const(0)])) == 0
+
+    def test_flat_set_rank_one(self):
+        assert universe_rank(mkset([Const(1), Const(2)])) == 1
+        assert universe_rank(SetVal()) == 1
+
+    def test_nested_set_rank(self):
+        assert universe_rank(mkset([mkset([Const(1)])])) == 2
+
+    def test_functor_does_not_raise_rank(self):
+        assert universe_rank(Func("f", [mkset([Const(1)])])) == 1
+
+    def test_rank_of_non_member_raises(self):
+        with pytest.raises(EvaluationError):
+            universe_rank(Var("X"))
+
+
+class TestSetDepth:
+    def test_matches_rank_for_members(self):
+        terms = [
+            Const(1),
+            mkset([Const(1)]),
+            mkset([mkset([Const(1)]), Const(2)]),
+            Func("f", [mkset([mkset([Const(1)])])]),
+        ]
+        for term in terms:
+            assert set_depth(term) == universe_rank(term)
+
+
+class TestFiniteSubsets:
+    def test_counts_power_set(self):
+        base = {Const(i) for i in range(4)}
+        assert sum(1 for _ in finite_subsets(base)) == 16
+
+    def test_max_size_cap(self):
+        base = {Const(i) for i in range(5)}
+        capped = list(finite_subsets(base, max_size=1))
+        assert len(capped) == 6  # empty set + five singletons
+
+    def test_all_members_are_subsets(self):
+        base = frozenset({Const(1), Const(2)})
+        for subset in finite_subsets(base):
+            assert subset.elements <= base
+
+    def test_empty_input(self):
+        assert list(finite_subsets(set())) == [SetVal()]

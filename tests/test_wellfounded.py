@@ -1,0 +1,112 @@
+"""Tests for the well-founded semantics (repro.semantics.wellfounded).
+
+The paper's §7 open problem — admissibility may be too restrictive —
+is answered here: non-stratifiable negation gets the three-valued
+well-founded model, which collapses to the paper's standard model on
+admissible programs.
+"""
+
+import pytest
+
+from repro.engine import evaluate
+from repro.errors import EvaluationError
+from repro.parser import parse_atom, parse_program, parse_rules
+from repro.semantics.wellfounded import wellfounded
+from repro.workloads.generator import GeneratorConfig, random_program
+
+WIN_MOVE = """
+win(X) <- move(X, Y), ~win(Y).
+"""
+
+
+def game(*edges):
+    facts = " ".join(f"move({a}, {b})." for a, b in edges)
+    program, _ = parse_program(facts + WIN_MOVE)
+    return program
+
+
+class TestWinMoveGame:
+    def test_chain_positions(self):
+        # a -> b -> c: c cannot move (loses), so b wins, so a loses.
+        model = wellfounded(game(("a", "b"), ("b", "c")))
+        assert model.value_of(parse_atom("win(b)")) == "true"
+        assert model.value_of(parse_atom("win(a)")) == "false"
+        assert model.value_of(parse_atom("win(c)")) == "false"
+        assert model.is_total()
+
+    def test_two_cycle_is_a_draw(self):
+        model = wellfounded(game(("x", "y"), ("y", "x")))
+        assert model.value_of(parse_atom("win(x)")) == "undefined"
+        assert model.value_of(parse_atom("win(y)")) == "undefined"
+        assert not model.is_total()
+
+    def test_odd_cycle_undefined(self):
+        model = wellfounded(game(("p", "q"), ("q", "r"), ("r", "p")))
+        for pos in ("p", "q", "r"):
+            assert model.value_of(parse_atom(f"win({pos})")) == "undefined"
+
+    def test_escape_from_cycle_wins(self):
+        # x <-> y, plus x -> z where z is stuck: x can force a win.
+        model = wellfounded(game(("x", "y"), ("y", "x"), ("x", "z")))
+        assert model.value_of(parse_atom("win(x)")) == "true"
+        # y's only move reaches the winning x: y loses.
+        assert model.value_of(parse_atom("win(y)")) == "false"
+
+    def test_inadmissible_program_accepted(self):
+        # the whole point: win/move is not stratifiable.
+        from repro.program.dependency import is_admissible
+
+        program = game(("a", "b"))
+        assert not is_admissible(program)
+        assert wellfounded(program).is_total()
+
+
+class TestAgreementWithStandardModel:
+    def test_stratified_program_total_and_equal(self):
+        program = parse_rules(
+            """
+            b(1). b(2). b(3). r(1).
+            p(X) <- b(X), ~r(X).
+            q(X) <- b(X), ~p(X).
+            """
+        )
+        model = wellfounded(program)
+        assert model.is_total()
+        standard = evaluate(program).database.as_set()
+        assert model.true == standard
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_admissible_programs_agree(self, seed):
+        generated = random_program(
+            seed, GeneratorConfig(grouping_probability=0.0)
+        )
+        model = wellfounded(generated.program, edb=generated.edb)
+        assert model.is_total()
+        standard = evaluate(
+            generated.program, edb=generated.edb
+        ).database.as_set()
+        assert model.true == standard
+
+
+class TestRestrictions:
+    def test_grouping_rejected(self):
+        program = parse_rules("g(K, <V>) <- e(K, V). e(a, 1).")
+        with pytest.raises(EvaluationError):
+            wellfounded(program)
+
+    def test_paper_even_program_needs_finite_domain(self):
+        # the §1 even/int program has an infinite universe; its finite
+        # restriction gets a total well-founded model.
+        program = parse_rules(
+            """
+            num(0). num(1). num(2). num(3).
+            succ(0, 1). succ(1, 2). succ(2, 3).
+            even(0).
+            even(Y) <- succ(X, Y), ~even(X).
+            """
+        )
+        model = wellfounded(program)
+        assert model.is_total()
+        assert model.value_of(parse_atom("even(2)")) == "true"
+        assert model.value_of(parse_atom("even(1)")) == "false"
+        assert model.value_of(parse_atom("even(3)")) == "false"

@@ -1,0 +1,160 @@
+"""Tests for the synthetic workload generators and their programs."""
+
+from repro import LDL
+from repro.workloads import (
+    BOOK_DEAL_PROGRAM,
+    BOOK_PAIR_PROGRAM,
+    ORDERED_SUM_PROGRAM,
+    SUPPLIER_PROGRAM,
+    TC_PROGRAM,
+    TC_SCOPED_PROGRAM,
+    bom,
+    books,
+    chain_family,
+    generation_family,
+    random_family,
+    supplies,
+    tree_family,
+)
+
+ANCESTOR = """
+anc(X, Y) <- parent(X, Y).
+anc(X, Y) <- parent(X, Z), anc(Z, Y).
+"""
+
+
+class TestFamilyGenerators:
+    def test_chain_size_and_closure(self):
+        facts = chain_family(10)
+        assert len(facts) == 10
+        db = LDL(ANCESTOR).add_atoms(facts)
+        # transitive closure of a chain of n edges has n(n+1)/2 pairs
+        assert len(db.extension("anc")) == 55
+
+    def test_tree_counts(self):
+        facts = tree_family(depth=3, fanout=2)
+        assert len(facts) == 2 + 4 + 8
+
+    def test_random_family_deterministic_and_acyclic(self):
+        a = random_family(20, 30, seed=5)
+        b = random_family(20, 30, seed=5)
+        assert a == b
+        for atom in a:
+            parent, child = (arg.value for arg in atom.args)
+            assert int(parent[1:]) < int(child[1:])
+
+    def test_generation_family_structure(self):
+        facts = generation_family(generations=3, width=2)
+        parents = [a for a in facts if a.pred == "p"]
+        siblings = [a for a in facts if a.pred == "siblings"]
+        assert len(parents) == 2 * 2 * 2  # 2 gens of edges, 2 people, 2 each
+        assert len(siblings) == 2  # width 2: each pair once per direction
+
+    def test_generation_family_sg_plumbs_through(self):
+        db = LDL(
+            """
+            sg(X, Y) <- siblings(X, Y).
+            sg(X, Y) <- p(Z1, X), sg(Z1, Z2), p(Z2, Y).
+            """
+        ).add_atoms(generation_family(generations=3, width=3))
+        # everyone in the last generation has some same-generation partner
+        answers = db.query("? sg(g_2_0, Y).")
+        assert answers
+
+
+class TestPartsWorkload:
+    def test_bom_counts(self):
+        facts, expected = bom(depth=2, fanout=2, seed=0)
+        p_facts = [a for a in facts if a.pred == "p"]
+        q_facts = [a for a in facts if a.pred == "q"]
+        assert len(p_facts) == 2 + 4
+        assert len(q_facts) == 4
+        assert len(expected) == 7
+
+    def test_expected_costs_consistent(self):
+        _, expected = bom(depth=2, fanout=2, seed=3)
+        # root cost is the sum of its two children
+        assert expected[1] == expected[3] + expected[4]
+
+    def test_all_three_programs_agree(self):
+        facts, expected = bom(depth=2, fanout=2, seed=9)
+        for program, pred in (
+            (TC_PROGRAM, "result"),
+            (TC_SCOPED_PROGRAM, "result"),
+            (ORDERED_SUM_PROGRAM, "result2"),
+        ):
+            db = LDL(program).add_atoms(facts)
+            assert dict(db.extension(pred)) == expected, program
+
+    def test_deterministic(self):
+        assert bom(3, 2, seed=1) == bom(3, 2, seed=1)
+
+
+class TestSupplierWorkload:
+    def test_counts_and_grouping(self):
+        facts = supplies(suppliers=5, parts_per_supplier=4, seed=2)
+        assert len(facts) == 20
+        db = LDL(SUPPLIER_PROGRAM).add_atoms(facts)
+        groups = db.extension("supplier_parts")
+        assert len(groups) == 5
+        assert all(len(parts) == 4 for _, parts in groups)
+
+
+class TestBooksWorkload:
+    def test_deals_respect_budget(self):
+        db = LDL(BOOK_PAIR_PROGRAM).add_atoms(books(12, seed=4))
+        prices = dict(db.extension("book"))
+        for (deal,) in db.extension("book_pair"):
+            assert sum(prices[title] for title in deal) < 100
+
+    def test_triple_deals_may_collapse(self):
+        db = LDL(BOOK_DEAL_PROGRAM).add_atoms(books(6, max_price=40, seed=1))
+        sizes = {len(deal) for (deal,) in db.extension("book_deal")}
+        # singletons arise from X = Y = Z; the paper points this out
+        assert 1 in sizes
+        assert 3 in sizes
+
+
+class TestSocialWorkload:
+    def test_deterministic(self):
+        from repro.workloads import social_network
+
+        assert social_network(20, seed=1) == social_network(20, seed=1)
+
+    def test_program_runs_end_to_end(self):
+        from repro import LDL
+        from repro.workloads import SOCIAL_PROGRAM, social_network
+
+        db = LDL(SOCIAL_PROGRAM).add_atoms(social_network(25, seed=4))
+        model = db.model()
+        assert model.total_facts > 100
+        # recommendations never include existing followees
+        follows = {(a, b) for a, b in db.extension("follows")}
+        for a, b in db.extension("recommend"):
+            assert (a, b) not in follows
+            assert a != b
+
+    def test_audience_matches_follower_sets(self):
+        from repro import LDL
+        from repro.workloads import SOCIAL_PROGRAM, social_network
+
+        db = LDL(SOCIAL_PROGRAM).add_atoms(social_network(25, seed=4))
+        followers = dict(db.extension("followers"))
+        for user, count in db.extension("audience"):
+            assert len(followers[user]) == count
+
+    def test_strategies_agree_on_social(self):
+        from repro import LDL
+        from repro.workloads import SOCIAL_PROGRAM, social_network
+
+        db = LDL(SOCIAL_PROGRAM).add_atoms(social_network(20, seed=9))
+        q = "? recommend(u1, B)."
+        assert db.query(q) == db.query(q, strategy="magic")
+
+
+class TestGeneratorReexports:
+    def test_generator_available_from_workloads(self):
+        from repro.workloads import GeneratorConfig, random_program
+
+        generated = random_program(1, GeneratorConfig(strata=2))
+        assert len(generated.program) > 0
