@@ -64,7 +64,13 @@ def case(workload: str, strategy: str, run: Callable, metric: Callable) -> dict:
 
 def _eval_case(workload, program, edb, strategy):
     def run():
-        return evaluate(program, edb=edb, strategy=strategy)
+        # a fresh collector per run: the harness reads per-phase
+        # (plan/match/grouping) and per-layer timings off the result.
+        from repro.observe import MetricsCollector
+
+        return evaluate(
+            program, edb=edb, strategy=strategy, metrics=MetricsCollector()
+        )
 
     return case(workload, strategy, run, lambda r: r.total_facts)
 

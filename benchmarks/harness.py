@@ -22,35 +22,68 @@ import time
 from common import EXPERIMENT_TITLES, EXPERIMENTS
 
 
-def time_case(case: dict, repeats: int = 3) -> tuple[float, int]:
-    """Best-of-N wall time and the facts metric of one case."""
+def time_case(case: dict, repeats: int = 3) -> tuple[float, int, dict | None]:
+    """Best-of-N wall time, facts metric, and phase timings of one case.
+
+    Cases whose run returns an object carrying a
+    :class:`repro.observe.MetricsCollector` (``result.metrics``) also
+    report per-phase (plan/match/grouping) and per-layer attribution,
+    taken from the last repeat.
+    """
     best = float("inf")
     metric = 0
+    metrics_report = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = case["run"]()
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
         metric = case["metric"](result)
-    return best, metric
+        collector = getattr(result, "metrics", None)
+        if collector is not None:
+            metrics_report = collector.report()
+    return best, metric, metrics_report
+
+
+def _format_phases(report: dict) -> str:
+    parts = [
+        f"{name}={seconds * 1000:.2f}ms"
+        for name, seconds in sorted(report.get("phases", {}).items())
+    ]
+    layer_entries = report.get("layers", [])
+    if layer_entries:
+        parts.append(
+            "layers["
+            + " ".join(
+                f"{entry['layer']}:{entry['seconds'] * 1000:.2f}ms"
+                for entry in layer_entries
+            )
+            + "]"
+        )
+    counters = report.get("counters", {})
+    for name in ("plans_built", "plan_cache_hits"):
+        if name in counters:
+            parts.append(f"{name}={counters[name]}")
+    return " ".join(parts)
 
 
 def run_experiment(name: str) -> list[dict]:
     rows = []
     baseline_by_workload: dict[str, float] = {}
     for case in EXPERIMENTS[name]():
-        seconds, facts = time_case(case)
+        seconds, facts, metrics_report = time_case(case)
         workload = case["workload"]
         baseline = baseline_by_workload.setdefault(workload, seconds)
-        rows.append(
-            {
-                "workload": workload,
-                "strategy": case["strategy"],
-                "facts": facts,
-                "seconds": seconds,
-                "speedup": baseline / seconds if seconds else float("inf"),
-            }
-        )
+        row = {
+            "workload": workload,
+            "strategy": case["strategy"],
+            "facts": facts,
+            "seconds": seconds,
+            "speedup": baseline / seconds if seconds else float("inf"),
+        }
+        if metrics_report is not None:
+            row["metrics"] = metrics_report
+        rows.append(row)
     return rows
 
 
@@ -65,6 +98,8 @@ def print_experiment(name: str) -> list[dict]:
             f"{row['workload']:<28} {row['strategy']:<18} "
             f"{row['facts']:>8} {row['seconds']:>9.4f} {row['speedup']:>7.2f}x"
         )
+        if "metrics" in row:
+            print(f"{'':<28}   {_format_phases(row['metrics'])}")
     return rows
 
 

@@ -17,6 +17,13 @@ and run queries under any evaluation strategy::
 
 Python values convert to terms (ints/floats/strs to constants,
 (frozen)sets to set values, tuples to tuple terms) and back.
+
+Observability: ``LDL(trace=True)`` attaches a
+:class:`repro.observe.TraceRecorder` (available as :attr:`LDL.trace`)
+that records every engine event — plans built, layers, iterations, rule
+firings, facts derived; ``LDL(hooks=...)`` plugs in any custom
+:class:`repro.observe.EngineHooks` implementation.  Both apply to every
+evaluation the session runs (bottom-up and magic).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from repro.engine.database import Database
 from repro.engine.evaluator import EvaluationResult, evaluate
 from repro.errors import EvaluationError
 from repro.magic.evaluate import MagicResult, evaluate_magic
+from repro.observe import EngineHooks, TraceRecorder, compose_hooks
 from repro.parser.parser import parse_program, parse_query
 from repro.program.rule import Atom, Program, Query
 from repro.terms.term import Const, Func, SetVal, Term
@@ -78,6 +86,8 @@ class LDL:
         source: str = "",
         ldl15: bool = False,
         alternative_semantics: bool = False,
+        hooks: EngineHooks | None = None,
+        trace: bool = False,
     ) -> None:
         self._program = Program()
         self._edb: list[Atom] = []
@@ -85,8 +95,15 @@ class LDL:
         self._ldl15 = ldl15
         self._alternative = alternative_semantics
         self._cached_result: EvaluationResult | None = None
+        self._trace: TraceRecorder | None = TraceRecorder() if trace else None
+        self._hooks = compose_hooks(hooks, self._trace)
         if source:
             self.load(source)
+
+    @property
+    def trace(self) -> TraceRecorder | None:
+        """The session's trace recorder (``LDL(trace=True)``), or None."""
+        return self._trace
 
     # -- building the database -------------------------------------------
 
@@ -143,7 +160,7 @@ class LDL:
             raise EvaluationError("magic evaluation is per-query; use query()")
         if self._cached_result is None or self._cached_result.strategy != strategy:
             self._cached_result = evaluate(
-                self.program, edb=self._edb, strategy=strategy
+                self.program, edb=self._edb, strategy=strategy, hooks=self._hooks
             )
         return self._cached_result
 
@@ -168,7 +185,9 @@ class LDL:
         """Answer a query by magic-sets rewriting; returns the full
         :class:`MagicResult` (database, stats, rewritten program)."""
         query = text if isinstance(text, Query) else parse_query(text)
-        return evaluate_magic(self.program, query, edb=self._edb)
+        return evaluate_magic(
+            self.program, query, edb=self._edb, hooks=self._hooks
+        )
 
     def run_pending_queries(self, strategy: Strategy = "seminaive"):
         """Answer every query that arrived via :meth:`load`, in order."""

@@ -19,7 +19,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.api import LDL, from_term
+from repro.api import LDL
 from repro.errors import LDLError
 from repro.parser import parse_query
 from repro.program.stratify import stratify
@@ -103,6 +103,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print evaluation statistics",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record engine events and print a per-layer trace summary",
+    )
     return parser
 
 
@@ -141,7 +146,7 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
         return 2
 
     try:
-        session = LDL(source, ldl15=args.ldl15)
+        session = LDL(source, ldl15=args.ldl15, trace=args.trace)
         for spec in args.edb:
             pred, _, filename = spec.partition("=")
             if not filename:
@@ -227,6 +232,11 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
                 f"{result.total_firings} rule firings, "
                 f"{len(result.layering)} layers"
             )
+        if args.trace:
+            if args.strategy != "magic":
+                # make sure at least one evaluation happened to record
+                session.model(args.strategy)
+            echo(session.trace.format_summary())
     except LDLError as exc:
         echo(f"error: {exc}")
         return 1

@@ -1,6 +1,8 @@
 """Bottom-up evaluation engine: storage, matching, built-ins, fixpoints."""
 
+from repro.engine.binding import ChainBinding
 from repro.engine.builtins import MAX_ENUMERATED_SET, solve_builtin
+from repro.engine.context import EvalContext
 from repro.engine.database import Database
 from repro.engine.evaluator import (
     EvaluationResult,
@@ -13,13 +15,31 @@ from repro.engine.explain import Derivation, explain
 from repro.engine.grouping import apply_grouping_rule, apply_grouping_rules
 from repro.engine.incremental import IncrementalModel, UpdateStats
 from repro.engine.match import Binding, ground_atom, match_atom, match_term
+from repro.engine.plan import (
+    HeadTemplate,
+    LiteralStep,
+    RulePlan,
+    apply_rule_plan,
+    compile_body,
+    compile_rule,
+    run_plan,
+)
 from repro.engine.relation import Relation
 from repro.engine.solve import head_facts, order_body, solve_body
 from repro.engine.topdown import TopDownEvaluator, TopDownStats, evaluate_topdown
 
 __all__ = [
     "Binding",
+    "ChainBinding",
     "Database",
+    "EvalContext",
+    "HeadTemplate",
+    "LiteralStep",
+    "RulePlan",
+    "apply_rule_plan",
+    "compile_body",
+    "compile_rule",
+    "run_plan",
     "Derivation",
     "IncrementalModel",
     "UpdateStats",

@@ -1,0 +1,150 @@
+"""Copy-on-write variable bindings for body enumeration.
+
+The seed engine extended bindings by copying a ``dict`` at every
+successful match — one copy per literal per candidate tuple, almost all
+of which are discarded when a later literal fails.  A
+:class:`ChainBinding` instead *links* a new (name, value) pair onto an
+immutable parent; a real dict is materialized only when a full body
+binding is yielded to a consumer that needs one.
+
+Chains are immutable Mappings: lookup walks the links (bindings are
+shallow — bounded by the rule's variable count), and binding a name
+that is already bound is forbidden by construction (matching only
+extends with *unbound* variables, checking bound ones by equality).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.terms.term import Term
+
+_MISSING = object()
+
+
+class ChainBinding(Mapping):
+    """An immutable binding: a root mapping plus a chain of extensions."""
+
+    __slots__ = ("_parent", "_root", "_name", "_value", "_len")
+
+    def __init__(
+        self,
+        parent: "ChainBinding | None" = None,
+        name: str | None = None,
+        value: Term | None = None,
+        root: Mapping[str, Term] | None = None,
+    ) -> None:
+        if name is None:
+            # root node wrapping a plain mapping (not copied: callers
+            # must not mutate it while the chain is alive)
+            self._parent = None
+            self._root = {} if root is None else root
+            self._name = None
+            self._value = None
+            self._len = len(self._root)
+        else:
+            assert parent is not None
+            self._parent = parent
+            self._root = parent._root
+            self._name = name
+            self._value = value
+            self._len = parent._len + 1
+
+    def bind(self, name: str, value: Term) -> "ChainBinding":
+        """Extend with a new pair; ``name`` must not be bound yet."""
+        return ChainBinding(self, name, value)
+
+    # -- Mapping protocol --------------------------------------------------
+
+    def __getitem__(self, key: str) -> Term:
+        node = self
+        while node._name is not None:
+            if node._name == key:
+                return node._value
+            node = node._parent
+        value = node._root.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def get(self, key: str, default=None):
+        node = self
+        while node._name is not None:
+            if node._name == key:
+                return node._value
+            node = node._parent
+        return node._root.get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.materialize())
+
+    def items(self):
+        return self.materialize().items()
+
+    def keys(self):
+        return self.materialize().keys()
+
+    def values(self):
+        return self.materialize().values()
+
+    def materialize(self) -> dict[str, Term]:
+        """Flatten to a plain dict (insertion order: root, then chain)."""
+        pairs = []
+        node = self
+        while node._name is not None:
+            pairs.append((node._name, node._value))
+            node = node._parent
+        out = dict(node._root)
+        for name, value in reversed(pairs):
+            out[name] = value
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ChainBinding):
+            return self.materialize() == other.materialize()
+        if isinstance(other, Mapping):
+            return self.materialize() == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return f"ChainBinding({self.materialize()!r})"
+
+
+#: Shared empty binding — the start point of most body enumerations.
+EMPTY_BINDING = ChainBinding()
+
+
+def as_chain(binding: Mapping[str, Term] | None) -> ChainBinding:
+    """Wrap a mapping as a chain root (no copy); pass chains through."""
+    if binding is None or not binding:
+        return EMPTY_BINDING
+    if isinstance(binding, ChainBinding):
+        return binding
+    return ChainBinding(root=binding)
+
+
+def materialize(binding: Mapping[str, Term]) -> dict[str, Term]:
+    """A plain-dict view of any binding representation."""
+    if isinstance(binding, ChainBinding):
+        return binding.materialize()
+    return dict(binding)
+
+
+def extended(binding: Mapping[str, Term]) -> Mapping[str, Term]:
+    """The value to yield when a match succeeds without new bindings.
+
+    Chains are immutable and safe to share; plain dicts are defensively
+    copied (the seed's behavior) so external callers never alias a
+    mutable input.
+    """
+    if isinstance(binding, ChainBinding):
+        return binding
+    return dict(binding)

@@ -10,12 +10,18 @@ nature; a safety cap guards against runaway enumeration.
 
 from __future__ import annotations
 
-from itertools import chain, combinations
+from itertools import combinations
 from typing import Iterator, Mapping
 
-from repro.engine.match import Binding, match_term
+from repro.engine.binding import as_chain, extended
+from repro.engine.match import Binding, match_term_chain
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.terms.term import Const, SetVal, Term, evaluate_ground
+
+
+def _match(pattern: Term, value: Term, binding: Mapping[str, Term]):
+    """Chain-based match: no dict copy per extension (see match.py)."""
+    return match_term_chain(pattern, value, as_chain(binding))
 
 #: Largest set for which exponential generative modes are allowed.
 MAX_ENUMERATED_SET = 20
@@ -86,7 +92,7 @@ def _solve_member(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]
     if not isinstance(value, SetVal):
         return  # Section 2.2: member is false when S is not a set.
     for element in value:
-        yield from match_term(element_pattern, element, binding)
+        yield from _match(element_pattern, element, binding)
 
 
 def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
@@ -96,7 +102,7 @@ def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
     s1_val, s2_val, s3_val = statuses
     if s1_val is not None and s2_val is not None:
         result = SetVal(s1_val.elements | s2_val.elements)
-        yield from match_term(args[2], result, binding)
+        yield from _match(args[2], result, binding)
         return
     if s3_val is not None:
         if s1_val is not None:
@@ -105,7 +111,7 @@ def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
             mandatory = s3_val.elements - s1_val.elements
             for extra in _subsets(s1_val.elements):
                 candidate = SetVal(mandatory | extra)
-                yield from match_term(args[1], candidate, binding)
+                yield from _match(args[1], candidate, binding)
             return
         if s2_val is not None:
             if not s2_val.elements <= s3_val.elements:
@@ -113,14 +119,14 @@ def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
             mandatory = s3_val.elements - s2_val.elements
             for extra in _subsets(s2_val.elements):
                 candidate = SetVal(mandatory | extra)
-                yield from match_term(args[0], candidate, binding)
+                yield from _match(args[0], candidate, binding)
             return
         for left in _subsets(s3_val.elements):
             mandatory = s3_val.elements - left
             for extra in _subsets(left):
-                for extended in match_term(args[0], SetVal(left), binding):
-                    yield from match_term(
-                        args[1], SetVal(mandatory | extra), extended
+                for ext in _match(args[0], SetVal(left), binding):
+                    yield from _match(
+                        args[1], SetVal(mandatory | extra), ext
                     )
         return
     raise EvaluationError("union/3 needs two operands or the union bound")
@@ -134,14 +140,14 @@ def _solve_partition(args: tuple[Term, ...], binding: Binding) -> Iterator[Bindi
     if whole is not None:
         for part in _subsets(whole.elements):
             complement = whole.elements - part
-            for extended in match_term(args[1], SetVal(part), binding):
-                yield from match_term(args[2], SetVal(complement), extended)
+            for ext in _match(args[1], SetVal(part), binding):
+                yield from _match(args[2], SetVal(complement), ext)
         return
     if left is not None and right is not None:
         if left.elements & right.elements:
             return
         union = SetVal(left.elements | right.elements)
-        yield from match_term(args[0], union, binding)
+        yield from _match(args[0], union, binding)
         return
     raise EvaluationError("partition/3 needs the whole set or both parts bound")
 
@@ -155,10 +161,10 @@ def _solve_subset(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]
         raise EvaluationError("subset/2 needs its second argument bound")
     if sub is not None:
         if sub.elements <= super_.elements:
-            yield dict(binding)
+            yield extended(binding)
         return
     for candidate in _subsets(super_.elements):
-        yield from match_term(args[0], SetVal(candidate), binding)
+        yield from _match(args[0], SetVal(candidate), binding)
 
 
 def _solve_card(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
@@ -167,7 +173,7 @@ def _solve_card(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
         return  # false when the argument is not a set
     if the_set is None:
         raise EvaluationError("card/2 needs its first argument bound")
-    yield from match_term(args[1], Const(len(the_set)), binding)
+    yield from _match(args[1], Const(len(the_set)), binding)
 
 
 def _solve_eq(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
@@ -175,13 +181,13 @@ def _solve_eq(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
     right = _try_ground(args[1], binding)
     if left is not None and right is not None:
         if left == right:
-            yield dict(binding)
+            yield extended(binding)
         return
     if left is not None:
-        yield from match_term(args[1], left, binding)
+        yield from _match(args[1], left, binding)
         return
     if right is not None:
-        yield from match_term(args[0], right, binding)
+        yield from _match(args[0], right, binding)
         return
     raise EvaluationError("=/2 needs at least one side bound")
 
@@ -192,7 +198,7 @@ def _solve_ne(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
     if left is None or right is None:
         raise EvaluationError("!=/2 needs both sides bound")
     if left != right:
-        yield dict(binding)
+        yield extended(binding)
 
 
 def _comparable(value: Term):
@@ -214,7 +220,7 @@ def _make_comparison(op):
                 f"cannot compare {left_value!r} with {right_value!r}"
             )
         if op(left_value, right_value):
-            yield dict(binding)
+            yield extended(binding)
 
     return handler
 
@@ -227,7 +233,7 @@ def _solve_intersection(args: tuple[Term, ...], binding: Binding) -> Iterator[Bi
     if s1 is None or s2 is None:
         raise EvaluationError("intersection/3 needs both operands bound")
     result = SetVal(s1.elements & s2.elements)
-    yield from match_term(args[2], result, binding)
+    yield from _match(args[2], result, binding)
 
 
 def _solve_difference(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
@@ -238,7 +244,7 @@ def _solve_difference(args: tuple[Term, ...], binding: Binding) -> Iterator[Bind
     if s1 is None or s2 is None:
         raise EvaluationError("difference/3 needs both operands bound")
     result = SetVal(s1.elements - s2.elements)
-    yield from match_term(args[2], result, binding)
+    yield from _match(args[2], result, binding)
 
 
 def _numeric_elements(the_set: SetVal) -> list:
@@ -262,7 +268,7 @@ def _make_aggregate(name: str, fold, empty_ok: bool):
         values = _numeric_elements(the_set)
         if not values and not empty_ok:
             return  # min/max of the empty set are undefined
-        yield from match_term(args[1], Const(fold(values)), binding)
+        yield from _match(args[1], Const(fold(values)), binding)
 
     return handler
 

@@ -1,0 +1,138 @@
+"""The shared evaluation context: plan cache, planner policy, hooks.
+
+Every evaluation strategy (layered bottom-up, incremental, magic,
+tabled top-down) runs against an :class:`EvalContext` that owns
+
+* the database under evaluation,
+* the planner policy (``"static"`` or ``"sized"``) and, for the sized
+  policy, the current relation-cardinality snapshot,
+* a cache of compiled :class:`~repro.engine.plan.RulePlan`s keyed by
+  (rule, delta occurrence, initially-bound variables) — each distinct
+  key is compiled at most once until the policy invalidates it,
+* the :class:`~repro.observe.EngineHooks` sink and an optional
+  :class:`~repro.observe.MetricsCollector`.
+
+Hot paths guard hook dispatch behind the plain-attribute
+:attr:`EvalContext.observing` flag (and timing behind
+:attr:`EvalContext.timing`) so the no-op defaults cost one attribute
+check.  The seed recomputed ``order_body`` every fixpoint iteration;
+under the context the "sized" planner is a *re-plan policy*: sizes are
+snapshotted once per iteration (:meth:`refresh_sizes`) and plans are
+recompiled only when the snapshot actually changed.
+"""
+
+from __future__ import annotations
+
+from repro.engine.database import Database
+from repro.engine.plan import RulePlan, compile_rule
+from repro.observe import EngineHooks, MetricsCollector, NULL_HOOKS, NullHooks
+from repro.program.rule import Rule
+
+
+class EvalContext:
+    """Evaluation-wide state shared by all strategies and layers."""
+
+    __slots__ = (
+        "db",
+        "planner",
+        "hooks",
+        "observing",
+        "metrics",
+        "timing",
+        "sizes",
+        "_plans",
+    )
+
+    def __init__(
+        self,
+        db: Database | None = None,
+        planner: str = "static",
+        hooks: EngineHooks | None = None,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self.db = db
+        self.planner = planner
+        self.hooks: EngineHooks = hooks if hooks is not None else NULL_HOOKS
+        self.observing = not isinstance(self.hooks, NullHooks)
+        self.metrics = metrics
+        self.timing = metrics is not None
+        self.sizes: dict[str, int] | None = None
+        self._plans: dict[tuple, RulePlan] = {}
+
+    def plan_for(
+        self,
+        rule: Rule,
+        first: int | None = None,
+        initially_bound: frozenset[str] = frozenset(),
+    ) -> RulePlan:
+        """The compiled plan for ``rule``, compiled at most once per key.
+
+        ``first`` pins a body occurrence to the front (the semi-naive
+        delta); ``initially_bound`` seeds the bound-variable set
+        (top-down sideways information).  Compilation fires
+        ``on_plan_built`` and is timed under the ``plan`` phase.
+        """
+        key = (rule, first, initially_bound)
+        plan = self._plans.get(key)
+        if plan is not None:
+            if self.timing:
+                self.metrics.incr("plan_cache_hits")
+            return plan
+        if self.timing:
+            start = self.metrics.now()
+        plan = compile_rule(
+            rule,
+            first=first,
+            sizes=self.sizes,
+            initially_bound=initially_bound,
+            planner=self.planner,
+        )
+        self._plans[key] = plan
+        if self.timing:
+            self.metrics.add_time("plan", self.metrics.now() - start)
+            self.metrics.incr("plans_built")
+        if self.observing:
+            self.hooks.on_plan_built(plan)
+        return plan
+
+    def refresh_sizes(self) -> None:
+        """Re-plan policy for ``planner="sized"``: snapshot cardinalities.
+
+        Called once per fixpoint iteration.  When the snapshot differs
+        from the one current plans were built against, the plan cache
+        is invalidated so the next :meth:`plan_for` re-plans with fresh
+        statistics.  A no-op under the static policy.
+        """
+        if self.planner != "sized" or self.db is None:
+            return
+        sizes = {pred: self.db.count(pred) for pred in self.db.predicates()}
+        if sizes != self.sizes:
+            self.sizes = sizes
+            if self._plans:
+                if self.timing:
+                    self.metrics.incr("plan_invalidations")
+                self._plans.clear()
+
+    @property
+    def plans_cached(self) -> int:
+        return len(self._plans)
+
+    def __repr__(self) -> str:
+        return (
+            f"EvalContext(planner={self.planner!r}, "
+            f"plans={len(self._plans)}, observing={self.observing})"
+        )
+
+
+def ensure_context(
+    context: EvalContext | None, db: Database, planner: str = "static"
+) -> EvalContext:
+    """The given context, or a fresh private one for direct calls.
+
+    Strategy entry points accept ``context=None`` so the seed's
+    call signatures keep working; callers that share a context get plan
+    caching across layers, phases, and updates.
+    """
+    if context is not None:
+        return context
+    return EvalContext(db, planner=planner)

@@ -12,7 +12,6 @@ from typing import Iterable, Iterator
 
 from repro.engine.relation import ArgTuple, Relation
 from repro.program.rule import Atom
-from repro.terms.term import Term
 
 
 class Database:

@@ -6,22 +6,30 @@ applies its grouping rules once over the facts from below (the R1 step
 of Lemma 3.2.3), then runs its remaining rules to fixpoint (R2).  The
 result is a minimal model of P w.r.t. M0; for positive programs it is
 the unique minimal model.
+
+The run is driven through an :class:`~repro.engine.context.EvalContext`
+shared by every layer: rule plans compile once and are reused across
+iterations, ``hooks`` observe layer/iteration/firing/derivation events
+(:mod:`repro.observe`), and ``metrics`` attributes wall-clock time to
+the plan / match / grouping phases and to individual layers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal as TypingLiteral, Sequence
+from typing import Iterable, Literal as TypingLiteral
 
+from repro.engine.context import EvalContext
 from repro.engine.database import Database
 from repro.engine.fixpoint import FixpointStats, naive_fixpoint, seminaive_fixpoint
 from repro.engine.grouping import apply_grouping_rules
 from repro.engine.match import Binding, match_atom
-from repro.errors import EvaluationError
-from repro.program.rule import Atom, Program, Query, Rule
+from repro.errors import EvaluationError, NotInUniverseError
+from repro.observe import EngineHooks, MetricsCollector
+from repro.program.rule import Atom, Program, Query
 from repro.program.stratify import Layering, stratify, validate_layering
 from repro.program.wellformed import check_program
-from repro.terms.term import evaluate_ground
+from repro.terms.term import Term, evaluate_ground
 
 Strategy = TypingLiteral["naive", "seminaive"]
 
@@ -43,6 +51,7 @@ class EvaluationResult:
     layering: Layering
     layer_stats: list[LayerStats]
     strategy: Strategy
+    metrics: MetricsCollector | None = None
 
     @property
     def total_facts(self) -> int:
@@ -63,7 +72,7 @@ class EvaluationResult:
     def answer_atoms(self, query: Query) -> list[Atom]:
         """Matching facts, deterministically ordered."""
         out = []
-        for args in self.database.tuples(query.atom.pred):
+        for args in _query_tuples(self.database, query):
             for _ in match_atom(query.atom, args, {}):
                 out.append(Atom(query.atom.pred, args))
                 break
@@ -89,6 +98,8 @@ def evaluate(
     layering: Layering | None = None,
     check: bool = True,
     planner: str = "static",
+    hooks: EngineHooks | None = None,
+    metrics: MetricsCollector | None = None,
 ) -> EvaluationResult:
     """Compute the standard minimal model of ``program`` over ``edb``.
 
@@ -96,6 +107,9 @@ def evaluate(
     first); Theorem 2 guarantees the result does not depend on the
     choice.  ``strategy`` selects the fixpoint algorithm within layers;
     ``planner="sized"`` enables cardinality-aware join ordering.
+    ``hooks`` receives engine events (:class:`repro.observe.EngineHooks`
+    — e.g. a :class:`~repro.observe.TraceRecorder`); ``metrics``
+    collects per-phase and per-layer wall-clock timings.
     """
     if check:
         check_program(program)
@@ -108,6 +122,7 @@ def evaluate(
 
     db = Database(edb)
     _install_facts(db, program)
+    ctx = EvalContext(db, planner=planner, hooks=hooks, metrics=metrics)
 
     run_fixpoint = naive_fixpoint if strategy == "naive" else seminaive_fixpoint
     layer_stats: list[LayerStats] = []
@@ -116,22 +131,53 @@ def evaluate(
         rules = [
             r for r in layering.rules_in_layer(program, i) if not r.is_fact()
         ]
+        if ctx.observing:
+            ctx.hooks.on_layer_start(i, rules)
+        if ctx.timing:
+            layer_start = ctx.metrics.now()
         grouping_rules = [r for r in rules if r.is_grouping()]
         other_rules = [r for r in rules if not r.is_grouping()]
-        for fact in apply_grouping_rules(grouping_rules, db):
+        for fact in apply_grouping_rules(grouping_rules, db, context=ctx):
             if db.add(fact):
                 stats.grouping_facts += 1
+                if ctx.observing:
+                    ctx.hooks.on_fact_derived(fact, None)
         if other_rules:
-            stats.fixpoint = run_fixpoint(db, other_rules, planner=planner)
+            stats.fixpoint = run_fixpoint(db, other_rules, context=ctx)
+        if ctx.timing:
+            ctx.metrics.add_layer_time(i, ctx.metrics.now() - layer_start)
+        if ctx.observing:
+            ctx.hooks.on_layer_end(
+                i, stats.grouping_facts + stats.fixpoint.facts_derived
+            )
         layer_stats.append(stats)
-    return EvaluationResult(db, layering, layer_stats, strategy)
+    return EvaluationResult(db, layering, layer_stats, strategy, metrics)
+
+
+def _query_tuples(db: Database, query: Query) -> Iterable[tuple[Term, ...]]:
+    """Candidate tuples for a query atom, probed by ground positions.
+
+    Ground query arguments form an index signature routed through
+    :meth:`Database.lookup` instead of scanning the whole relation.  An
+    argument that evaluates outside U makes the query unsatisfiable.
+    """
+    positions: list[int] = []
+    key_parts: list[Term] = []
+    for i, arg in enumerate(query.atom.args):
+        if arg.is_ground():
+            try:
+                key_parts.append(evaluate_ground(arg))
+            except (NotInUniverseError, EvaluationError):
+                return ()
+            positions.append(i)
+    return db.lookup(query.atom.pred, tuple(positions), tuple(key_parts))
 
 
 def answer_query(db: Database, query: Query) -> list[Binding]:
     """Match a query atom against the database; sorted distinct bindings."""
     answers: list[Binding] = []
     seen: set[frozenset] = set()
-    for args in db.tuples(query.atom.pred):
+    for args in _query_tuples(db, query):
         for binding in match_atom(query.atom, args, {}):
             key = frozenset(binding.items())
             if key not in seen:

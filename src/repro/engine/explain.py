@@ -13,8 +13,7 @@ one premise per contributing body solution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator
+from dataclasses import dataclass
 
 from repro.engine.database import Database
 from repro.engine.grouping import apply_grouping_rule

@@ -7,15 +7,22 @@ definition); the semi-naive strategy restricts one recursive body
 occurrence per rule application to the facts newly derived in the
 previous round, avoiding rediscovery.  Both reach the same fixpoint;
 the benchmark suite quantifies the difference (experiment E1).
+
+Rules are executed as compiled :class:`~repro.engine.plan.RulePlan`s
+obtained through a shared :class:`~repro.engine.context.EvalContext`:
+each (rule, delta-occurrence) pair is planned at most once per run, and
+the "sized" planner re-plans only when the context's cardinality
+snapshot changes between iterations (:meth:`EvalContext.refresh_sizes`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
+from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
-from repro.engine.solve import head_facts, order_body, solve_body
+from repro.engine.plan import apply_rule_plan
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Rule
 
@@ -34,40 +41,60 @@ class FixpointStats:
         self.facts_derived += other.facts_derived
 
 
-def _sizes(db: Database, planner: str) -> dict[str, int] | None:
-    if planner != "sized":
-        return None
-    return {pred: db.count(pred) for pred in db.predicates()}
+def _derive(
+    ctx: EvalContext, db: Database, rule: Rule, plan, overrides=None
+) -> list[Atom]:
+    """One rule application: run the plan, time it, fire hooks."""
+    if ctx.timing:
+        start = ctx.metrics.now()
+        derived = list(apply_rule_plan(db, plan, overrides=overrides))
+        ctx.metrics.add_time("match", ctx.metrics.now() - start)
+    else:
+        derived = list(apply_rule_plan(db, plan, overrides=overrides))
+    if ctx.observing:
+        ctx.hooks.on_rule_fired(rule, len(derived))
+    return derived
 
 
 def naive_fixpoint(
-    db: Database, rules: Sequence[Rule], planner: str = "static"
+    db: Database,
+    rules: Sequence[Rule],
+    planner: str = "static",
+    context: EvalContext | None = None,
 ) -> FixpointStats:
     """Run all rules to fixpoint, naive strategy.  Mutates ``db``.
 
     ``planner="sized"`` reorders bodies by current relation
     cardinalities each iteration (experiment E15).
     """
+    ctx = ensure_context(context, db, planner)
     stats = FixpointStats()
-    plans = [order_body(rule.body) for rule in rules]
     while True:
         stats.iterations += 1
-        sizes = _sizes(db, planner)
-        if sizes is not None:
-            plans = [order_body(rule.body, sizes=sizes) for rule in rules]
+        ctx.refresh_sizes()
         batch: list[Atom] = []
-        for rule, plan in zip(rules, plans):
-            for fact in head_facts(rule.head, solve_body(db, rule.body, plan)):
-                stats.rule_firings += 1
-                batch.append(fact)
-        new = sum(1 for fact in batch if db.add(fact))
+        for rule in rules:
+            derived = _derive(ctx, db, rule, ctx.plan_for(rule))
+            stats.rule_firings += len(derived)
+            batch.extend(derived)
+        new = 0
+        for fact in batch:
+            if db.add(fact):
+                new += 1
+                if ctx.observing:
+                    ctx.hooks.on_fact_derived(fact, None)
         stats.facts_derived += new
+        if ctx.observing:
+            ctx.hooks.on_iteration(stats.iterations, new)
         if not new:
             return stats
 
 
 def seminaive_fixpoint(
-    db: Database, rules: Sequence[Rule], planner: str = "static"
+    db: Database,
+    rules: Sequence[Rule],
+    planner: str = "static",
+    context: EvalContext | None = None,
 ) -> FixpointStats:
     """Run all rules to fixpoint, semi-naive strategy.  Mutates ``db``.
 
@@ -76,20 +103,27 @@ def seminaive_fixpoint(
     predicate that changed, with that occurrence restricted to the
     previous round's delta.
     """
+    ctx = ensure_context(context, db, planner)
     stats = FixpointStats()
 
     stats.iterations += 1
+    ctx.refresh_sizes()
     delta: dict[str, list[tuple]] = {}
+    round_new = 0
     for rule in rules:
-        plan = order_body(rule.body, sizes=_sizes(db, planner))
-        derived = list(head_facts(rule.head, solve_body(db, rule.body, plan)))
+        derived = _derive(ctx, db, rule, ctx.plan_for(rule))
         stats.rule_firings += len(derived)
         for fact in derived:
             if db.add(fact):
                 stats.facts_derived += 1
+                round_new += 1
+                if ctx.observing:
+                    ctx.hooks.on_fact_derived(fact, rule)
                 delta.setdefault(fact.pred, []).append(fact.args)
+    if ctx.observing:
+        ctx.hooks.on_iteration(stats.iterations, round_new)
 
-    stats.merge(seminaive_rounds(db, rules, delta, planner=planner))
+    stats.merge(seminaive_rounds(db, rules, delta, planner=planner, context=ctx))
     return stats
 
 
@@ -98,6 +132,7 @@ def seminaive_rounds(
     rules: Sequence[Rule],
     delta: dict[str, list[tuple]],
     planner: str = "static",
+    context: EvalContext | None = None,
 ) -> FixpointStats:
     """Continue a semi-naive fixpoint from an explicit delta.
 
@@ -105,6 +140,7 @@ def seminaive_rounds(
     using at least one delta fact are explored — the entry point for
     incremental insertion (:mod:`repro.engine.incremental`).
     """
+    ctx = ensure_context(context, db, planner)
     stats = FixpointStats()
     occurrence_index: list[tuple[Rule, int]] = []
     for rule in rules:
@@ -114,23 +150,27 @@ def seminaive_rounds(
 
     while delta:
         stats.iterations += 1
+        ctx.refresh_sizes()
         next_delta: dict[str, list[tuple]] = {}
+        round_new = 0
         for rule, occurrence in occurrence_index:
             pred = rule.body[occurrence].atom.pred
             changed = delta.get(pred)
             if not changed:
                 continue
-            plan = order_body(
-                rule.body, first=occurrence, sizes=_sizes(db, planner)
+            plan = ctx.plan_for(rule, first=occurrence)
+            derived = _derive(
+                ctx, db, rule, plan, overrides={occurrence: changed}
             )
-            bindings = solve_body(
-                db, rule.body, plan, overrides={occurrence: changed}
-            )
-            derived = list(head_facts(rule.head, bindings))
             stats.rule_firings += len(derived)
             for fact in derived:
                 if db.add(fact):
                     stats.facts_derived += 1
+                    round_new += 1
+                    if ctx.observing:
+                        ctx.hooks.on_fact_derived(fact, rule)
                     next_delta.setdefault(fact.pred, []).append(fact.args)
+        if ctx.observing:
+            ctx.hooks.on_iteration(stats.iterations, round_new)
         delta = next_delta
     return stats

@@ -16,15 +16,18 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
-from repro.engine.solve import solve_body
+from repro.engine.plan import run_plan
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.program.rule import Atom, Rule
 from repro.terms.pretty import format_rule
 from repro.terms.term import SetVal, Term, Var, evaluate_ground
 
 
-def apply_grouping_rule(rule: Rule, db: Database) -> Iterator[Atom]:
+def apply_grouping_rule(
+    rule: Rule, db: Database, context: EvalContext | None = None
+) -> Iterator[Atom]:
     """Yield the facts derived by one grouping rule over ``db``.
 
     This is the paper's ``r(M)`` for rules with a ``<X>`` head
@@ -47,8 +50,9 @@ def apply_grouping_rule(rule: Rule, db: Database) -> Iterator[Atom]:
         (i, arg) for i, arg in enumerate(rule.head.args) if i != group_position
     ]
 
+    ctx = ensure_context(context, db)
     groups: dict[tuple[Term, ...], set[Term]] = {}
-    for binding in solve_body(db, rule.body):
+    for binding in run_plan(db, ctx.plan_for(rule)):
         if group_var not in binding:
             raise EvaluationError(
                 f"grouped variable {group_var} unbound by body: {format_rule(rule)}"
@@ -70,9 +74,20 @@ def apply_grouping_rule(rule: Rule, db: Database) -> Iterator[Atom]:
         yield Atom(rule.head.pred, tuple(args))
 
 
-def apply_grouping_rules(rules, db: Database) -> list[Atom]:
+def apply_grouping_rules(
+    rules, db: Database, context: EvalContext | None = None
+) -> list[Atom]:
     """Apply every grouping rule once over ``db`` (the R1(M) step)."""
+    ctx = ensure_context(context, db)
     derived: list[Atom] = []
     for rule in rules:
-        derived.extend(apply_grouping_rule(rule, db))
+        if ctx.timing:
+            start = ctx.metrics.now()
+            facts = list(apply_grouping_rule(rule, db, context=ctx))
+            ctx.metrics.add_time("grouping", ctx.metrics.now() - start)
+        else:
+            facts = list(apply_grouping_rule(rule, db, context=ctx))
+        if ctx.observing:
+            ctx.hooks.on_rule_fired(rule, len(facts))
+        derived.extend(facts)
     return derived

@@ -26,6 +26,7 @@ from typing import Iterable
 
 import networkx as nx
 
+from repro.engine.context import EvalContext
 from repro.engine.database import Database
 from repro.engine.fixpoint import (
     FixpointStats,
@@ -34,7 +35,7 @@ from repro.engine.fixpoint import (
 )
 from repro.engine.grouping import apply_grouping_rules
 from repro.errors import EvaluationError
-from repro.names import is_builtin_predicate
+from repro.observe import EngineHooks
 from repro.program.dependency import dependency_graph
 from repro.program.rule import Atom, Program
 from repro.program.stratify import Layering, stratify
@@ -60,7 +61,11 @@ class IncrementalModel:
     """A materialized standard model that absorbs EDB updates."""
 
     def __init__(
-        self, program: Program, edb: Iterable[Atom] = (), check: bool = True
+        self,
+        program: Program,
+        edb: Iterable[Atom] = (),
+        check: bool = True,
+        hooks: EngineHooks | None = None,
     ) -> None:
         if check:
             check_program(program)
@@ -70,6 +75,9 @@ class IncrementalModel:
         self._idb = program.idb_predicates()
         self._edb_facts: set[Atom] = set()
         self.database = Database()
+        # one context for the model's lifetime: rule plans compiled for
+        # the first update are reused by every later delta/recompute.
+        self._context = EvalContext(self.database, hooks=hooks)
         self.last_update = UpdateStats()
         self._install_program_facts()
         if edb:
@@ -100,7 +108,8 @@ class IncrementalModel:
                 if self.database.add(atom):
                     delta.setdefault(atom.pred, []).append(atom.args)
             stats = seminaive_rounds(
-                self.database, self._cone_rules(cone), delta
+                self.database, self._cone_rules(cone), delta,
+                context=self._context,
             )
             self.last_update = UpdateStats(
                 mode="delta",
@@ -178,6 +187,7 @@ class IncrementalModel:
         for atom in self._edb_facts:
             fresh.add(atom)
         self.database = fresh
+        self._context.db = fresh  # static plans stay valid across swaps
         for i in range(len(self.layering)):
             layer_rules = [
                 r
@@ -186,9 +196,15 @@ class IncrementalModel:
             ]
             grouping = [r for r in layer_rules if r.is_grouping()]
             other = [r for r in layer_rules if not r.is_grouping()]
-            for fact in apply_grouping_rules(grouping, self.database):
+            for fact in apply_grouping_rules(
+                grouping, self.database, context=self._context
+            ):
                 self.database.add(fact)
             if other:
-                stats.fixpoint.merge(seminaive_fixpoint(self.database, other))
+                stats.fixpoint.merge(
+                    seminaive_fixpoint(
+                        self.database, other, context=self._context
+                    )
+                )
         self.last_update = stats
         return stats

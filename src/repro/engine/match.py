@@ -12,13 +12,18 @@ Section 3.2).  Matching is *nondeterministic* for set constructs:
 * ``scons(t, T)`` matches S by choosing ``t`` in S and ``T`` as either
   ``S - {t}`` or S itself (both satisfy ``{t} | T = S``).
 
-Each success is yielded as a *new* binding dict extending the input.
+Two layers of API: the ``*_chain`` generators extend bindings as
+immutable :class:`~repro.engine.binding.ChainBinding` links (no dict
+copies — the engine's hot path), while the classic :func:`match_term` /
+:func:`match_atom` wrappers materialize each success as a *new* plain
+dict extending the input, exactly as the seed engine did.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Mapping
 
+from repro.engine.binding import ChainBinding, as_chain, extended, materialize
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.program.rule import Atom
 from repro.terms.term import (
@@ -36,10 +41,10 @@ from repro.terms.term import (
 Binding = dict[str, Term]
 
 
-def match_term(
-    pattern: Term, value: Term, binding: Mapping[str, Term]
-) -> Iterator[Binding]:
-    """Yield extensions of ``binding`` making ``pattern`` equal ``value``.
+def match_term_chain(
+    pattern: Term, value: Term, binding: ChainBinding
+) -> Iterator[ChainBinding]:
+    """Yield chain extensions of ``binding`` making ``pattern`` == ``value``.
 
     ``value`` must be a canonical ground U-element.  When the pattern is
     already ground it is evaluated (folding ``scons``/arithmetic) and
@@ -49,19 +54,17 @@ def match_term(
     if isinstance(pattern, Var):
         bound = binding.get(pattern.name)
         if bound is None:
-            new = dict(binding)
-            new[pattern.name] = value
-            yield new
+            yield binding.bind(pattern.name, value)
         elif bound == value:
-            yield dict(binding)
+            yield binding
         return
     if isinstance(pattern, Const):
         if pattern == value:
-            yield dict(binding)
+            yield binding
         return
     if isinstance(pattern, SetVal):
         if pattern == value:
-            yield dict(binding)
+            yield binding
         return
     if isinstance(pattern, GroupTerm):
         raise EvaluationError(
@@ -70,7 +73,7 @@ def match_term(
     if pattern.is_ground():
         try:
             if evaluate_ground(pattern.substitute(binding)) == value:
-                yield dict(binding)
+                yield binding
         except NotInUniverseError:
             return
         except EvaluationError:
@@ -93,29 +96,44 @@ def match_term(
     raise EvaluationError(f"cannot match pattern {pattern!r}")
 
 
-def _match_sequence(
-    patterns: tuple[Term, ...], values: tuple[Term, ...], binding: Mapping[str, Term]
+def match_term(
+    pattern: Term, value: Term, binding: Mapping[str, Term]
 ) -> Iterator[Binding]:
+    """Yield dict extensions of ``binding`` making ``pattern`` == ``value``.
+
+    Thin materializing wrapper over :func:`match_term_chain` — each
+    success is a fresh plain dict, the historical public contract.
+    """
+    for result in match_term_chain(pattern, value, as_chain(binding)):
+        yield materialize(result)
+
+
+def _match_sequence(
+    patterns: tuple[Term, ...],
+    values: tuple[Term, ...],
+    binding: ChainBinding,
+) -> Iterator[ChainBinding]:
     if not patterns:
-        yield dict(binding)
+        yield binding
         return
-    head_pattern, *rest_patterns = patterns
-    head_value, *rest_values = values
-    for extended in match_term(head_pattern, head_value, binding):
-        yield from _match_sequence(
-            tuple(rest_patterns), tuple(rest_values), extended
-        )
+    if len(patterns) == 1:
+        yield from match_term_chain(patterns[0], values[0], binding)
+        return
+    for ext in match_term_chain(patterns[0], values[0], binding):
+        yield from _match_sequence(patterns[1:], values[1:], ext)
 
 
-def _match_scons(pattern: Func, value: Term, binding: Mapping[str, Term]) -> Iterator[Binding]:
+def _match_scons(
+    pattern: Func, value: Term, binding: ChainBinding
+) -> Iterator[ChainBinding]:
     if not isinstance(value, SetVal) or len(pattern.args) != 2:
         return
     element_pattern, tail_pattern = pattern.args
     seen: set[frozenset] = set()
     for element in value:
-        for extended in match_term(element_pattern, element, binding):
+        for ext in match_term_chain(element_pattern, element, binding):
             for tail in (SetVal(value.elements - {element}), value):
-                for result in match_term(tail_pattern, tail, extended):
+                for result in match_term_chain(tail_pattern, tail, ext):
                     key = frozenset(result.items())
                     if key not in seen:
                         seen.add(key)
@@ -123,25 +141,25 @@ def _match_scons(pattern: Func, value: Term, binding: Mapping[str, Term]) -> Ite
 
 
 def _match_set_pattern(
-    pattern: SetPattern, value: Term, binding: Mapping[str, Term]
-) -> Iterator[Binding]:
+    pattern: SetPattern, value: Term, binding: ChainBinding
+) -> Iterator[ChainBinding]:
     if not isinstance(value, SetVal):
         return
     elements = tuple(value)
     seen: set[frozenset] = set()
 
     def assign(
-        items: tuple[Term, ...], covered: frozenset[Term], current: Binding
-    ) -> Iterator[tuple[Binding, frozenset[Term]]]:
+        items: tuple[Term, ...], covered: frozenset[Term], current: ChainBinding
+    ) -> Iterator[tuple[ChainBinding, frozenset[Term]]]:
         if not items:
             yield current, covered
             return
-        first, *rest = items
+        first, rest = items[0], items[1:]
         for element in elements:
-            for extended in match_term(first, element, current):
-                yield from assign(tuple(rest), covered | {element}, extended)
+            for ext in match_term_chain(first, element, current):
+                yield from assign(rest, covered | {element}, ext)
 
-    for assignment, covered in assign(pattern.items, frozenset(), dict(binding)):
+    for assignment, covered in assign(pattern.items, frozenset(), binding):
         if pattern.rest is None:
             if covered != value.elements:
                 continue
@@ -151,20 +169,28 @@ def _match_set_pattern(
                 yield assignment
         else:
             rest_value = SetVal(value.elements - covered)
-            for result in match_term(pattern.rest, rest_value, assignment):
+            for result in match_term_chain(pattern.rest, rest_value, assignment):
                 key = frozenset(result.items())
                 if key not in seen:
                     seen.add(key)
                     yield result
 
 
+def match_atom_chain(
+    pattern: Atom, fact_args: tuple[Term, ...], binding: ChainBinding
+) -> Iterator[ChainBinding]:
+    """Chain-based matching of a body atom against a stored fact tuple."""
+    if len(pattern.args) != len(fact_args):
+        return
+    yield from _match_sequence(pattern.args, fact_args, binding)
+
+
 def match_atom(
     pattern: Atom, fact_args: tuple[Term, ...], binding: Mapping[str, Term]
 ) -> Iterator[Binding]:
     """Match a body atom's arguments against a stored fact tuple."""
-    if len(pattern.args) != len(fact_args):
-        return
-    yield from _match_sequence(pattern.args, fact_args, binding)
+    for result in match_atom_chain(pattern, fact_args, as_chain(binding)):
+        yield materialize(result)
 
 
 def ground_atom(atom: Atom, binding: Mapping[str, Term]) -> Atom | None:
@@ -179,3 +205,14 @@ def ground_atom(atom: Atom, binding: Mapping[str, Term]) -> Atom | None:
     except (NotInUniverseError, EvaluationError):
         return None
     return Atom(atom.pred, args)
+
+
+__all__ = [
+    "Binding",
+    "extended",
+    "ground_atom",
+    "match_atom",
+    "match_atom_chain",
+    "match_term",
+    "match_term_chain",
+]

@@ -1,0 +1,506 @@
+"""Compile-once rule plans: the executable IR of rule evaluation.
+
+The seed engine re-derived everything per call: :func:`order_body`
+ran every fixpoint iteration, ``Atom.substitute`` plus per-argument
+groundness checks ran for every binding at every literal, and the head
+was re-substituted per derived fact.  This module performs that
+analysis *once* per (rule, delta-occurrence, planner) and emits a
+:class:`RulePlan`:
+
+* an evaluation order (from :func:`repro.engine.solve.order_body`),
+* one :class:`LiteralStep` per body literal carrying its *probe spec*
+  — which argument positions are ground at that step given the
+  variables bound so far, how to produce each probe key part (constant
+  / direct variable lookup / residual term evaluation), and which
+  positions still need general matching — plus the step kind
+  (relation scan, pure filter, negation, builtin),
+* a precomputed :class:`HeadTemplate` that instantiates the head by
+  direct binding lookups when possible.
+
+:func:`run_plan` executes a plan against a database, extending
+bindings as immutable chains (:mod:`repro.engine.binding`) so that a
+dict is materialized only when a consumer asks for one.  Plans are
+cached and shared by :class:`~repro.engine.context.EvalContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.engine.binding import ChainBinding, as_chain
+from repro.engine.builtins import solve_builtin
+from repro.engine.database import Database
+from repro.engine.match import ground_atom, match_term_chain
+from repro.errors import EvaluationError, NotInUniverseError
+from repro.names import is_builtin_predicate
+from repro.program.rule import Atom, Literal, Rule
+from repro.terms.term import Term, Var, evaluate_ground
+
+#: relation-override hook: maps a body-literal *original index* to an
+#: alternative tuple source (e.g. the semi-naive delta).
+SourceOverrides = dict[int, Iterable[tuple[Term, ...]]]
+
+# Probe/argument descriptor kinds.
+CONST = "const"  # payload: pre-evaluated canonical value
+VAR = "var"  # payload: variable name, bound before this step
+TERM = "term"  # payload: raw term, substitute+evaluate at runtime
+BIND = "bind"  # payload: variable name, first unbound occurrence
+MATCH = "match"  # payload: (term, needs_substitute) general match
+
+
+class LiteralStep:
+    """One executable step of a rule body.
+
+    ``kind`` is ``"relation"`` (positive stored-predicate literal),
+    ``"builtin"`` (positive built-in) or ``"negation"``.  For relation
+    steps, ``probes`` describes the index key (argument positions whose
+    variables are all bound before the step) and ``residuals`` the
+    positions that extend the binding; ``fully_bound`` marks pure
+    membership filters.  For non-builtin negations ``neg_args`` holds
+    one descriptor per argument (negation always runs fully bound).
+    """
+
+    __slots__ = (
+        "index",
+        "literal",
+        "kind",
+        "bound_before",
+        "probe_positions",
+        "probes",
+        "residuals",
+        "fully_bound",
+        "neg_args",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        literal: Literal,
+        kind: str,
+        bound_before: frozenset[str],
+        probe_positions: tuple[int, ...] = (),
+        probes: tuple = (),
+        residuals: tuple = (),
+        fully_bound: bool = False,
+        neg_args: tuple | None = None,
+    ) -> None:
+        self.index = index
+        self.literal = literal
+        self.kind = kind
+        self.bound_before = bound_before
+        self.probe_positions = probe_positions
+        self.probes = probes
+        self.residuals = residuals
+        self.fully_bound = fully_bound
+        self.neg_args = neg_args
+
+    def __repr__(self) -> str:
+        return (
+            f"LiteralStep({self.index}, kind={self.kind!r}, "
+            f"probe={self.probe_positions!r})"
+        )
+
+
+class HeadTemplate:
+    """Precomputed head instantiation.
+
+    When every head argument is a plain variable or a constant that
+    canonicalizes at compile time, instantiation is a tuple of direct
+    binding lookups; otherwise it falls back to
+    :func:`~repro.engine.match.ground_atom` (substitute + evaluate).
+    """
+
+    __slots__ = ("atom", "fast", "parts")
+
+    def __init__(self, atom: Atom) -> None:
+        self.atom = atom
+        parts: list[tuple[str, object]] = []
+        fast = True
+        for arg in atom.args:
+            if isinstance(arg, Var):
+                parts.append((VAR, arg.name))
+            elif arg.is_ground():
+                try:
+                    parts.append((CONST, evaluate_ground(arg)))
+                except (NotInUniverseError, EvaluationError):
+                    fast = False
+                    break
+            else:
+                fast = False
+                break
+        self.fast = fast
+        self.parts = tuple(parts) if fast else ()
+
+    def instantiate(self, binding: Mapping[str, Term]) -> Atom | None:
+        """The head fact under ``binding``, or None when outside U."""
+        if self.fast:
+            args: list[Term] = []
+            for kind, payload in self.parts:
+                if kind == VAR:
+                    value = binding.get(payload)
+                    if value is None:
+                        return ground_atom(self.atom, binding)
+                    args.append(value)
+                else:
+                    args.append(payload)
+            return Atom(self.atom.pred, tuple(args))
+        return ground_atom(self.atom, binding)
+
+
+class RulePlan:
+    """A rule compiled to an ordered sequence of literal steps."""
+
+    __slots__ = (
+        "rule",
+        "order",
+        "steps",
+        "head",
+        "planner",
+        "first",
+        "initially_bound",
+    )
+
+    def __init__(
+        self,
+        rule: Rule | None,
+        order: tuple[int, ...],
+        steps: tuple[LiteralStep, ...],
+        head: HeadTemplate | None,
+        planner: str,
+        first: int | None,
+        initially_bound: frozenset[str],
+    ) -> None:
+        self.rule = rule
+        self.order = order
+        self.steps = steps
+        self.head = head
+        self.planner = planner
+        self.first = first
+        self.initially_bound = initially_bound
+
+    def instantiate_head(self, binding: Mapping[str, Term]) -> Atom | None:
+        assert self.head is not None, "body-only plan has no head template"
+        return self.head.instantiate(binding)
+
+    def __repr__(self) -> str:
+        return f"RulePlan(order={self.order!r}, planner={self.planner!r})"
+
+
+def _compile_relation_step(
+    index: int, literal: Literal, bound: frozenset[str]
+) -> LiteralStep:
+    atom = literal.atom
+    probe_positions: list[int] = []
+    probes: list[tuple[int, str, object]] = []
+    residuals: list[tuple[int, str, object]] = []
+    seen_here: set[str] = set()
+    for pos, arg in enumerate(atom.args):
+        arg_vars = arg.variables()
+        if arg_vars <= bound and not (arg_vars & seen_here):
+            # ground at this step (given bound-so-far): part of the key
+            if isinstance(arg, Var):
+                probes.append((pos, VAR, arg.name))
+            elif not arg_vars:
+                try:
+                    probes.append((pos, CONST, evaluate_ground(arg)))
+                except (NotInUniverseError, EvaluationError):
+                    # defer to runtime so failure semantics match the
+                    # seed exactly (silent vs raising, see run_plan)
+                    probes.append((pos, TERM, arg))
+            else:
+                probes.append((pos, TERM, arg))
+            probe_positions.append(pos)
+        elif isinstance(arg, Var) and arg.name not in bound | seen_here:
+            residuals.append((pos, BIND, arg.name))
+            seen_here.add(arg.name)
+        else:
+            # general match: repeated variables, or compound terms with
+            # unbound variables.  Substitute at runtime only when the
+            # term mixes in already-bound variables.
+            needs_substitute = bool(arg_vars & (bound | seen_here))
+            residuals.append((pos, MATCH, (arg, needs_substitute)))
+            seen_here |= arg_vars
+    fully_bound = bool(probe_positions) and not residuals
+    return LiteralStep(
+        index,
+        literal,
+        "relation",
+        bound,
+        tuple(probe_positions),
+        tuple(probes),
+        tuple(residuals),
+        fully_bound,
+    )
+
+
+def _compile_negation_step(
+    index: int, literal: Literal, bound: frozenset[str]
+) -> LiteralStep:
+    if is_builtin_predicate(literal.atom.pred):
+        return LiteralStep(index, literal, "negation", bound, neg_args=None)
+    neg_args: list[tuple[str, object]] = []
+    for arg in literal.atom.args:
+        if isinstance(arg, Var) and arg.name in bound:
+            neg_args.append((VAR, arg.name))
+        elif not arg.variables():
+            try:
+                neg_args.append((CONST, evaluate_ground(arg)))
+            except (NotInUniverseError, EvaluationError):
+                neg_args.append((TERM, arg))
+        else:
+            neg_args.append((TERM, arg))
+    return LiteralStep(
+        index, literal, "negation", bound, neg_args=tuple(neg_args)
+    )
+
+
+def compile_body(
+    literals: Sequence[Literal],
+    order: Sequence[int] | None = None,
+    first: int | None = None,
+    sizes: dict[str, int] | None = None,
+    initially_bound: frozenset[str] = frozenset(),
+    planner: str = "static",
+) -> RulePlan:
+    """Compile a body into a head-less :class:`RulePlan`.
+
+    ``order`` reuses a precomputed evaluation order; otherwise
+    :func:`~repro.engine.solve.order_body` runs with the given
+    ``first``/``sizes``/``initially_bound`` arguments.
+    """
+    from repro.engine.solve import order_body
+
+    if order is None:
+        order = order_body(
+            literals, initially_bound, first=first, sizes=sizes
+        )
+    bound = frozenset(initially_bound)
+    steps: list[LiteralStep] = []
+    for index in order:
+        literal = literals[index]
+        if literal.negative:
+            steps.append(_compile_negation_step(index, literal, bound))
+        elif is_builtin_predicate(literal.atom.pred):
+            steps.append(LiteralStep(index, literal, "builtin", bound))
+            bound |= literal.atom.variables()
+        else:
+            steps.append(_compile_relation_step(index, literal, bound))
+            bound |= literal.atom.variables()
+    return RulePlan(
+        None,
+        tuple(order),
+        tuple(steps),
+        None,
+        planner,
+        first,
+        frozenset(initially_bound),
+    )
+
+
+def compile_rule(
+    rule: Rule,
+    first: int | None = None,
+    sizes: dict[str, int] | None = None,
+    initially_bound: frozenset[str] = frozenset(),
+    planner: str = "static",
+) -> RulePlan:
+    """Compile a full rule: ordered body steps plus a head template.
+
+    Grouping rules get no head template (the R1 step builds grouped
+    heads from equivalence classes, not per-binding instantiation).
+    """
+    plan = compile_body(
+        rule.body,
+        first=first,
+        sizes=sizes,
+        initially_bound=initially_bound,
+        planner=planner,
+    )
+    plan.rule = rule
+    if not rule.is_grouping():
+        plan.head = HeadTemplate(rule.head)
+    return plan
+
+
+def _probe_key(
+    probes: tuple, binding: ChainBinding, lenient: bool
+) -> tuple[Term, ...] | None:
+    """Evaluate the probe descriptors to a key tuple.
+
+    ``lenient`` controls failure semantics for residual terms, matching
+    the seed: probing the database caught only :class:`EvaluationError`
+    (``NotInUniverseError`` propagated), while matching override tuples
+    went through ``match_term`` which swallowed both.
+    """
+    parts: list[Term] = []
+    for _pos, kind, payload in probes:
+        if kind == CONST:
+            parts.append(payload)
+        elif kind == VAR:
+            parts.append(binding[payload])
+        else:
+            try:
+                parts.append(evaluate_ground(payload.substitute(binding)))
+            except EvaluationError:
+                return None
+            except NotInUniverseError:
+                if lenient:
+                    return None
+                raise
+    return tuple(parts)
+
+
+def _match_residuals(
+    residuals: tuple,
+    args: tuple[Term, ...],
+    binding: ChainBinding,
+    substituted: dict[int, Term] | None,
+) -> Iterator[ChainBinding]:
+    """Extend ``binding`` over the non-probe positions of one tuple."""
+    if not residuals:
+        yield binding
+        return
+    pos, kind, payload = residuals[0]
+    rest = residuals[1:]
+    if kind == BIND:
+        bound = binding.get(payload)
+        if bound is None:
+            yield from _match_residuals(
+                rest, args, binding.bind(payload, args[pos]), substituted
+            )
+        elif bound == args[pos]:
+            yield from _match_residuals(rest, args, binding, substituted)
+        return
+    term, needs_substitute = payload
+    if needs_substitute and substituted is not None:
+        term = substituted[pos]
+    for ext in match_term_chain(term, args[pos], binding):
+        yield from _match_residuals(rest, args, ext, substituted)
+
+
+def _run_relation_step(
+    db: Database,
+    step: LiteralStep,
+    binding: ChainBinding,
+    source: Iterable[tuple[Term, ...]] | None,
+) -> Iterator[ChainBinding]:
+    if source is None:
+        key = _probe_key(step.probes, binding, lenient=False)
+        if key is None:
+            return
+        tuples = db.lookup(step.literal.atom.pred, step.probe_positions, key)
+        if step.fully_bound:
+            for _args in tuples:
+                yield binding
+            return
+        check_probes = False
+    else:
+        tuples = source
+        key = _probe_key(step.probes, binding, lenient=True)
+        if key is None:
+            return
+        check_probes = bool(step.probes)
+    # substitute mixed residual terms once per outer binding, as the
+    # seed did by substituting the whole atom before matching
+    substituted: dict[int, Term] | None = None
+    for pos, kind, payload in step.residuals:
+        if kind == MATCH and payload[1]:
+            if substituted is None:
+                substituted = {}
+            substituted[pos] = payload[0].substitute(binding)
+    for args in tuples:
+        if check_probes:
+            ok = True
+            for (pos, _kind, _payload), part in zip(step.probes, key):
+                if args[pos] != part:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if not step.residuals:
+                if len(args) == len(step.literal.atom.args):
+                    yield binding
+                continue
+        yield from _match_residuals(step.residuals, args, binding, substituted)
+
+
+def _run_negation_step(
+    negation_db: Database, step: LiteralStep, binding: ChainBinding
+) -> Iterator[ChainBinding]:
+    literal = step.literal
+    if step.neg_args is None:
+        # negated built-in: a closed test under the current binding
+        substituted = literal.atom.substitute(binding)
+        satisfied = any(
+            True
+            for _ in solve_builtin(substituted.pred, substituted.args, binding)
+        )
+        if not satisfied:
+            yield binding
+        return
+    args: list[Term] = []
+    for kind, payload in step.neg_args:
+        if kind == CONST:
+            args.append(payload)
+        elif kind == VAR:
+            value = binding.get(payload)
+            if value is None:
+                return
+            args.append(value)
+        else:
+            try:
+                args.append(evaluate_ground(payload.substitute(binding)))
+            except (NotInUniverseError, EvaluationError):
+                return
+    if Atom(literal.atom.pred, tuple(args)) not in negation_db:
+        yield binding
+
+
+def run_plan(
+    db: Database,
+    plan: RulePlan,
+    binding: Mapping[str, Term] | None = None,
+    overrides: SourceOverrides | None = None,
+    negation_db: Database | None = None,
+) -> Iterator[ChainBinding]:
+    """Enumerate applicable bindings of a compiled body over ``db``.
+
+    Yields :class:`ChainBinding` extensions of ``binding`` (read-only
+    Mappings; call ``.materialize()`` for a plain dict).  ``overrides``
+    swaps the tuple source of specific body occurrences (semi-naive
+    deltas); ``negation_db`` checks negative literals against a
+    different interpretation (well-founded reduct construction).
+    """
+    steps = plan.steps
+    negative_source = negation_db if negation_db is not None else db
+
+    def recurse(index: int, current: ChainBinding) -> Iterator[ChainBinding]:
+        if index == len(steps):
+            yield current
+            return
+        step = steps[index]
+        if step.kind == "relation":
+            source = overrides.get(step.index) if overrides else None
+            produced = _run_relation_step(db, step, current, source)
+        elif step.kind == "builtin":
+            substituted = step.literal.atom.substitute(current)
+            produced = solve_builtin(substituted.pred, substituted.args, current)
+        else:
+            produced = _run_negation_step(negative_source, step, current)
+        for ext in produced:
+            yield from recurse(index + 1, ext)
+
+    yield from recurse(0, as_chain(binding))
+
+
+def apply_rule_plan(
+    db: Database,
+    plan: RulePlan,
+    overrides: SourceOverrides | None = None,
+    negation_db: Database | None = None,
+) -> Iterator[Atom]:
+    """Head facts derived by one (non-grouping) compiled rule over ``db``."""
+    for binding in run_plan(db, plan, overrides=overrides, negation_db=negation_db):
+        fact = plan.instantiate_head(binding)
+        if fact is not None:
+            yield fact

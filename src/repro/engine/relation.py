@@ -72,6 +72,17 @@ class Relation:
         return index.get(key, ())
 
     def copy(self) -> "Relation":
+        """An independent clone, *including* already-built hash indexes.
+
+        Copies used by incremental and well-founded evaluation probe the
+        same signatures as the original; rebuilding every index on first
+        probe would pay the full O(n) construction again.  Bucket lists
+        are copied so later ``add``s on either side stay independent.
+        """
         clone = Relation(self.pred, self.arity)
         clone._tuples = set(self._tuples)
+        clone._indexes = {
+            positions: {key: list(bucket) for key, bucket in index.items()}
+            for positions, index in self._indexes.items()
+        }
         return clone

@@ -20,21 +20,19 @@ variables bound — the safety checker rejects those rules up front.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
-from repro.engine.builtins import solve_builtin
 from repro.engine.database import Database
-from repro.engine.match import Binding, ground_atom, match_atom
-from repro.errors import EvaluationError, SafetyError
+from repro.engine.match import Binding, ground_atom
+from repro.errors import SafetyError
 from repro.names import is_builtin_predicate
 from repro.program.modes import modes_for
 from repro.program.rule import Literal
 from repro.terms.pretty import format_literal
-from repro.terms.term import Term, evaluate_ground
 
 #: relation-override hook: maps a body-literal *original index* to an
 #: alternative tuple source (e.g. the semi-naive delta).
-SourceOverrides = dict[int, Iterable[tuple[Term, ...]]]
+SourceOverrides = dict[int, Iterable[tuple]]
 
 
 def order_body(
@@ -111,53 +109,6 @@ def order_body(
     return tuple(plan)
 
 
-def _solve_positive(
-    db: Database,
-    lit: Literal,
-    binding: Binding,
-    source: Iterable[tuple[Term, ...]] | None,
-) -> Iterator[Binding]:
-    atom = lit.atom.substitute(binding)
-    if source is None:
-        bound_positions: list[int] = []
-        key_parts: list[Term] = []
-        for i, arg in enumerate(atom.args):
-            if arg.is_ground():
-                try:
-                    key_parts.append(evaluate_ground(arg))
-                except EvaluationError:
-                    return
-                bound_positions.append(i)
-        tuples = db.lookup(atom.pred, tuple(bound_positions), tuple(key_parts))
-        if bound_positions and len(bound_positions) == len(atom.args):
-            for args in tuples:
-                yield dict(binding)
-            return
-    else:
-        tuples = source
-    for args in tuples:
-        yield from match_atom(atom, args, binding)
-
-
-def _solve_negative(
-    db: Database, lit: Literal, binding: Binding
-) -> Iterator[Binding]:
-    if is_builtin_predicate(lit.atom.pred):
-        # negation of a built-in is evaluated as a closed test
-        substituted = lit.atom.substitute(binding)
-        satisfied = any(
-            True for _ in solve_builtin(substituted.pred, substituted.args, binding)
-        )
-        if not satisfied:
-            yield dict(binding)
-        return
-    fact = ground_atom(lit.atom, binding)
-    if fact is None:
-        return
-    if fact not in db:
-        yield dict(binding)
-
-
 def solve_body(
     db: Database,
     literals: Sequence[Literal],
@@ -173,31 +124,23 @@ def solve_body(
     (semi-naive deltas, magic-constrained relations); ``negation_db``
     checks negative literals against a different interpretation (the
     well-founded semantics' reduct construction).
+
+    Compatibility wrapper: compiles a throwaway
+    :class:`~repro.engine.plan.RulePlan` body and executes it,
+    materializing each applicable binding as a plain dict.  Engine hot
+    paths share cached plans through
+    :class:`~repro.engine.context.EvalContext` instead.
     """
-    if binding is None:
-        binding = {}
-    if plan is None:
-        plan = order_body(literals, frozenset(binding))
-    negative_source = negation_db if negation_db is not None else db
+    from repro.engine.plan import compile_body, run_plan
 
-    def recurse(step: int, current: Binding) -> Iterator[Binding]:
-        if step == len(plan):
-            yield current
-            return
-        index = plan[step]
-        lit = literals[index]
-        if lit.negative:
-            produced = _solve_negative(negative_source, lit, current)
-        elif is_builtin_predicate(lit.atom.pred):
-            substituted = lit.atom.substitute(current)
-            produced = solve_builtin(substituted.pred, substituted.args, current)
-        else:
-            source = overrides.get(index) if overrides else None
-            produced = _solve_positive(db, lit, current, source)
-        for extended in produced:
-            yield from recurse(step + 1, extended)
-
-    yield from recurse(0, binding)
+    initially_bound = frozenset(binding) if binding else frozenset()
+    compiled = compile_body(
+        literals, order=plan, initially_bound=initially_bound
+    )
+    for result in run_plan(
+        db, compiled, binding=binding, overrides=overrides, negation_db=negation_db
+    ):
+        yield result.materialize()
 
 
 def head_facts(

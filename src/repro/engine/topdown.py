@@ -29,10 +29,11 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.engine.builtins import solve_builtin
+from repro.engine.context import EvalContext
 from repro.engine.database import Database
 from repro.engine.match import Binding, ground_atom, match_atom, match_term
-from repro.engine.solve import order_body
 from repro.errors import EvaluationError, NotInUniverseError
+from repro.observe import EngineHooks
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Literal, Program, Query, Rule
 from repro.program.stratify import stratify
@@ -64,7 +65,11 @@ class TopDownEvaluator:
     """Goal-directed evaluation of an admissible LDL1 program."""
 
     def __init__(
-        self, program: Program, edb: Iterable[Atom] = (), check: bool = True
+        self,
+        program: Program,
+        edb: Iterable[Atom] = (),
+        check: bool = True,
+        hooks: EngineHooks | None = None,
     ) -> None:
         if check:
             check_program(program)
@@ -72,6 +77,10 @@ class TopDownEvaluator:
         self.layering = stratify(program)  # also verifies admissibility
         self._idb = program.idb_predicates()
         self._db = Database(edb)
+        # body orders are planned per (rule, bound head vars) and cached
+        # for the evaluator's lifetime — the driver re-runs rules many
+        # times before tables quiesce.
+        self._context = EvalContext(self._db, hooks=hooks)
         for rule in program.facts():
             args = tuple(evaluate_ground(a) for a in rule.head.args)
             self._db.add(Atom(rule.head.pred, args))
@@ -194,7 +203,9 @@ class TopDownEvaluator:
 
     def _apply_rule(self, rule: Rule, key: SubgoalKey, table: Table) -> None:
         for head_binding in self._head_bindings(rule, key):
-            plan = order_body(rule.body, frozenset(head_binding))
+            plan = self._context.plan_for(
+                rule, initially_bound=frozenset(head_binding)
+            ).order
             for binding in self._body_bindings(rule.body, plan, head_binding):
                 self.stats.rule_applications += 1
                 fact = ground_atom(rule.head, binding)
@@ -230,7 +241,9 @@ class TopDownEvaluator:
         try:
             solutions: list[Binding] = []
             for head_binding in self._head_bindings(rule, relaxed_key):
-                plan = order_body(rule.body, frozenset(head_binding))
+                plan = self._context.plan_for(
+                    rule, initially_bound=frozenset(head_binding)
+                ).order
                 solutions.extend(
                     self._body_bindings(rule.body, plan, head_binding)
                 )

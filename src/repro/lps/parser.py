@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from repro.errors import ParseError
 from repro.lps.syntax import LPSProgram, LPSRule, Quantifier
-from repro.parser.lexer import tokenize
 from repro.parser.parser import _Parser
 
 

@@ -19,15 +19,14 @@ names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 from repro.errors import MagicRewriteError
 from repro.magic.sips import SipStrategy, left_to_right_sip
 from repro.names import is_builtin_predicate
 from repro.program.modes import modes_for
 from repro.program.rule import Atom, Literal, Program, Query, Rule
-from repro.terms.term import GroupTerm, Term
+from repro.terms.term import GroupTerm
 
 
 def adorned_name(pred: str, adornment: str) -> str:

@@ -24,13 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
 from repro.engine.evaluator import answer_query
 from repro.engine.fixpoint import FixpointStats, seminaive_fixpoint
 from repro.engine.grouping import apply_grouping_rule
 from repro.engine.match import Binding
-from repro.engine.solve import head_facts, solve_body
+from repro.engine.plan import apply_rule_plan
 from repro.errors import UnstableMagicEvaluationError
+from repro.observe import EngineHooks
 from repro.magic.rewrite import MagicProgram, magic_rewrite
 from repro.program.rule import Atom, Program, Query, Rule
 from repro.program.wellformed import check_program
@@ -77,10 +79,13 @@ class MagicResult:
         return sorted(set(out), key=lambda a: a.sort_key())
 
 
-def _apply_deferred(rule: Rule, db: Database) -> list[Atom]:
+def _apply_deferred(
+    rule: Rule, db: Database, context: EvalContext | None = None
+) -> list[Atom]:
+    ctx = ensure_context(context, db)
     if rule.is_grouping():
-        return list(apply_grouping_rule(rule, db))
-    return list(head_facts(rule.head, solve_body(db, rule.body)))
+        return list(apply_grouping_rule(rule, db, context=ctx))
+    return list(apply_rule_plan(db, ctx.plan_for(rule)))
 
 
 def evaluate_magic(
@@ -90,6 +95,7 @@ def evaluate_magic(
     check: bool = True,
     max_phases: int = 10_000,
     rewrite=magic_rewrite,
+    hooks: EngineHooks | None = None,
 ) -> MagicResult:
     """Answer ``query`` over ``program`` + ``edb`` via magic sets.
 
@@ -118,6 +124,9 @@ def evaluate_magic(
     phase1_rules = list(mp.magic_rules) + list(mp.modified_rules)
     derived_by_rule: dict[Rule, set[Atom]] = {r: set() for r in mp.deferred_rules}
     stats = MagicStats()
+    # one context across all saturation/deferred phases: every rule in
+    # the rewritten program is planned exactly once for the whole run.
+    ctx = EvalContext(db, hooks=hooks)
 
     while True:
         stats.phases += 1
@@ -126,10 +135,12 @@ def evaluate_magic(
                 f"no fixpoint after {max_phases} phases"
             )
         if phase1_rules:
-            stats.saturation.merge(seminaive_fixpoint(db, phase1_rules))
+            stats.saturation.merge(
+                seminaive_fixpoint(db, phase1_rules, context=ctx)
+            )
         changed = False
         for rule in mp.deferred_rules:
-            for fact in _apply_deferred(rule, db):
+            for fact in _apply_deferred(rule, db, context=ctx):
                 derived_by_rule[rule].add(fact)
                 if db.add(fact):
                     stats.deferred_facts += 1
@@ -140,7 +151,7 @@ def evaluate_magic(
     # stability validation: every deferred rule, recomputed now, must
     # derive exactly what it derived during the run.
     for rule in mp.deferred_rules:
-        final = set(_apply_deferred(rule, db))
+        final = set(_apply_deferred(rule, db, context=ctx))
         if final != derived_by_rule[rule]:
             raise UnstableMagicEvaluationError(
                 "deferred rule derivations changed after fixpoint: "

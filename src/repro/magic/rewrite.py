@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 from repro.errors import MagicRewriteError
 from repro.magic.adornment import AdornedProgram, AdornedRule, adorn
-from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Literal, Program, Query, Rule
 from repro.terms.term import GroupTerm, evaluate_ground
 

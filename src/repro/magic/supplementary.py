@@ -22,12 +22,12 @@ rewrite returns a regular :class:`~repro.magic.rewrite.MagicProgram`.
 
 from __future__ import annotations
 
-from repro.magic.adornment import AdornedRule, adorn
+from repro.magic.adornment import adorn
 from repro.magic.rewrite import MagicProgram, _bound_args, _is_deferred, magic_name
 from repro.errors import MagicRewriteError
-from repro.names import FreshNames, is_builtin_predicate
+from repro.names import FreshNames
 from repro.program.rule import Atom, Literal, Program, Query, Rule
-from repro.terms.term import GroupTerm, Var, evaluate_ground
+from repro.terms.term import Var, evaluate_ground
 
 
 def _needed_later(

@@ -1,0 +1,293 @@
+"""Engine-wide observability: hooks, structured tracing, and metrics.
+
+The evaluation engine reports its progress through an
+:class:`EngineHooks` implementation attached to the
+:class:`~repro.engine.context.EvalContext`.  Three implementations ship
+here:
+
+* :data:`NULL_HOOKS` — the no-op default.  Hot paths test
+  ``context.observing`` (a plain attribute) before dispatching, so the
+  default adds no measurable overhead;
+* :class:`TraceRecorder` — records every event as a structured
+  :class:`TraceEvent` and can summarize a run (rule firings per layer,
+  plans built, facts derived).  The CLI's ``--trace`` flag uses it;
+* :class:`MetricsCollector` — wall-clock time per engine phase
+  (``plan``, ``match``, ``grouping``) and per layer, feeding the
+  benchmark harness' phase-attribution tables.
+
+Several hooks can be active at once via :func:`compose_hooks`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.plan import RulePlan
+    from repro.program.rule import Atom, Rule
+
+
+@runtime_checkable
+class EngineHooks(Protocol):
+    """Observation points raised by every evaluation strategy.
+
+    Implementations may ignore any subset; all methods return None and
+    must not mutate engine state.  ``on_plan_built`` fires once per
+    compiled :class:`~repro.engine.plan.RulePlan` (so a counter on it
+    verifies plan caching); the remaining hooks follow the Theorem 1
+    pipeline: layers, fixpoint iterations, rule firings, derived facts.
+    """
+
+    def on_plan_built(self, plan: "RulePlan") -> None: ...
+
+    def on_layer_start(self, layer: int, rules: Sequence["Rule"]) -> None: ...
+
+    def on_layer_end(self, layer: int, new_facts: int) -> None: ...
+
+    def on_iteration(self, iteration: int, new_facts: int) -> None: ...
+
+    def on_rule_fired(self, rule: "Rule", derived: int) -> None: ...
+
+    def on_fact_derived(self, fact: "Atom", rule: "Rule | None") -> None: ...
+
+
+class NullHooks:
+    """The do-nothing default hook implementation."""
+
+    __slots__ = ()
+
+    def on_plan_built(self, plan) -> None:
+        pass
+
+    def on_layer_start(self, layer, rules) -> None:
+        pass
+
+    def on_layer_end(self, layer, new_facts) -> None:
+        pass
+
+    def on_iteration(self, iteration, new_facts) -> None:
+        pass
+
+    def on_rule_fired(self, rule, derived) -> None:
+        pass
+
+    def on_fact_derived(self, fact, rule) -> None:
+        pass
+
+
+#: Shared no-op instance; contexts compare against it to skip dispatch.
+NULL_HOOKS = NullHooks()
+
+
+class CompositeHooks:
+    """Fan one event stream out to several hook implementations."""
+
+    __slots__ = ("hooks",)
+
+    def __init__(self, hooks: Sequence[EngineHooks]) -> None:
+        self.hooks = tuple(hooks)
+
+    def on_plan_built(self, plan) -> None:
+        for hook in self.hooks:
+            hook.on_plan_built(plan)
+
+    def on_layer_start(self, layer, rules) -> None:
+        for hook in self.hooks:
+            hook.on_layer_start(layer, rules)
+
+    def on_layer_end(self, layer, new_facts) -> None:
+        for hook in self.hooks:
+            hook.on_layer_end(layer, new_facts)
+
+    def on_iteration(self, iteration, new_facts) -> None:
+        for hook in self.hooks:
+            hook.on_iteration(iteration, new_facts)
+
+    def on_rule_fired(self, rule, derived) -> None:
+        for hook in self.hooks:
+            hook.on_rule_fired(rule, derived)
+
+    def on_fact_derived(self, fact, rule) -> None:
+        for hook in self.hooks:
+            hook.on_fact_derived(fact, rule)
+
+
+def compose_hooks(*hooks: EngineHooks | None) -> EngineHooks:
+    """Combine hooks, dropping Nones and no-ops; NULL_HOOKS when empty."""
+    active = [h for h in hooks if h is not None and h is not NULL_HOOKS]
+    if not active:
+        return NULL_HOOKS
+    if len(active) == 1:
+        return active[0]
+    return CompositeHooks(active)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured engine event: a kind tag plus its payload."""
+
+    kind: str
+    payload: dict
+
+
+class TraceRecorder:
+    """Hook implementation that records every event for inspection.
+
+    The recorded stream is available as :attr:`events`; convenience
+    accessors aggregate the common questions (how many plans were
+    built, which rules fired per layer).  ``format_summary`` renders
+    the per-layer firing table the CLI prints under ``--trace``.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._layer: int | None = None
+
+    # -- hook protocol -----------------------------------------------------
+
+    def on_plan_built(self, plan) -> None:
+        self.events.append(
+            TraceEvent(
+                "plan_built",
+                {
+                    "rule": plan.rule,
+                    "order": plan.order,
+                    "planner": plan.planner,
+                    "first": plan.first,
+                },
+            )
+        )
+
+    def on_layer_start(self, layer, rules) -> None:
+        self._layer = layer
+        self.events.append(
+            TraceEvent("layer_start", {"layer": layer, "rules": tuple(rules)})
+        )
+
+    def on_layer_end(self, layer, new_facts) -> None:
+        self.events.append(
+            TraceEvent("layer_end", {"layer": layer, "new_facts": new_facts})
+        )
+        self._layer = None
+
+    def on_iteration(self, iteration, new_facts) -> None:
+        self.events.append(
+            TraceEvent(
+                "iteration",
+                {
+                    "layer": self._layer,
+                    "iteration": iteration,
+                    "new_facts": new_facts,
+                },
+            )
+        )
+
+    def on_rule_fired(self, rule, derived) -> None:
+        self.events.append(
+            TraceEvent(
+                "rule_fired",
+                {"layer": self._layer, "rule": rule, "derived": derived},
+            )
+        )
+
+    def on_fact_derived(self, fact, rule) -> None:
+        self.events.append(
+            TraceEvent(
+                "fact_derived",
+                {"layer": self._layer, "fact": fact, "rule": rule},
+            )
+        )
+
+    # -- aggregation -------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    @property
+    def plans_built(self) -> int:
+        return self.count("plan_built")
+
+    def firings_per_layer(self) -> dict[int | None, int]:
+        """Total rule firings keyed by layer (None: outside layers)."""
+        out: dict[int | None, int] = {}
+        for event in self.events:
+            if event.kind == "rule_fired":
+                layer = event.payload["layer"]
+                out[layer] = out.get(layer, 0) + event.payload["derived"]
+        return out
+
+    def facts_per_layer(self) -> dict[int | None, int]:
+        out: dict[int | None, int] = {}
+        for event in self.events:
+            if event.kind == "fact_derived":
+                layer = event.payload["layer"]
+                out[layer] = out.get(layer, 0) + 1
+        return out
+
+    def format_summary(self) -> str:
+        """A per-layer firing/fact table, e.g. for the CLI's --trace."""
+        firings = self.firings_per_layer()
+        facts = self.facts_per_layer()
+        lines = [
+            f"% trace: {len(self.events)} events, {self.plans_built} plans built"
+        ]
+        for layer in sorted(
+            set(firings) | set(facts), key=lambda x: (x is None, x)
+        ):
+            label = f"layer {layer}" if layer is not None else "unlayered"
+            lines.append(
+                f"%   {label}: {firings.get(layer, 0)} rule firings, "
+                f"{facts.get(layer, 0)} new facts"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class MetricsCollector:
+    """Wall-clock attribution per engine phase and per layer.
+
+    ``phases`` accumulates seconds under free-form names — the engine
+    uses ``plan`` (RulePlan compilation), ``match`` (body enumeration +
+    head instantiation) and ``grouping`` (the R1 step); ``layers`` holds
+    ``(layer, seconds)`` pairs in evaluation order.  ``counters`` holds
+    integer tallies (``plans_built``, ``plan_cache_hits``).
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, int] = field(default_factory=dict)
+    layers: list[tuple[int, float]] = field(default_factory=list)
+
+    def add_time(self, phase: str, seconds: float) -> None:
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def add_layer_time(self, layer: int, seconds: float) -> None:
+        self.layers.append((layer, seconds))
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+    def report(self) -> dict:
+        """A JSON-friendly snapshot for benchmark output."""
+        return {
+            "phases": dict(self.phases),
+            "counters": dict(self.counters),
+            "layers": [
+                {"layer": layer, "seconds": seconds}
+                for layer, seconds in self.layers
+            ],
+        }
+
+    def format(self) -> str:
+        parts = [
+            f"{name}={seconds * 1000:.2f}ms"
+            for name, seconds in sorted(self.phases.items())
+        ]
+        parts.extend(
+            f"{name}={value}" for name, value in sorted(self.counters.items())
+        )
+        return " ".join(parts)

@@ -15,7 +15,7 @@ import networkx as nx
 
 from repro.names import is_builtin_predicate
 from repro.program.dependency import dependency_graph
-from repro.program.rule import Program, Rule
+from repro.program.rule import Program
 from repro.program.stratify import Layering, stratify
 
 

@@ -20,7 +20,7 @@ from repro.names import is_builtin_predicate
 from repro.program.modes import modes_for
 from repro.program.rule import Program, Rule
 from repro.terms.pretty import format_rule
-from repro.terms.term import GroupTerm, Term, contains_group_term
+from repro.terms.term import GroupTerm, contains_group_term
 
 
 def check_rule_wellformed(

@@ -11,7 +11,7 @@ Exponential by construction — guarded by a candidate-count cap.
 
 from __future__ import annotations
 
-from itertools import chain, combinations
+from itertools import combinations
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import EvaluationError

@@ -23,7 +23,7 @@ from typing import Callable, Iterable, Sequence
 
 import networkx as nx
 
-from repro.terms.term import Const, Func, SetVal, Term
+from repro.terms.term import Func, SetVal, Term
 
 
 def element_dominated(a: Term, b: Term) -> bool:

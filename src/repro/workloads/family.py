@@ -7,7 +7,6 @@ facts at laptop scale, used by experiments E1–E4.
 from __future__ import annotations
 
 import random
-from typing import Iterator
 
 from repro.program.rule import Atom
 from repro.terms.term import Const

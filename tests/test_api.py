@@ -4,7 +4,7 @@ import pytest
 
 from repro import LDL, from_term, to_term
 from repro.errors import EvaluationError
-from repro.terms.term import Const, Func, SetVal, mkset
+from repro.terms.term import Const, Func, mkset
 
 
 class TestValueConversion:

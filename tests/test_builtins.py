@@ -5,7 +5,7 @@ import pytest
 from repro.engine.builtins import solve_builtin
 from repro.errors import EvaluationError
 from repro.parser import parse_atom, parse_term
-from repro.terms.term import Const, SetVal, mkset
+from repro.terms.term import Const, SetVal
 
 
 def solve(src, binding=None):

@@ -6,7 +6,7 @@ from repro.engine import evaluate
 from repro.errors import EvaluationError, NotAdmissibleError
 from repro.parser import parse_program, parse_query
 from repro.program.stratify import linear_layerings
-from repro.terms.term import Const, mkset
+from repro.terms.term import Const
 
 from tests.helpers import facts_of, run
 

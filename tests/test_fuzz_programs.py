@@ -10,10 +10,9 @@ from repro.engine import evaluate
 from repro.engine.incremental import IncrementalModel
 from repro.engine.topdown import evaluate_topdown
 from repro.magic import evaluate_magic, supplementary_rewrite
-from repro.errors import MagicRewriteError
 from repro.program.dependency import is_admissible
 from repro.program.rule import Atom, Query
-from repro.program.stratify import linear_layerings, stratify, validate_layering
+from repro.program.stratify import linear_layerings, validate_layering
 from repro.program.wellformed import check_program
 from repro.terms.term import Const, Var
 from repro.workloads.generator import GeneratorConfig, random_program

@@ -5,7 +5,6 @@ stratification, grouping, negation, set built-ins, arithmetic — and
 cross-checks all evaluation strategies where applicable.
 """
 
-import pytest
 
 from repro import LDL
 from repro.engine import evaluate

@@ -1,7 +1,6 @@
 """White-box tests for evaluator internals: tabling, magic phases,
 incremental bookkeeping, and statistics plumbing."""
 
-import pytest
 
 from repro.engine import evaluate
 from repro.engine.incremental import IncrementalModel

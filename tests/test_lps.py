@@ -16,7 +16,7 @@ from repro.lps import (
 from repro.parser import parse_atom, parse_rules
 from repro.program.rule import Atom, Literal
 from repro.terms.pretty import format_atom
-from repro.terms.term import SetVal, Var, mkset, Const
+from repro.terms.term import Var, mkset, Const
 from repro.terms.universe import set_depth
 
 

@@ -1,9 +1,13 @@
 """Tests for one-way matching (repro.engine.match)."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.engine.match import ground_atom, match_atom, match_term
 from repro.parser import parse_atom, parse_term
+from tests.strategies import ground_terms, pattern_terms
 from repro.program.rule import Atom
-from repro.terms.term import Const, SetVal, Var, mkset
+from repro.terms.term import Const, SetVal, mkset
 
 
 def matches(pattern_src, value_src, binding=None):
@@ -130,13 +134,6 @@ class TestAtomHelpers:
 
 
 # -- property: matching inverts substitution ---------------------------------
-
-from hypothesis import given, settings
-from hypothesis import strategies as st
-
-from repro.terms.term import Const as _Const
-
-from tests.strategies import ground_terms, pattern_terms
 
 
 @given(pattern_terms, st.data())

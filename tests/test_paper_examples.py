@@ -9,7 +9,7 @@ derives.
 import pytest
 
 from repro.engine import evaluate
-from repro.parser import parse_atom, parse_program, parse_rules
+from repro.parser import parse_atom, parse_rules
 from repro.program.dependency import is_admissible
 from repro.semantics import (
     all_models,

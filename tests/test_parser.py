@@ -11,7 +11,7 @@ from repro.parser import (
     parse_rules,
     parse_term,
 )
-from repro.program.rule import Atom, Literal, Rule
+from repro.program.rule import Atom
 from repro.terms.term import (
     Const,
     Func,

@@ -9,7 +9,6 @@ from repro.terms.domination import (
     fact_dominated,
     factset_dominated,
 )
-from repro.terms.term import SetVal
 
 from tests.strategies import ground_sets, ground_terms
 

@@ -4,6 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import evaluate
+from repro.engine.topdown import evaluate_topdown
 from repro.magic import evaluate_magic
 from repro.parser import parse_rules
 from repro.program.rule import Atom, Query
@@ -106,8 +107,6 @@ def test_grouping_free_query(pairs):
 
 
 # -- three-way equivalence: bottom-up, magic, top-down tabling ---------------
-
-from repro.engine.topdown import evaluate_topdown
 
 
 @given(edges, st.integers(0, 8))

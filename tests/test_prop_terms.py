@@ -1,11 +1,11 @@
 """Property-based tests for the term algebra and printer/parser."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.parser import parse_term
 from repro.terms.pretty import format_term
-from repro.terms.term import Const, SetVal, Term, evaluate_ground
+from repro.terms.term import Const, SetVal, evaluate_ground
 from repro.terms.universe import in_universe, set_depth
 
 from tests.strategies import ground_terms, pattern_terms

@@ -59,6 +59,24 @@ class TestRelation:
         clone.add(t(2))
         assert len(rel) == 1 and len(clone) == 2
 
+    def test_copy_preserves_built_indexes(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(1, 3), t(2, 4)])
+        rel.lookup((0,), t(1))  # build the position-0 index
+        clone = rel.copy()
+        assert (0,) in clone._indexes
+        assert set(clone.lookup((0,), t(1))) == {t(1, 2), t(1, 3)}
+
+    def test_copied_indexes_are_independent(self):
+        rel = Relation("p", 2)
+        rel.add(t(1, 2))
+        rel.lookup((0,), t(1))
+        clone = rel.copy()
+        clone.add(t(1, 9))
+        rel.add(t(1, 7))
+        assert set(clone.lookup((0,), t(1))) == {t(1, 2), t(1, 9)}
+        assert set(rel.lookup((0,), t(1))) == {t(1, 2), t(1, 7)}
+
 
 class TestDatabase:
     def test_add_and_contains(self):

@@ -13,7 +13,7 @@ from repro.magic import (
     validate_sip,
 )
 from repro.magic.sips import Sip, SipArc
-from repro.parser import parse_program, parse_query, parse_rule, parse_rules
+from repro.parser import parse_query, parse_rule, parse_rules
 
 
 class TestDefaultSipConstruction:

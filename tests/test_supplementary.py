@@ -5,7 +5,6 @@ import pytest
 from repro.engine import evaluate
 from repro.magic import evaluate_magic, magic_rewrite, supplementary_rewrite
 from repro.parser import parse_program, parse_query, parse_rules
-from repro.terms.pretty import format_rule
 
 ANCESTOR = """
 parent(a, b). parent(b, c). parent(c, d). parent(e, f).
