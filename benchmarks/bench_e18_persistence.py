@@ -1,0 +1,23 @@
+"""Experiment E18: durable restart paths
+
+Times the three ways a ``DurableStore`` can come back up — cold start
+(no persisted state, full evaluation), WAL replay (incremental repair
+per logged batch), and snapshot restore (fingerprint match, fixpoint
+skipped).  pytest-benchmark wrapper around the shared cases in
+``common.py``; see ``benchmarks/harness.py`` for the table-printing
+runner and DESIGN.md for the experiment index.
+"""
+
+import pytest
+
+from common import EXPERIMENTS
+
+CASES = EXPERIMENTS["E18"]()
+IDS = [f"{c['workload']}::{c['strategy']}" for c in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_e18_persistence(benchmark, case):
+    result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
+    benchmark.extra_info["facts"] = case["metric"](result)
+    benchmark.extra_info["strategy"] = case["strategy"]

@@ -679,3 +679,68 @@ def e17_wellfounded() -> list[dict]:
 
 EXPERIMENTS["E17"] = e17_wellfounded
 EXPERIMENT_TITLES["E17"] = "well-founded semantics (Section 7 open problem 1)"
+
+
+# -- E18: durable restart paths: cold start vs WAL replay vs snapshot ---------
+
+def e18_persistence() -> list[dict]:
+    import atexit
+    import shutil
+    import tempfile
+
+    from repro.storage.store import DurableStore
+
+    program = parse_rules(ANCESTOR_RULES)
+    n = 120
+    facts = chain_family(n)
+    batches = [facts[i : i + 10] for i in range(0, len(facts), 10)]
+
+    def populate(root, checkpoint):
+        store = DurableStore(program, root, fsync="never").open()
+        for batch in batches:
+            store.add_facts(batch)
+        if checkpoint:
+            store.checkpoint()
+        store.close()
+
+    # fixture stores built once; reopening them is read-only, so the
+    # timed runs are repeatable
+    wal_dir = tempfile.mkdtemp(prefix="ldl1-bench-wal-")
+    snap_dir = tempfile.mkdtemp(prefix="ldl1-bench-snap-")
+    for root in (wal_dir, snap_dir):
+        atexit.register(shutil.rmtree, root, ignore_errors=True)
+    populate(wal_dir, checkpoint=False)
+    populate(snap_dir, checkpoint=True)
+
+    def cold_start():
+        root = tempfile.mkdtemp(prefix="ldl1-bench-cold-")
+        try:
+            store = DurableStore(program, root, fsync="never").open()
+            store.add_facts(facts)
+            nfacts = len(store.database)
+            store.close()
+            return nfacts
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    def reopen(root):
+        store = DurableStore(program, root, fsync="never").open()
+        nfacts = len(store.database)
+        store.close()
+        return nfacts
+
+    workload = f"chain n={n}, restart"
+    return [
+        case(workload, "cold-start", cold_start, lambda f: f),
+        case(workload, "wal-replay", lambda: reopen(wal_dir), lambda f: f),
+        case(
+            workload,
+            "snapshot-restore",
+            lambda: reopen(snap_dir),
+            lambda f: f,
+        ),
+    ]
+
+
+EXPERIMENTS["E18"] = e18_persistence
+EXPERIMENT_TITLES["E18"] = "durable restart: cold start vs WAL replay vs snapshot"

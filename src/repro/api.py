@@ -18,6 +18,13 @@ and run queries under any evaluation strategy::
 Python values convert to terms (ints/floats/strs to constants,
 (frozen)sets to set values, tuples to tuple terms) and back.
 
+Durability: ``LDL(path="mydb")`` binds the session to a
+:class:`repro.storage.DurableStore` directory.  Facts added through the
+session are write-ahead-logged before the model is repaired, a restart
+with the same rules restores the computed model from the last snapshot
+without re-running the fixpoint, and ``ldl.checkpoint()`` compacts the
+log into a fresh snapshot.
+
 Observability: ``LDL(trace=True)`` attaches a
 :class:`repro.observe.TraceRecorder` (available as :attr:`LDL.trace`)
 that records every engine event — plans built, layers, iterations, rule
@@ -34,10 +41,10 @@ from repro.engine.database import Database
 from repro.engine.evaluator import EvaluationResult, evaluate
 from repro.errors import EvaluationError
 from repro.magic.evaluate import MagicResult, evaluate_magic
-from repro.observe import EngineHooks, TraceRecorder, compose_hooks
+from repro.observe import EngineHooks, MetricsCollector, TraceRecorder, compose_hooks
 from repro.parser.parser import parse_program, parse_query
 from repro.program.rule import Atom, Program, Query
-from repro.terms.term import Const, Func, SetVal, Term
+from repro.terms.term import Const, Func, SetVal, Term, evaluate_ground
 
 Strategy = TypingLiteral["naive", "seminaive", "magic"]
 
@@ -88,6 +95,10 @@ class LDL:
         alternative_semantics: bool = False,
         hooks: EngineHooks | None = None,
         trace: bool = False,
+        path: str | None = None,
+        fsync: str = "always",
+        compact_every: int = 1024,
+        metrics: MetricsCollector | None = None,
     ) -> None:
         self._program = Program()
         self._edb: list[Atom] = []
@@ -97,13 +108,69 @@ class LDL:
         self._cached_result: EvaluationResult | None = None
         self._trace: TraceRecorder | None = TraceRecorder() if trace else None
         self._hooks = compose_hooks(hooks, self._trace)
+        self._path = path
+        self._fsync = fsync
+        self._compact_every = compact_every
+        self._metrics = metrics
+        self._store = None  # DurableStore, opened lazily
         if source:
             self.load(source)
+        if path is not None:
+            self._open_store()
 
     @property
     def trace(self) -> TraceRecorder | None:
         """The session's trace recorder (``LDL(trace=True)``), or None."""
         return self._trace
+
+    # -- durability --------------------------------------------------------
+
+    @property
+    def store(self):
+        """The session's :class:`~repro.storage.DurableStore`, or None."""
+        return self._store
+
+    def _open_store(self) -> None:
+        from repro.storage.store import DurableStore
+
+        buffered, self._edb = self._edb, []
+        self._store = DurableStore(
+            self.program,
+            self._path,
+            fsync=self._fsync,
+            compact_every=self._compact_every,
+            hooks=self._hooks,
+            metrics=self._metrics,
+        ).open()
+        if buffered:
+            self._store.add_facts(buffered)
+
+    def _reopen_store(self) -> None:
+        """Rules changed: reopen so the store recomputes under them."""
+        self._store.close()
+        self._store = None
+        self._open_store()
+
+    def checkpoint(self) -> int:
+        """Snapshot the durable session's model and compact its WAL.
+
+        Returns bytes written; raises when the session has no ``path``.
+        """
+        if self._store is None:
+            raise EvaluationError("checkpoint() needs a durable session (path=...)")
+        return self._store.checkpoint()
+
+    def close(self) -> None:
+        """Release the durable store (no-op for in-memory sessions)."""
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+
+    def __enter__(self) -> "LDL":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- building the database -------------------------------------------
 
@@ -114,29 +181,63 @@ class LDL:
         self._program = self._program + parsed.program
         self._pending_queries.extend(parsed.queries)
         self._invalidate()
+        if self._store is not None and len(parsed.program):
+            self._reopen_store()
         return self
 
     def fact(self, pred: str, *values) -> "LDL":
         """Add one fact from Python values: ``db.fact("parent", "a", "b")``."""
-        self._edb.append(Atom(pred, tuple(to_term(v) for v in values)))
-        self._invalidate()
-        return self
+        return self.add_atoms([Atom(pred, tuple(to_term(v) for v in values))])
 
     def facts(self, pred: str, rows: Iterable[Sequence]) -> "LDL":
         """Add many facts: ``db.facts("edge", [(1, 2), (2, 3)])``."""
-        for row in rows:
-            self._edb.append(Atom(pred, tuple(to_term(v) for v in row)))
+        return self.add_atoms(
+            [Atom(pred, tuple(to_term(v) for v in row)) for row in rows]
+        )
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> "LDL":
+        """Add pre-built ground atoms (e.g. from a workload generator).
+
+        In a durable session the batch is WAL-logged before the model
+        is repaired, so it survives a crash as one atomic unit.
+        """
+        if self._store is not None:
+            self._store.add_facts(atoms)
+        else:
+            self._edb.extend(atoms)
         self._invalidate()
         return self
 
-    def add_atoms(self, atoms: Iterable[Atom]) -> "LDL":
-        """Add pre-built ground atoms (e.g. from a workload generator)."""
-        self._edb.extend(atoms)
+    def remove(self, pred: str, *values) -> "LDL":
+        """Delete one base fact: ``db.remove("parent", "a", "b")``."""
+        return self.remove_atoms([Atom(pred, tuple(to_term(v) for v in values))])
+
+    def remove_atoms(self, atoms: Iterable[Atom]) -> "LDL":
+        """Delete base facts; unknown facts are ignored."""
+        if self._store is not None:
+            self._store.remove_facts(atoms)
+        else:
+            victims = {
+                Atom(a.pred, tuple(evaluate_ground(t) for t in a.args))
+                for a in atoms
+            }
+            self._edb = [
+                a
+                for a in self._edb
+                if Atom(a.pred, tuple(evaluate_ground(t) for t in a.args))
+                not in victims
+            ]
         self._invalidate()
         return self
 
     def _invalidate(self) -> None:
         self._cached_result = None
+
+    def _edb_atoms(self) -> list[Atom]:
+        """The session's base facts, wherever they live."""
+        if self._store is not None:
+            return list(self._store.edb_facts)
+        return list(self._edb)
 
     @property
     def pending_queries(self) -> tuple[Query, ...]:
@@ -155,9 +256,21 @@ class LDL:
     # -- evaluation --------------------------------------------------------
 
     def model(self, strategy: Strategy = "seminaive") -> EvaluationResult:
-        """Compute (and cache) the standard minimal model."""
+        """Compute (and cache) the standard minimal model.
+
+        A durable session serves the store's incrementally maintained
+        model (always current — the ``strategy`` only matters for
+        in-memory evaluation).
+        """
         if strategy == "magic":
             raise EvaluationError("magic evaluation is per-query; use query()")
+        if self._store is not None:
+            return EvaluationResult(
+                self._store.database,
+                self._store.model.layering,
+                [],
+                strategy,
+            )
         if self._cached_result is None or self._cached_result.strategy != strategy:
             self._cached_result = evaluate(
                 self.program, edb=self._edb, strategy=strategy, hooks=self._hooks
@@ -186,7 +299,7 @@ class LDL:
         :class:`MagicResult` (database, stats, rewritten program)."""
         query = text if isinstance(text, Query) else parse_query(text)
         return evaluate_magic(
-            self.program, query, edb=self._edb, hooks=self._hooks
+            self.program, query, edb=self._edb_atoms(), hooks=self._hooks
         )
 
     def run_pending_queries(self, strategy: Strategy = "seminaive"):
@@ -220,4 +333,6 @@ class LDL:
         )
 
     def __repr__(self) -> str:
-        return f"LDL({len(self._program)} rules, {len(self._edb)} facts)"
+        facts = len(self._edb_atoms()) if self._store is not None else len(self._edb)
+        durable = f", durable at {self._path!r}" if self._path else ""
+        return f"LDL({len(self._program)} rules, {facts} facts{durable})"

@@ -85,6 +85,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="after loading, read queries/rules interactively from stdin",
     )
     parser.add_argument(
+        "--db",
+        metavar="PATH",
+        help="durable database directory: restore state from it on start, "
+        "write-ahead-log every fact added through the session",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "batch", "never"),
+        default="always",
+        help="WAL durability policy for --db (default: always)",
+    )
+    parser.add_argument(
         "--magic-plan",
         action="append",
         default=[],
@@ -145,8 +157,21 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
         echo(f"error: cannot read {args.file}: {exc}")
         return 2
 
+    session = None
     try:
-        session = LDL(source, ldl15=args.ldl15, trace=args.trace)
+        session = LDL(
+            source,
+            ldl15=args.ldl15,
+            trace=args.trace,
+            path=args.db,
+            fsync=args.fsync,
+        )
+        if args.db:
+            stats = session.store.stats
+            echo(
+                f"% durable store {args.db}: {stats.restore_mode} start, "
+                f"{stats.wal_records_replayed} WAL records replayed"
+            )
         for spec in args.edb:
             pred, _, filename = spec.partition("=")
             if not filename:
@@ -240,6 +265,13 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
     except LDLError as exc:
         echo(f"error: {exc}")
         return 1
+    finally:
+        if session is not None:
+            if session.store is not None:
+                # persist the computed model so the next start restores
+                # it from the snapshot instead of re-running the fixpoint
+                session.checkpoint()
+            session.close()
     return 0
 
 
@@ -250,6 +282,8 @@ REPL_HELP = """\
 :explain <fact>     print a derivation tree
 :strategy <name>    naive | seminaive | magic
 :layers             show the current layering
+:save               checkpoint the durable store (--db; alias .save)
+:compact            snapshot + truncate the WAL (--db; alias .compact)
 :help               this text
 :quit               leave"""
 
@@ -288,6 +322,15 @@ def repl(session: LDL, stream, echo, strategy: str = "seminaive") -> None:
                 else:
                     strategy = candidate
                     echo(f"% strategy = {strategy}")
+            elif line in (":save", ".save", ":compact", ".compact"):
+                if session.store is None:
+                    echo("% no durable store (start with --db PATH)")
+                else:
+                    nbytes = session.checkpoint()
+                    echo(
+                        f"% checkpoint: {nbytes} snapshot bytes, WAL reset "
+                        f"({len(session.database())} facts)"
+                    )
             elif line == ":layers":
                 layering = stratify(session.program)
                 for i, layer in enumerate(layering):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.engine.relation import ArgTuple, Relation
+from repro.errors import EvaluationError
 from repro.program.rule import Atom
 
 
@@ -29,7 +30,7 @@ class Database:
         rel = self._relations.get(pred)
         if rel is None:
             if arity is None:
-                raise KeyError(f"unknown predicate {pred!r}")
+                raise EvaluationError(f"unknown predicate {pred!r}")
             rel = Relation(pred, arity)
             self._relations[pred] = rel
         return rel
@@ -45,6 +46,24 @@ class Database:
 
     def add_tuple(self, pred: str, args: ArgTuple) -> bool:
         return self.relation(pred, len(args)).add(args)
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove a ground atom; returns True when it was present.
+
+        The symmetric counterpart of :meth:`add` — WAL replay and other
+        update paths rely on add/discard round-tripping exactly.
+        """
+        rel = self._relations.get(atom.pred)
+        return rel is not None and rel.discard(atom.args)
+
+    def remove(self, atom: Atom) -> None:
+        """Remove a ground atom that must be present.
+
+        Raises :class:`~repro.errors.EvaluationError` when the fact is
+        not stored; use :meth:`discard` for remove-if-present.
+        """
+        if not self.discard(atom):
+            raise EvaluationError(f"fact not in database: {atom!r}")
 
     def __contains__(self, atom: Atom) -> bool:
         rel = self._relations.get(atom.pred)

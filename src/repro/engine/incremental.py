@@ -47,7 +47,7 @@ from repro.terms.term import evaluate_ground
 class UpdateStats:
     """What one update cost."""
 
-    mode: str = "none"  # "delta" | "recompute" | "none"
+    mode: str = "none"  # "delta" | "recompute" | "restore" | "none"
     affected_predicates: int = 0
     facts_removed: int = 0
     fixpoint: FixpointStats = None  # type: ignore[assignment]
@@ -66,6 +66,7 @@ class IncrementalModel:
         edb: Iterable[Atom] = (),
         check: bool = True,
         hooks: EngineHooks | None = None,
+        materialized: Database | None = None,
     ) -> None:
         if check:
             check_program(program)
@@ -74,18 +75,36 @@ class IncrementalModel:
         self._graph = dependency_graph(program)
         self._idb = program.idb_predicates()
         self._edb_facts: set[Atom] = set()
-        self.database = Database()
+        self.database = materialized if materialized is not None else Database()
         # one context for the model's lifetime: rule plans compiled for
         # the first update are reused by every later delta/recompute.
         self._context = EvalContext(self.database, hooks=hooks)
         self.last_update = UpdateStats()
         self._install_program_facts()
-        if edb:
-            self.add_facts(edb)
+        if materialized is not None:
+            # restore path (snapshot of this exact program): adopt the
+            # already-computed model without re-running the fixpoint.
+            self._edb_facts.update(self._canonical(a) for a in edb)
+            self.last_update = UpdateStats(mode="restore")
         else:
+            # initial build is always a full layered evaluation: a delta
+            # continuation would miss derivations from program facts,
+            # which are in ``_edb_facts`` but not yet in the database.
+            for atom in edb:
+                fact = self._canonical(atom)
+                if fact.pred in self._idb:
+                    raise EvaluationError(
+                        f"cannot insert into derived predicate {fact.pred!r}"
+                    )
+                self._edb_facts.add(fact)
             self._recompute(set(self.program.predicates()))
 
     # -- public API -------------------------------------------------------
+
+    @property
+    def edb_facts(self) -> frozenset[Atom]:
+        """The current base facts (program facts included)."""
+        return frozenset(self._edb_facts)
 
     def add_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
         """Insert base facts and repair the model."""

@@ -54,6 +54,24 @@ class Relation:
         """Insert many tuples; returns how many were new."""
         return sum(1 for t in tuples if self.add(t))
 
+    def discard(self, args: ArgTuple) -> bool:
+        """Remove a tuple; returns True when it was present.
+
+        Already-built hash indexes are maintained in place, mirroring
+        :meth:`add`, so later probes stay consistent.
+        """
+        if args not in self._tuples:
+            return False
+        self._tuples.discard(args)
+        for positions, index in self._indexes.items():
+            key = tuple(args[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.remove(args)
+                if not bucket:
+                    del index[key]
+        return True
+
     def lookup(self, positions: tuple[int, ...], key: ArgTuple) -> Iterable[ArgTuple]:
         """Tuples whose projection on ``positions`` equals ``key``.
 

@@ -83,6 +83,16 @@ class MagicRewriteError(LDLError):
     """The magic-sets compiler could not rewrite the program or query."""
 
 
+class StorageError(LDLError):
+    """Durable-storage failure: codec mismatch, corrupt snapshot, bad WAL.
+
+    Torn WAL tails are *not* errors — the log truncates them on open as
+    part of normal crash recovery.  This exception signals damage the
+    store cannot repair on its own (unreadable magic, corrupt snapshot
+    body, codec version from the future).
+    """
+
+
 class UnstableMagicEvaluationError(EvaluationError):
     """The constrained magic evaluation failed its stability assertion.
 

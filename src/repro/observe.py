@@ -53,6 +53,38 @@ class EngineHooks(Protocol):
     def on_fact_derived(self, fact: "Atom", rule: "Rule | None") -> None: ...
 
 
+#: Storage observation points (:mod:`repro.storage`).  These are *not*
+#: part of the :class:`EngineHooks` protocol so hook implementations
+#: written before the storage engine keep working; the storage layer
+#: dispatches them through :func:`emit_storage_event`, which silently
+#: skips hooks that do not implement a method.
+#:
+#: * ``on_wal_append(op=..., facts=..., nbytes=...)`` — one batch framed
+#:   and written to the write-ahead log;
+#: * ``on_wal_replay(records=..., facts=...)`` — recovery replayed the
+#:   log through the incremental engine;
+#: * ``on_snapshot_write(path=..., facts=..., nbytes=...)`` — a snapshot
+#:   was atomically published;
+#: * ``on_snapshot_load(path=..., facts=..., restored=...)`` — a
+#:   snapshot was read; ``restored`` is True when the materialized model
+#:   was adopted wholesale (fixpoint skipped).
+STORAGE_EVENTS = (
+    "on_wal_append",
+    "on_wal_replay",
+    "on_snapshot_write",
+    "on_snapshot_load",
+)
+
+
+def emit_storage_event(hooks, name: str, **payload) -> None:
+    """Dispatch a storage event to ``hooks`` if it implements ``name``."""
+    if hooks is None:
+        return
+    method = getattr(hooks, name, None)
+    if method is not None:
+        method(**payload)
+
+
 class NullHooks:
     """The do-nothing default hook implementation."""
 
@@ -74,6 +106,18 @@ class NullHooks:
         pass
 
     def on_fact_derived(self, fact, rule) -> None:
+        pass
+
+    def on_wal_append(self, op, facts, nbytes) -> None:
+        pass
+
+    def on_wal_replay(self, records, facts) -> None:
+        pass
+
+    def on_snapshot_write(self, path, facts, nbytes) -> None:
+        pass
+
+    def on_snapshot_load(self, path, facts, restored) -> None:
         pass
 
 
@@ -112,6 +156,17 @@ class CompositeHooks:
     def on_fact_derived(self, fact, rule) -> None:
         for hook in self.hooks:
             hook.on_fact_derived(fact, rule)
+
+    def __getattr__(self, name: str):
+        # storage events fan out too, tolerating member hooks that
+        # predate them (see STORAGE_EVENTS).
+        if name in STORAGE_EVENTS:
+            def dispatch(**payload) -> None:
+                for hook in self.hooks:
+                    emit_storage_event(hook, name, **payload)
+
+            return dispatch
+        raise AttributeError(name)
 
 
 def compose_hooks(*hooks: EngineHooks | None) -> EngineHooks:
@@ -200,6 +255,34 @@ class TraceRecorder:
             )
         )
 
+    # -- storage events (see STORAGE_EVENTS) -------------------------------
+
+    def on_wal_append(self, op, facts, nbytes) -> None:
+        self.events.append(
+            TraceEvent("wal_append", {"op": op, "facts": facts, "nbytes": nbytes})
+        )
+
+    def on_wal_replay(self, records, facts) -> None:
+        self.events.append(
+            TraceEvent("wal_replay", {"records": records, "facts": facts})
+        )
+
+    def on_snapshot_write(self, path, facts, nbytes) -> None:
+        self.events.append(
+            TraceEvent(
+                "snapshot_write",
+                {"path": path, "facts": facts, "nbytes": nbytes},
+            )
+        )
+
+    def on_snapshot_load(self, path, facts, restored) -> None:
+        self.events.append(
+            TraceEvent(
+                "snapshot_load",
+                {"path": path, "facts": facts, "restored": restored},
+            )
+        )
+
     # -- aggregation -------------------------------------------------------
 
     def count(self, kind: str) -> int:
@@ -267,6 +350,18 @@ class MetricsCollector:
 
     def add_layer_time(self, layer: int, seconds: float) -> None:
         self.layers.append((layer, seconds))
+
+    def record_storage(
+        self, bytes_written: int = 0, fsyncs: int = 0, replayed: int = 0
+    ) -> None:
+        """Tally storage I/O: bytes framed to disk, fsync calls, and WAL
+        records replayed during recovery."""
+        if bytes_written:
+            self.incr("storage_bytes_written", bytes_written)
+        if fsyncs:
+            self.incr("storage_fsyncs", fsyncs)
+        if replayed:
+            self.incr("wal_records_replayed", replayed)
 
     def now(self) -> float:
         return time.perf_counter()

@@ -1,0 +1,266 @@
+"""The durable store: snapshot + WAL + incremental engine, composed.
+
+:class:`DurableStore` owns one database directory::
+
+    <path>/snapshot.jsonl    last published snapshot (atomic replace)
+    <path>/wal.log           mutations since that snapshot
+
+The open protocol is the classical ARIES-shaped sequence, specialized
+to a deductive database whose IDB is a deterministic function of the
+EDB and the program:
+
+1. load the snapshot (if any).  When its fingerprint matches the
+   current program, the materialized model — IDB extensions included —
+   is adopted wholesale and the layered fixpoint is *skipped*; when it
+   does not match (the rules changed), only the EDB facts are kept and
+   the model is recomputed from them;
+2. open the WAL, which truncates any torn tail (a crash mid-append);
+3. replay the surviving records through the
+   :class:`~repro.engine.incremental.IncrementalModel`, which repairs
+   the model per batch exactly as the original updates did;
+4. serve.  Later mutations are WAL-appended *before* they touch the
+   model (write-ahead), so an acknowledged batch is never lost.
+
+Compaction folds the WAL into a fresh snapshot: after
+``compact_every`` records the store checkpoints itself, and
+:meth:`checkpoint` does the same on demand.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.engine.database import Database
+from repro.engine.incremental import IncrementalModel, UpdateStats
+from repro.errors import StorageError
+from repro.observe import EngineHooks, MetricsCollector, emit_storage_event
+from repro.program.rule import Atom, Program
+from repro.storage.snapshot import load_snapshot, program_fingerprint, write_snapshot
+from repro.storage.wal import WriteAheadLog
+from repro.terms.term import evaluate_ground
+
+SNAPSHOT_FILE = "snapshot.jsonl"
+WAL_FILE = "wal.log"
+
+
+@dataclass
+class StoreStats:
+    """How the last :meth:`DurableStore.open` brought the model up."""
+
+    #: "cold" — no snapshot; "snapshot" — materialized model adopted,
+    #: fixpoint skipped; "rebuild" — snapshot EDB kept, rules changed,
+    #: model recomputed.
+    restore_mode: str = "cold"
+    snapshot_facts: int = 0
+    wal_records_replayed: int = 0
+    wal_facts_replayed: int = 0
+    wal_truncated_bytes: int = 0
+    compactions: int = 0
+
+
+class DurableStore:
+    """A persistent LDL1 fact base with crash recovery."""
+
+    def __init__(
+        self,
+        program: Program,
+        path,
+        fsync: str = "always",
+        compact_every: int = 1024,
+        check: bool = True,
+        hooks: EngineHooks | None = None,
+        metrics: MetricsCollector | None = None,
+    ) -> None:
+        self.program = program
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self.check = check
+        self.hooks = hooks
+        self.metrics = metrics
+        self.model: IncrementalModel | None = None
+        self.wal: WriteAheadLog | None = None
+        self.stats = StoreStats()
+        self._fingerprint: str | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.path, SNAPSHOT_FILE)
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.path, WAL_FILE)
+
+    def open(self) -> "DurableStore":
+        """Load snapshot, recover the WAL, replay, and start serving."""
+        if self.model is not None:
+            raise StorageError(f"{self.path}: store already open")
+        os.makedirs(self.path, exist_ok=True)
+        self._fingerprint = program_fingerprint(self.program)
+        stats = StoreStats()
+
+        start = time.perf_counter()
+        snapshot = load_snapshot(self.snapshot_path)
+        if snapshot is not None and snapshot.fingerprint == self._fingerprint:
+            self.model = IncrementalModel(
+                self.program,
+                edb=snapshot.edb_facts,
+                check=self.check,
+                hooks=self.hooks,
+                materialized=Database(snapshot.model_atoms),
+            )
+            stats.restore_mode = "snapshot"
+        elif snapshot is not None:
+            # rules changed since the snapshot: its materialized IDB is
+            # stale, but the EDB facts are still the durable truth.
+            self.model = IncrementalModel(
+                self.program,
+                edb=snapshot.edb_facts,
+                check=self.check,
+                hooks=self.hooks,
+            )
+            stats.restore_mode = "rebuild"
+        else:
+            self.model = IncrementalModel(
+                self.program, check=self.check, hooks=self.hooks
+            )
+            stats.restore_mode = "cold"
+        if snapshot is not None:
+            stats.snapshot_facts = len(snapshot.edb_facts) + len(
+                snapshot.model_atoms
+            )
+            emit_storage_event(
+                self.hooks,
+                "on_snapshot_load",
+                path=self.snapshot_path,
+                facts=stats.snapshot_facts,
+                restored=stats.restore_mode == "snapshot",
+            )
+        if self.metrics is not None:
+            self.metrics.add_time("snapshot_load", time.perf_counter() - start)
+            if stats.restore_mode == "snapshot":
+                self.metrics.incr("snapshot_restores")
+
+        start = time.perf_counter()
+        self.wal = WriteAheadLog(
+            self.wal_path, fsync=self.fsync, hooks=self.hooks, metrics=self.metrics
+        )
+        stats.wal_truncated_bytes = self.wal.truncated_bytes
+        for record in self.wal.replay():
+            if record.op == "add":
+                self.model.add_facts(record.facts)
+            else:
+                self.model.remove_facts(record.facts)
+            stats.wal_records_replayed += 1
+            stats.wal_facts_replayed += len(record.facts)
+        if self.metrics is not None:
+            self.metrics.add_time("wal_replay", time.perf_counter() - start)
+            self.metrics.record_storage(replayed=stats.wal_records_replayed)
+        if stats.wal_records_replayed:
+            emit_storage_event(
+                self.hooks,
+                "on_wal_replay",
+                records=stats.wal_records_replayed,
+                facts=stats.wal_facts_replayed,
+            )
+        self.stats = stats
+        return self
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+        self.model = None
+
+    def __enter__(self) -> "DurableStore":
+        if self.model is None:
+            self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving -----------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The live materialized model."""
+        self._require_open()
+        return self.model.database
+
+    @property
+    def edb_facts(self) -> frozenset[Atom]:
+        self._require_open()
+        return self.model.edb_facts
+
+    # -- mutation ----------------------------------------------------------
+
+    def add_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
+        """Durably insert base facts: WAL first, then repair the model."""
+        return self._mutate("add", atoms)
+
+    def remove_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
+        """Durably delete base facts: WAL first, then repair the model."""
+        return self._mutate("remove", atoms)
+
+    def _mutate(self, op: str, atoms: Iterable[Atom]) -> UpdateStats:
+        self._require_open()
+        batch = tuple(self._canonical(a) for a in atoms)
+        if not batch:
+            return UpdateStats(mode="none")
+        start = time.perf_counter()
+        self.wal.append(op, batch)
+        if self.metrics is not None:
+            self.metrics.add_time("wal_append", time.perf_counter() - start)
+        if op == "add":
+            stats = self.model.add_facts(batch)
+        else:
+            stats = self.model.remove_facts(batch)
+        if self.compact_every and self.wal.record_count >= self.compact_every:
+            self.checkpoint()
+        return stats
+
+    def _canonical(self, atom: Atom) -> Atom:
+        return Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))
+
+    # -- maintenance -------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Publish a snapshot and reset the WAL; returns bytes written.
+
+        Crash-safe in every interleaving: the snapshot replaces its
+        predecessor atomically, and until the WAL reset lands a reopen
+        merely replays records whose effects the snapshot already
+        contains (replay is idempotent for adds and removes alike).
+        """
+        self._require_open()
+        start = time.perf_counter()
+        nbytes = write_snapshot(
+            self.snapshot_path,
+            self._fingerprint,
+            sorted(self.model.edb_facts, key=lambda a: a.sort_key()),
+            self.model.database.sorted_atoms(),
+            hooks=self.hooks,
+            metrics=self.metrics,
+        )
+        self.wal.reset()
+        if self.metrics is not None:
+            self.metrics.add_time("snapshot_write", time.perf_counter() - start)
+        self.stats.compactions += 1
+        return nbytes
+
+    #: :meth:`compact` is :meth:`checkpoint` under its log-centric name.
+    compact = checkpoint
+
+    def _require_open(self) -> None:
+        if self.model is None or self.wal is None:
+            raise StorageError(f"{self.path}: store is not open")
+
+    def __repr__(self) -> str:
+        state = "open" if self.model is not None else "closed"
+        return f"DurableStore({self.path!r}, {state})"

@@ -1,0 +1,120 @@
+"""Round-trip and rejection tests for the storage codec."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.program.rule import Atom
+from repro.storage import codec
+from repro.terms.term import Const, Func, GroupTerm, SetPattern, SetVal, Var
+
+from tests.strategies import ground_sets, ground_terms
+
+
+class TestTermRoundTrip:
+    @given(ground_terms)
+    def test_round_trip(self, term):
+        assert codec.decode_term(codec.encode_term(term)) == term
+
+    @given(ground_terms)
+    def test_round_trip_through_json_bytes(self, term):
+        wire = codec.dumps(codec.encode_term(term))
+        assert codec.decode_term(codec.loads(wire)) == term
+
+    @given(ground_sets)
+    def test_nested_sets(self, s):
+        assert codec.decode_term(codec.encode_term(SetVal([s, s]))) == SetVal([s])
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_large_negative_ints(self, n):
+        assert codec.decode_term(codec.encode_term(Const(n))) == Const(n)
+
+    def test_int_float_distinction_survives(self):
+        two_int = codec.decode_term(codec.encode_term(Const(2)))
+        two_float = codec.decode_term(codec.encode_term(Const(2.0)))
+        assert isinstance(two_int.value, int)
+        assert isinstance(two_float.value, float)
+        assert two_int != two_float
+
+    def test_symbol_vs_quoted_string(self):
+        symbol = codec.decode_term(codec.encode_term(Const("john")))
+        quoted = codec.decode_term(codec.encode_term(Const("john", quoted=True)))
+        assert not symbol.quoted
+        assert quoted.quoted
+
+    def test_canonical_bytes_for_equal_sets(self):
+        a = SetVal([Const(1), Const(2), Const("x")])
+        b = SetVal([Const("x"), Const(2), Const(1)])
+        assert codec.dumps(codec.encode_term(a)) == codec.dumps(codec.encode_term(b))
+
+    def test_functor_nesting(self):
+        term = Func("f", [Func("g", [Const(1), SetVal([Const("a")])])])
+        assert codec.decode_term(codec.encode_term(term)) == term
+
+
+class TestAtomRoundTrip:
+    @given(st.lists(ground_terms, max_size=4))
+    def test_round_trip(self, args):
+        atom = Atom("p", args)
+        assert codec.loads_atom(codec.dumps_atom(atom)) == atom
+
+    def test_zero_arity(self):
+        atom = Atom("flag")
+        assert codec.loads_atom(codec.dumps_atom(atom)) == atom
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "term",
+        [Var("X"), GroupTerm(Var("X")), SetPattern([Const(1)], rest=Var("R"))],
+    )
+    def test_non_u_terms_rejected(self, term):
+        with pytest.raises(StorageError):
+            codec.encode_term(term)
+
+    def test_non_ground_atom_rejected(self):
+        with pytest.raises(StorageError):
+            codec.encode_atom(Atom("p", [Var("X")]))
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            [],
+            ["z", 1],
+            ["s", 1],
+            ["n", True],
+            ["n", "1"],
+            ["f", "f"],
+            ["f", 3, []],
+            ["S", "not-a-list"],
+            {"tag": "s"},
+            "bare",
+        ],
+    )
+    def test_malformed_terms_rejected(self, obj):
+        with pytest.raises(StorageError):
+            codec.decode_term(obj)
+
+    @pytest.mark.parametrize("obj", [[], ["p"], [1, []], ["p", "x"], {"p": []}])
+    def test_malformed_atoms_rejected(self, obj):
+        with pytest.raises(StorageError):
+            codec.decode_atom(obj)
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(StorageError):
+            codec.loads(b"{not json")
+
+    def test_future_codec_version_rejected(self):
+        with pytest.raises(StorageError):
+            codec.check_version(codec.CODEC_VERSION + 1)
+        with pytest.raises(StorageError):
+            codec.check_version("1")
+        codec.check_version(codec.CODEC_VERSION)  # current is fine
+
+    def test_encoding_is_plain_json(self):
+        # the wire format must stay language-neutral JSON
+        term = Func("f", [SetVal([Const(1), Const("a", quoted=True)])])
+        assert json.loads(codec.dumps_atom(Atom("p", [term]))) is not None

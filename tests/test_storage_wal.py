@@ -1,0 +1,169 @@
+"""Unit tests for the write-ahead log: framing, torn tails, fsync modes."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.parser import parse_atom
+from repro.storage.wal import MAGIC, WalRecord, WriteAheadLog
+
+
+def atoms(*sources):
+    return tuple(parse_atom(s) for s in sources)
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "wal.log"
+
+
+def write_batches(path, batches, fsync="never"):
+    with WriteAheadLog(path, fsync=fsync) as log:
+        for op, facts in batches:
+            log.append(op, facts)
+        return list(log.replay())
+
+
+BATCHES = [
+    ("add", atoms("parent(a, b)", "parent(b, c)")),
+    ("add", atoms("p({1, 2}, f(a, {}))",)),
+    ("remove", atoms("parent(a, b)",)),
+]
+
+
+class TestAppendReplay:
+    def test_round_trip(self, wal_path):
+        write_batches(wal_path, BATCHES)
+        log = WriteAheadLog(wal_path)
+        replayed = [(r.op, r.facts) for r in log.replay()]
+        assert replayed == BATCHES
+        assert log.truncated_bytes == 0
+        log.close()
+
+    def test_empty_log(self, wal_path):
+        log = WriteAheadLog(wal_path)
+        log.close()
+        log = WriteAheadLog(wal_path)
+        assert log.record_count == 0
+        log.close()
+
+    def test_offsets_increase(self, wal_path):
+        records = write_batches(wal_path, BATCHES)
+        ends = [r.end_offset for r in records]
+        assert ends == sorted(ends)
+        assert ends[0] > len(MAGIC)
+        assert ends[-1] == os.path.getsize(wal_path)
+
+    def test_reset_drops_records(self, wal_path):
+        with WriteAheadLog(wal_path) as log:
+            log.append("add", atoms("p(1)"))
+            log.reset()
+            assert log.record_count == 0
+            log.append("add", atoms("p(2)"))
+        log = WriteAheadLog(wal_path)
+        assert [r.facts for r in log.replay()] == [atoms("p(2)")]
+        log.close()
+
+    def test_bad_op_rejected(self, wal_path):
+        with WriteAheadLog(wal_path) as log:
+            with pytest.raises(StorageError):
+                log.append("upsert", atoms("p(1)"))
+
+    def test_append_after_close_rejected(self, wal_path):
+        log = WriteAheadLog(wal_path)
+        log.close()
+        with pytest.raises(StorageError):
+            log.append("add", atoms("p(1)"))
+
+
+class TestTornTail:
+    def test_truncated_mid_record(self, wal_path):
+        records = write_batches(wal_path, BATCHES)
+        # cut one byte into the last record's frame
+        keep = records[-2].end_offset + 1
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(keep)
+        log = WriteAheadLog(wal_path)
+        assert [r.facts for r in log.replay()] == [r.facts for r in records[:-1]]
+        assert log.truncated_bytes == 1
+        assert os.path.getsize(wal_path) == records[-2].end_offset
+        log.close()
+
+    @pytest.mark.parametrize("cut", range(1, 9))
+    def test_truncated_inside_header(self, wal_path, cut):
+        records = write_batches(wal_path, [BATCHES[0]])
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(len(MAGIC) + cut)
+        log = WriteAheadLog(wal_path)
+        assert log.record_count == 0
+        assert os.path.getsize(wal_path) == len(MAGIC)
+        del records
+        log.close()
+
+    def test_flipped_payload_byte_truncates_from_there(self, wal_path):
+        records = write_batches(wal_path, BATCHES)
+        flip_at = records[0].end_offset + 12  # inside record 2's payload
+        with open(wal_path, "r+b") as fh:
+            fh.seek(flip_at)
+            byte = fh.read(1)
+            fh.seek(flip_at)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        log = WriteAheadLog(wal_path)
+        # record 1 survives; record 2 fails its CRC, so it and every
+        # later record are gone
+        assert [r.facts for r in log.replay()] == [records[0].facts]
+        log.close()
+
+    def test_garbage_length_field_truncates(self, wal_path):
+        records = write_batches(wal_path, [BATCHES[0]])
+        with open(wal_path, "ab") as fh:
+            fh.write(b"\xff\xff\xff\xff\x00\x00\x00\x00partial")
+        log = WriteAheadLog(wal_path)
+        assert log.record_count == 1
+        assert os.path.getsize(wal_path) == records[0].end_offset
+        log.close()
+
+    def test_append_after_recovery_continues_cleanly(self, wal_path):
+        records = write_batches(wal_path, BATCHES)
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(records[-1].end_offset - 3)
+        with WriteAheadLog(wal_path) as log:
+            log.append("add", atoms("q(9)"))
+        log = WriteAheadLog(wal_path)
+        assert log.truncated_bytes == 0
+        assert [r.facts for r in log.replay()] == [
+            records[0].facts,
+            records[1].facts,
+            atoms("q(9)"),
+        ]
+        log.close()
+
+    def test_bad_magic_raises(self, wal_path):
+        wal_path.write_bytes(b"NOTAWAL!rest")
+        with pytest.raises(StorageError):
+            WriteAheadLog(wal_path)
+
+    def test_short_magic_raises(self, wal_path):
+        wal_path.write_bytes(MAGIC[:4])
+        with pytest.raises(StorageError):
+            WriteAheadLog(wal_path)
+
+
+class TestFsyncPolicies:
+    @pytest.mark.parametrize("fsync", ["always", "batch", "never"])
+    def test_policies_round_trip(self, tmp_path, fsync):
+        path = tmp_path / f"{fsync}.log"
+        write_batches(path, BATCHES, fsync=fsync)
+        log = WriteAheadLog(path)
+        assert log.record_count == len(BATCHES)
+        log.close()
+
+    def test_unknown_policy_rejected(self, wal_path):
+        with pytest.raises(StorageError):
+            WriteAheadLog(wal_path, fsync="sometimes")
+
+    def test_record_is_frozen(self):
+        record = WalRecord("add", atoms("p(1)"))
+        with pytest.raises(AttributeError):
+            record.op = "remove"
