@@ -1,0 +1,24 @@
+"""Experiment E19: server throughput under concurrent clients
+
+Times the TCP server (``repro.server``) from the client side: 1, 4,
+and 8 concurrent clients issuing bound magic queries (read-only) or a
+1:2 update:query mix against one shared session.  Updates serialize
+through the server's writer lock while queries overlap, so the two
+strategies bound the cost of coordination.  pytest-benchmark wrapper
+around the shared cases in ``common.py``; see ``benchmarks/harness.py``
+for the table-printing runner and DESIGN.md for the experiment index.
+"""
+
+import pytest
+
+from common import EXPERIMENTS
+
+CASES = EXPERIMENTS["E19"]()
+IDS = [f"{c['workload']}::{c['strategy']}" for c in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_e19_server(benchmark, case):
+    result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
+    benchmark.extra_info["requests"] = case["metric"](result)
+    benchmark.extra_info["strategy"] = case["strategy"]

@@ -744,3 +744,111 @@ def e18_persistence() -> list[dict]:
 
 EXPERIMENTS["E18"] = e18_persistence
 EXPERIMENT_TITLES["E18"] = "durable restart: cold start vs WAL replay vs snapshot"
+
+
+def e19_server() -> list[dict]:
+    """Server throughput/latency: concurrent clients vs one session.
+
+    One shared server (background event-loop thread, torn down atexit)
+    serves every case.  ``read-only`` cases issue bound magic queries
+    only; ``mixed`` cases interleave one update per three queries, and
+    every run removes what it added so the EDB — and therefore the cost
+    of later runs — is unchanged.
+    """
+    import asyncio
+    import atexit
+    import threading
+
+    from repro.api import LDL
+    from repro.server import Client, LDLServer
+
+    n = 60
+    requests_per_client = 30
+    session = LDL(ANCESTOR_RULES)
+    session.add_atoms(chain_family(n))
+    session.model()  # warm: measure serving, not the first fixpoint
+
+    server = LDLServer(session, port=0)
+    started = threading.Event()
+
+    async def serve():
+        await server.start()
+        started.set()
+        await server.serve(handle_signals=False)
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(serve()), daemon=True
+    )
+    thread.start()
+    if not started.wait(10):
+        raise RuntimeError("benchmark server did not start")
+    atexit.register(server.request_stop)
+    port = server.port
+
+    def read_worker(seed: int) -> int:
+        with Client("127.0.0.1", port) as client:
+            for i in range(requests_per_client):
+                client.query(
+                    f"? anc(p{(seed + i) % n}, X).", strategy="magic"
+                )
+        return requests_per_client
+
+    def mixed_worker(seed: int) -> int:
+        with Client("127.0.0.1", port) as client:
+            added = []
+            for i in range(requests_per_client):
+                if i % 3 == 0:
+                    row = (f"x{seed}_{i}", f"y{seed}_{i}")
+                    client.add_facts("parent", [row])
+                    added.append(row)
+                else:
+                    client.query(
+                        f"? anc(p{(seed + i) % n}, X).", strategy="magic"
+                    )
+            client.remove_facts("parent", added)
+        return requests_per_client
+
+    def run_clients(worker, count: int) -> int:
+        totals = []
+        errors = []
+
+        def target(seed):
+            try:
+                totals.append(worker(seed))
+            except Exception as exc:  # noqa: BLE001 - fail the benchmark
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=target, args=(i,)) for i in range(count)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return sum(totals)
+
+    cases = []
+    for clients in (1, 4, 8):
+        cases.append(
+            case(
+                f"anc chain n={n}, {clients} clients",
+                "read-only",
+                lambda c=clients: run_clients(read_worker, c),
+                lambda requests: requests,
+            )
+        )
+        cases.append(
+            case(
+                f"anc chain n={n}, {clients} clients",
+                "mixed-writes",
+                lambda c=clients: run_clients(mixed_worker, c),
+                lambda requests: requests,
+            )
+        )
+    return cases
+
+
+EXPERIMENTS["E19"] = e19_server
+EXPERIMENT_TITLES["E19"] = "server throughput: concurrent clients, read-only vs mixed"

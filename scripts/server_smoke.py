@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``repro serve`` (used by CI).
+
+Starts the server as a real subprocess on a temp durable store, runs a
+scripted client session (updates, queries under every strategy, an
+explain, stats), SIGTERMs it, and then restarts to assert the graceful
+shutdown checkpointed: the second start must restore from the snapshot
+with zero WAL records replayed and still answer the same queries.
+
+Exit code 0 on success; prints the failing step otherwise.
+
+Run:  PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.server import Client  # noqa: E402
+
+PROGRAM = """
+% transitive closure over a base relation
+t(X, Y) <- e(X, Y).
+t(X, Y) <- e(X, Z), t(Z, Y).
+"""
+
+
+def start_server(program: Path, db: Path) -> tuple[subprocess.Popen, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(program),
+            "--port", "0", "--db", str(db),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(ROOT),
+    )
+    banner: list[str] = []
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner.append(line)
+        match = re.search(r"% serving on [^:]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise SystemExit(f"FAIL: server did not start:\n{''.join(banner)}")
+
+
+def stop_server(proc: subprocess.Popen) -> str:
+    proc.send_signal(signal.SIGTERM)
+    out, _ = proc.communicate(timeout=30)
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: server exited {proc.returncode}:\n{out}")
+    return out
+
+
+def check(label: str, condition: bool) -> None:
+    if not condition:
+        raise SystemExit(f"FAIL: {label}")
+    print(f"ok: {label}")
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="ldl1-server-smoke-"))
+    try:
+        program = workdir / "prog.ldl"
+        program.write_text(PROGRAM)
+        db = workdir / "db"
+
+        proc, port = start_server(program, db)
+        try:
+            with Client("127.0.0.1", port) as client:
+                check("ping", client.ping())
+                check(
+                    "add_facts",
+                    client.add_facts("e", [(1, 2), (2, 3), (3, 4)]) == 3,
+                )
+                expected = [{"X": 2}, {"X": 3}, {"X": 4}]
+                check("query", client.query("? t(1, X).") == expected)
+                check(
+                    "magic query",
+                    client.query("? t(1, X).", strategy="magic") == expected,
+                )
+                check("remove_facts", client.remove_facts("e", [(3, 4)]) == 1)
+                check(
+                    "query after removal",
+                    client.query("? t(1, X).") == expected[:2],
+                )
+                check(
+                    "explain",
+                    "t(1, 3)" in (client.explain("t(1, 3)") or ""),
+                )
+                stats = client.stats()
+                check(
+                    "stats",
+                    stats["server"]["errors_total"] == 0
+                    and stats["session"]["durable"],
+                )
+        finally:
+            out = stop_server(proc)
+        check(
+            "graceful shutdown checkpointed",
+            "% shutdown: durable session checkpointed" in out,
+        )
+
+        # restart: must come back from the snapshot, no WAL replay
+        proc, port = start_server(program, db)
+        try:
+            with Client("127.0.0.1", port) as client:
+                check(
+                    "restart answers",
+                    client.query("? t(1, X).") == [{"X": 2}, {"X": 3}],
+                )
+                store = client.stats()["session"]["store"]
+                check(
+                    "snapshot restore",
+                    store["restore_mode"] == "snapshot"
+                    and store["wal_records_replayed"] == 0,
+                )
+        finally:
+            stop_server(proc)
+        print("server smoke test passed")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -29,15 +29,18 @@ from repro.magic import evaluate_magic, magic_rewrite
 from repro.parser import parse_program, parse_query, parse_rules
 from repro.program import Program, Query, Rule, analyze, stratify
 from repro.semantics import is_model, wellfounded
+from repro.server import Client, LDLServer
 from repro.storage import DurableStore
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Client",
     "Database",
     "DurableStore",
     "IncrementalModel",
     "LDL",
+    "LDLServer",
     "TopDownEvaluator",
     "analyze",
     "LDLError",

@@ -31,10 +31,19 @@ that records every engine event — plans built, layers, iterations, rule
 firings, facts derived; ``LDL(hooks=...)`` plugs in any custom
 :class:`repro.observe.EngineHooks` implementation.  Both apply to every
 evaluation the session runs (bottom-up and magic).
+
+Thread-safety: every state transition (loading rules, adding/removing
+facts, computing or invalidating the cached model, checkpointing)
+holds one reentrant session lock, so interleaved calls from several
+threads never corrupt the session.  Pure reads of an already-computed
+model run lock-free; callers that need reads to overlap *updates*
+coherently should layer a reader-writer discipline on top, as
+:class:`repro.server.LDLServer` does.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Literal as TypingLiteral, Sequence
 
 from repro.engine.database import Database
@@ -43,8 +52,8 @@ from repro.errors import EvaluationError
 from repro.magic.evaluate import MagicResult, evaluate_magic
 from repro.observe import EngineHooks, MetricsCollector, TraceRecorder, compose_hooks
 from repro.parser.parser import parse_program, parse_query
-from repro.program.rule import Atom, Program, Query
-from repro.terms.term import Const, Func, SetVal, Term, evaluate_ground
+from repro.program.rule import Atom, Program, Query, canonical_atom
+from repro.terms.term import Const, Func, SetVal, Term
 
 Strategy = TypingLiteral["naive", "seminaive", "magic"]
 
@@ -60,8 +69,10 @@ def to_term(value) -> Term:
     if isinstance(value, (set, frozenset)):
         return SetVal(to_term(v) for v in value)
     if isinstance(value, tuple):
-        if len(value) == 1:
-            return to_term(value[0])
+        # 1-tuples stay tuple terms so they round-trip through
+        # from_term instead of unifying with their bare element.
+        if not value:
+            raise TypeError("empty tuples have no LDL1 term representation")
         return Func("tuple", tuple(to_term(v) for v in value))
     if isinstance(value, bool):
         raise TypeError("booleans are not LDL1 constants")
@@ -100,6 +111,7 @@ class LDL:
         compact_every: int = 1024,
         metrics: MetricsCollector | None = None,
     ) -> None:
+        self._lock = threading.RLock()
         self._program = Program()
         self._edb: list[Atom] = []
         self._pending_queries: list[Query] = []
@@ -122,6 +134,11 @@ class LDL:
     def trace(self) -> TraceRecorder | None:
         """The session's trace recorder (``LDL(trace=True)``), or None."""
         return self._trace
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The session's reentrant lock (exposed for coordinators)."""
+        return self._lock
 
     # -- durability --------------------------------------------------------
 
@@ -156,15 +173,19 @@ class LDL:
 
         Returns bytes written; raises when the session has no ``path``.
         """
-        if self._store is None:
-            raise EvaluationError("checkpoint() needs a durable session (path=...)")
-        return self._store.checkpoint()
+        with self._lock:
+            if self._store is None:
+                raise EvaluationError(
+                    "checkpoint() needs a durable session (path=...)"
+                )
+            return self._store.checkpoint()
 
     def close(self) -> None:
         """Release the durable store (no-op for in-memory sessions)."""
-        if self._store is not None:
-            self._store.close()
-            self._store = None
+        with self._lock:
+            if self._store is not None:
+                self._store.close()
+                self._store = None
 
     def __enter__(self) -> "LDL":
         return self
@@ -178,11 +199,12 @@ class LDL:
         """Parse and append rules; queries in the source are stored and
         available via :meth:`run_pending_queries`."""
         parsed = parse_program(source)
-        self._program = self._program + parsed.program
-        self._pending_queries.extend(parsed.queries)
-        self._invalidate()
-        if self._store is not None and len(parsed.program):
-            self._reopen_store()
+        with self._lock:
+            self._program = self._program + parsed.program
+            self._pending_queries.extend(parsed.queries)
+            self._invalidate()
+            if self._store is not None and len(parsed.program):
+                self._reopen_store()
         return self
 
     def fact(self, pred: str, *values) -> "LDL":
@@ -201,11 +223,12 @@ class LDL:
         In a durable session the batch is WAL-logged before the model
         is repaired, so it survives a crash as one atomic unit.
         """
-        if self._store is not None:
-            self._store.add_facts(atoms)
-        else:
-            self._edb.extend(atoms)
-        self._invalidate()
+        with self._lock:
+            if self._store is not None:
+                self._store.add_facts(atoms)
+            else:
+                self._edb.extend(atoms)
+            self._invalidate()
         return self
 
     def remove(self, pred: str, *values) -> "LDL":
@@ -214,20 +237,15 @@ class LDL:
 
     def remove_atoms(self, atoms: Iterable[Atom]) -> "LDL":
         """Delete base facts; unknown facts are ignored."""
-        if self._store is not None:
-            self._store.remove_facts(atoms)
-        else:
-            victims = {
-                Atom(a.pred, tuple(evaluate_ground(t) for t in a.args))
-                for a in atoms
-            }
-            self._edb = [
-                a
-                for a in self._edb
-                if Atom(a.pred, tuple(evaluate_ground(t) for t in a.args))
-                not in victims
-            ]
-        self._invalidate()
+        with self._lock:
+            if self._store is not None:
+                self._store.remove_facts(atoms)
+            else:
+                victims = {canonical_atom(a) for a in atoms}
+                self._edb = [
+                    a for a in self._edb if canonical_atom(a) not in victims
+                ]
+            self._invalidate()
         return self
 
     def _invalidate(self) -> None:
@@ -235,9 +253,15 @@ class LDL:
 
     def _edb_atoms(self) -> list[Atom]:
         """The session's base facts, wherever they live."""
-        if self._store is not None:
-            return list(self._store.edb_facts)
-        return list(self._edb)
+        with self._lock:
+            if self._store is not None:
+                return list(self._store.edb_facts)
+            return list(self._edb)
+
+    @property
+    def edb_size(self) -> int:
+        """How many base facts the session currently holds."""
+        return len(self._edb_atoms())
 
     @property
     def pending_queries(self) -> tuple[Query, ...]:
@@ -264,18 +288,25 @@ class LDL:
         """
         if strategy == "magic":
             raise EvaluationError("magic evaluation is per-query; use query()")
-        if self._store is not None:
-            return EvaluationResult(
-                self._store.database,
-                self._store.model.layering,
-                [],
-                strategy,
-            )
-        if self._cached_result is None or self._cached_result.strategy != strategy:
-            self._cached_result = evaluate(
-                self.program, edb=self._edb, strategy=strategy, hooks=self._hooks
-            )
-        return self._cached_result
+        with self._lock:
+            if self._store is not None:
+                return EvaluationResult(
+                    self._store.database,
+                    self._store.model.layering,
+                    [],
+                    strategy,
+                )
+            if (
+                self._cached_result is None
+                or self._cached_result.strategy != strategy
+            ):
+                self._cached_result = evaluate(
+                    self.program,
+                    edb=self._edb,
+                    strategy=strategy,
+                    hooks=self._hooks,
+                )
+            return self._cached_result
 
     def database(self, strategy: Strategy = "seminaive") -> Database:
         return self.model(strategy).database
@@ -318,10 +349,9 @@ class LDL:
         """
         from repro.engine.explain import explain
         from repro.parser.parser import parse_atom
-        from repro.terms.term import evaluate_ground
 
         atom = parse_atom(fact_text.rstrip(". \n"))
-        fact = Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))
+        fact = canonical_atom(atom)
         return explain(self.program, self.database(strategy), fact)
 
     def extension(self, pred: str, strategy: Strategy = "seminaive") -> list[tuple]:

@@ -7,15 +7,22 @@ Usage::
     python -m repro program.ldl --strategy magic
     python -m repro program.ldl --dump anc      # print a predicate's extension
     python -m repro --check program.ldl         # parse/check/stratify only
+    python -m repro serve program.ldl --db DIR  # serve the session over TCP
 
 A program file contains rules, facts, and optional queries in concrete
 LDL1 syntax (``%`` comments).  Queries in the file are answered in
 order; ``-q`` adds more.
+
+The ``serve`` subcommand starts the concurrent query server
+(:mod:`repro.server`): it loads the program (restoring durable state
+when ``--db`` is given), prints the bound address, and serves until
+SIGTERM/SIGINT, checkpointing a durable session on the way out.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -146,9 +153,15 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
     if out is not None:
         # allow tests to capture output without patching sys.stdout
         def echo(*args):
-            print(*args, file=out)
+            print(*args, file=out, flush=True)
     else:
-        echo = print  # type: ignore[assignment]
+        def echo(*args):
+            print(*args, flush=True)
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:], echo)
 
     args = build_arg_parser().parse_args(argv)
     try:
@@ -271,6 +284,114 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
                 # persist the computed model so the next start restores
                 # it from the snapshot instead of re-running the fixpoint
                 session.checkpoint()
+            session.close()
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.server.protocol import DEFAULT_PORT, MAX_REQUEST_BYTES
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve an LDL1 session over TCP "
+        "(newline-delimited JSON protocol)",
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="program file loaded into the served session (optional)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"TCP port; 0 picks an ephemeral port, printed on start "
+        f"(default: {DEFAULT_PORT})",
+    )
+    parser.add_argument(
+        "--db",
+        metavar="PATH",
+        help="durable database directory backing the served session",
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "batch", "never"),
+        default="always",
+        help="WAL durability policy for --db (default: always)",
+    )
+    parser.add_argument(
+        "--ldl15",
+        action="store_true",
+        help="accept LDL1.5 constructs in the program file",
+    )
+    parser.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request processing budget (default: 30)",
+    )
+    parser.add_argument(
+        "--max-request-bytes",
+        type=int,
+        default=MAX_REQUEST_BYTES,
+        metavar="BYTES",
+        help=f"largest accepted request line (default: {MAX_REQUEST_BYTES})",
+    )
+    return parser
+
+
+def run_serve(argv: list[str], echo) -> int:
+    """The ``serve`` subcommand: run the TCP server until a signal."""
+    import asyncio
+
+    from repro.server.server import LDLServer
+
+    args = build_serve_parser().parse_args(argv)
+    source = ""
+    if args.file:
+        try:
+            source = Path(args.file).read_text()
+        except OSError as exc:
+            echo(f"error: cannot read {args.file}: {exc}")
+            return 2
+
+    session = None
+    try:
+        session = LDL(source, ldl15=args.ldl15, path=args.db, fsync=args.fsync)
+        if args.db:
+            stats = session.store.stats
+            echo(
+                f"% durable store {args.db}: {stats.restore_mode} start, "
+                f"{stats.wal_records_replayed} WAL records replayed"
+            )
+        server = LDLServer(
+            session,
+            host=args.host,
+            port=args.port,
+            request_timeout=args.request_timeout,
+            max_request_bytes=args.max_request_bytes,
+        )
+
+        async def main() -> None:
+            await server.start()
+            echo(f"% serving on {server.host}:{server.port} (pid {os.getpid()})")
+            await server.serve()
+
+        asyncio.run(main())
+        if args.db:
+            echo("% shutdown: durable session checkpointed")
+        echo("% server stopped")
+    except LDLError as exc:
+        echo(f"error: {exc}")
+        return 1
+    finally:
+        if session is not None:
             session.close()
     return 0
 

@@ -26,7 +26,7 @@ from repro.engine.grouping import apply_grouping_rules
 from repro.engine.match import Binding, match_atom
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.observe import EngineHooks, MetricsCollector
-from repro.program.rule import Atom, Program, Query
+from repro.program.rule import Atom, Program, Query, canonical_atom
 from repro.program.stratify import Layering, stratify, validate_layering
 from repro.program.wellformed import check_program
 from repro.terms.term import Term, evaluate_ground
@@ -120,7 +120,9 @@ def evaluate(
     if strategy not in ("naive", "seminaive"):
         raise EvaluationError(f"unknown strategy {strategy!r}")
 
-    db = Database(edb)
+    # canonicalize EDB args exactly as IncrementalModel does, so a
+    # session computes the same model in-memory and durably.
+    db = Database(canonical_atom(a) for a in edb)
     _install_facts(db, program)
     ctx = EvalContext(db, planner=planner, hooks=hooks, metrics=metrics)
 
@@ -137,11 +139,12 @@ def evaluate(
             layer_start = ctx.metrics.now()
         grouping_rules = [r for r in rules if r.is_grouping()]
         other_rules = [r for r in rules if not r.is_grouping()]
-        for fact in apply_grouping_rules(grouping_rules, db, context=ctx):
-            if db.add(fact):
-                stats.grouping_facts += 1
-                if ctx.observing:
-                    ctx.hooks.on_fact_derived(fact, None)
+        for rule in grouping_rules:
+            for fact in apply_grouping_rules([rule], db, context=ctx):
+                if db.add(fact):
+                    stats.grouping_facts += 1
+                    if ctx.observing:
+                        ctx.hooks.on_fact_derived(fact, rule)
         if other_rules:
             stats.fixpoint = run_fixpoint(db, other_rules, context=ctx)
         if ctx.timing:

@@ -29,7 +29,14 @@ from repro.program.rule import Atom, Rule
 
 @dataclass
 class FixpointStats:
-    """Work counters for one fixpoint run (feeds the benchmarks)."""
+    """Work counters for one fixpoint run (feeds the benchmarks).
+
+    ``rule_firings`` counts rule *applications* (one compiled plan
+    executed against the database); ``facts_derived`` counts the new
+    facts those applications contributed.  Both mean the same thing
+    under every strategy, so traces and benchmarks compare like with
+    like.
+    """
 
     iterations: int = 0
     rule_firings: int = 0
@@ -72,17 +79,19 @@ def naive_fixpoint(
     while True:
         stats.iterations += 1
         ctx.refresh_sizes()
-        batch: list[Atom] = []
+        # every rule evaluates against the same snapshot: batch the
+        # derivations (with their deriving rule) and add afterwards.
+        batch: list[tuple[Rule, Atom]] = []
         for rule in rules:
             derived = _derive(ctx, db, rule, ctx.plan_for(rule))
-            stats.rule_firings += len(derived)
-            batch.extend(derived)
+            stats.rule_firings += 1
+            batch.extend((rule, fact) for fact in derived)
         new = 0
-        for fact in batch:
+        for rule, fact in batch:
             if db.add(fact):
                 new += 1
                 if ctx.observing:
-                    ctx.hooks.on_fact_derived(fact, None)
+                    ctx.hooks.on_fact_derived(fact, rule)
         stats.facts_derived += new
         if ctx.observing:
             ctx.hooks.on_iteration(stats.iterations, new)
@@ -112,7 +121,7 @@ def seminaive_fixpoint(
     round_new = 0
     for rule in rules:
         derived = _derive(ctx, db, rule, ctx.plan_for(rule))
-        stats.rule_firings += len(derived)
+        stats.rule_firings += 1
         for fact in derived:
             if db.add(fact):
                 stats.facts_derived += 1
@@ -162,7 +171,7 @@ def seminaive_rounds(
             derived = _derive(
                 ctx, db, rule, plan, overrides={occurrence: changed}
             )
-            stats.rule_firings += len(derived)
+            stats.rule_firings += 1
             for fact in derived:
                 if db.add(fact):
                     stats.facts_derived += 1

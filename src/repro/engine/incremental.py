@@ -37,10 +37,9 @@ from repro.engine.grouping import apply_grouping_rules
 from repro.errors import EvaluationError
 from repro.observe import EngineHooks
 from repro.program.dependency import dependency_graph
-from repro.program.rule import Atom, Program
+from repro.program.rule import Atom, Program, canonical_atom
 from repro.program.stratify import Layering, stratify
 from repro.program.wellformed import check_program
-from repro.terms.term import evaluate_ground
 
 
 @dataclass
@@ -158,7 +157,7 @@ class IncrementalModel:
     # -- internals ---------------------------------------------------------
 
     def _canonical(self, atom: Atom) -> Atom:
-        return Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))
+        return canonical_atom(atom)
 
     def _install_program_facts(self) -> None:
         for rule in self.program.facts():

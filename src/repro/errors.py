@@ -93,6 +93,28 @@ class StorageError(LDLError):
     """
 
 
+class ProtocolError(LDLError):
+    """A malformed client request on the wire protocol.
+
+    Raised by the server for requests that cannot be dispatched at all
+    (not JSON, not an object, missing/unknown ``op``, oversized line)
+    and by :class:`repro.server.Client` for malformed responses.
+    """
+
+
+class ServerError(LDLError):
+    """A server-reported request failure, re-raised client-side.
+
+    ``etype`` carries the server-side exception class name (e.g.
+    ``"ParseError"``) so callers can distinguish failure modes without
+    depending on the server's stack.
+    """
+
+    def __init__(self, message: str, etype: str = "ServerError") -> None:
+        super().__init__(message)
+        self.etype = etype
+
+
 class UnstableMagicEvaluationError(EvaluationError):
     """The constrained magic evaluation failed its stability assertion.
 

@@ -34,7 +34,7 @@ from repro.engine.plan import apply_rule_plan
 from repro.errors import UnstableMagicEvaluationError
 from repro.observe import EngineHooks
 from repro.magic.rewrite import MagicProgram, magic_rewrite
-from repro.program.rule import Atom, Program, Query, Rule
+from repro.program.rule import Atom, Program, Query, Rule, canonical_atom
 from repro.program.wellformed import check_program
 from repro.terms.term import evaluate_ground
 
@@ -109,7 +109,7 @@ def evaluate_magic(
         check_program(program)
     mp = rewrite(program, query)
 
-    db = Database(edb)
+    db = Database(canonical_atom(a) for a in edb)
     idb = mp.adorned.idb_predicates
     for rule in program.facts():
         if rule.head.pred not in idb:

@@ -20,6 +20,7 @@ Several hooks can be active at once via :func:`compose_hooks`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
@@ -293,12 +294,18 @@ class TraceRecorder:
         return self.count("plan_built")
 
     def firings_per_layer(self) -> dict[int | None, int]:
-        """Total rule firings keyed by layer (None: outside layers)."""
+        """Rule applications keyed by layer (None: outside layers).
+
+        Counts ``rule_fired`` events — the same unit as
+        :attr:`~repro.engine.fixpoint.FixpointStats.rule_firings` — not
+        the tuples each firing produced (those are in the event's
+        ``derived`` payload and in :meth:`facts_per_layer`).
+        """
         out: dict[int | None, int] = {}
         for event in self.events:
             if event.kind == "rule_fired":
                 layer = event.payload["layer"]
-                out[layer] = out.get(layer, 0) + event.payload["derived"]
+                out[layer] = out.get(layer, 0) + 1
         return out
 
     def facts_per_layer(self) -> dict[int | None, int]:
@@ -386,3 +393,114 @@ class MetricsCollector:
             f"{name}={value}" for name, value in sorted(self.counters.items())
         )
         return " ".join(parts)
+
+
+#: Upper bounds (seconds) of the server latency histogram buckets; one
+#: implicit +inf bucket follows.  Prometheus-style cumulative counts.
+SERVER_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class ServerMetrics:
+    """Request-level counters for :class:`repro.server.LDLServer`.
+
+    Tracks per-op request and error counts, an in-flight gauge (with
+    high-water mark), connection totals, and a fixed-bucket latency
+    histogram.  Updated from executor threads and the event loop alike,
+    so every mutation takes an internal mutex; :meth:`report` returns
+    the JSON-friendly snapshot the ``stats`` op serves.
+    """
+
+    def __init__(self, buckets: Sequence[float] = SERVER_LATENCY_BUCKETS) -> None:
+        self._mutex = threading.Lock()
+        self.buckets = tuple(buckets)
+        self.requests: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+        self._latency_sum = 0.0
+        self._latency_count = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def connection_opened(self) -> None:
+        with self._mutex:
+            self.connections_opened += 1
+
+    def connection_closed(self) -> None:
+        with self._mutex:
+            self.connections_closed += 1
+
+    def request_started(self, op: str) -> None:
+        with self._mutex:
+            self.requests[op] = self.requests.get(op, 0) + 1
+            self.in_flight += 1
+            self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+
+    def request_finished(self, op: str, seconds: float, ok: bool = True) -> None:
+        with self._mutex:
+            self.in_flight -= 1
+            if not ok:
+                self.errors[op] = self.errors.get(op, 0) + 1
+            self._latency_sum += seconds
+            self._latency_count += 1
+            for i, bound in enumerate(self.buckets):
+                if seconds <= bound:
+                    self._bucket_counts[i] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def latency_histogram(self) -> dict[str, int]:
+        """Cumulative counts keyed by upper bound (``"inf"`` closes it)."""
+        with self._mutex:
+            out: dict[str, int] = {}
+            running = 0
+            for bound, count in zip(self.buckets, self._bucket_counts):
+                running += count
+                out[repr(bound)] = running
+            out["inf"] = running + self._bucket_counts[-1]
+            return out
+
+    def report(self) -> dict:
+        histogram = self.latency_histogram()
+        with self._mutex:
+            total = sum(self.requests.values())
+            return {
+                "requests": dict(self.requests),
+                "errors": dict(self.errors),
+                "requests_total": total,
+                "errors_total": sum(self.errors.values()),
+                "in_flight": self.in_flight,
+                "peak_in_flight": self.peak_in_flight,
+                "connections_opened": self.connections_opened,
+                "connections_closed": self.connections_closed,
+                "latency": {
+                    "count": self._latency_count,
+                    "sum_seconds": self._latency_sum,
+                    "mean_seconds": (
+                        self._latency_sum / self._latency_count
+                        if self._latency_count
+                        else 0.0
+                    ),
+                    "buckets": histogram,
+                },
+            }
+
+    def format(self) -> str:
+        report = self.report()
+        ops = " ".join(
+            f"{op}={count}" for op, count in sorted(report["requests"].items())
+        )
+        return (
+            f"requests={report['requests_total']} ({ops}) "
+            f"errors={report['errors_total']} "
+            f"in_flight={report['in_flight']} "
+            f"peak={report['peak_in_flight']} "
+            f"mean_latency={report['latency']['mean_seconds'] * 1000:.2f}ms"
+        )

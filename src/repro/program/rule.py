@@ -12,7 +12,12 @@ from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.names import is_builtin_predicate
 from repro.terms.pretty import format_atom, format_literal, format_rule
-from repro.terms.term import GroupTerm, Term, contains_group_term
+from repro.terms.term import (
+    GroupTerm,
+    Term,
+    contains_group_term,
+    evaluate_ground,
+)
 
 
 class Atom:
@@ -261,3 +266,15 @@ class Program:
 def fact(pred: str, *args: Term) -> Rule:
     """Build a ground fact rule ``pred(args).``"""
     return Rule(Atom(pred, args))
+
+
+def canonical_atom(atom: Atom) -> Atom:
+    """The atom with every argument evaluated to its U-element.
+
+    Every path that stores base facts — in-memory evaluation, the
+    incremental model, the durable store — must normalize through this
+    one function, or the same session can compute different models
+    depending on where its facts happen to live.  Raises
+    :class:`~repro.errors.EvaluationError` on non-ground arguments.
+    """
+    return Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))

@@ -1,0 +1,136 @@
+"""A small blocking client for the LDL1 server protocol.
+
+Used by the test suite, the load-generator benchmark (E19), and the CI
+smoke script; it is also a reasonable starting point for real callers.
+One :class:`Client` owns one TCP connection and issues one request at a
+time (the protocol itself allows pipelining by ``id``; this client
+keeps it simple and synchronous)::
+
+    with Client("127.0.0.1", 8737) as client:
+        client.add_facts("parent", [("ann", "bob"), ("bob", "carl")])
+        client.query("? ancestor(ann, X).")   # [{'X': 'bob'}, {'X': 'carl'}]
+
+Values cross the wire through the same tagged-tree codec the durable
+store uses, so whatever :func:`repro.api.to_term` accepts round-trips.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, Sequence
+
+from repro.api import from_term, to_term
+from repro.errors import ProtocolError, ServerError
+from repro.program.rule import Atom
+from repro.server import protocol
+from repro.storage.codec import encode_atom, encode_term
+
+
+class Client:
+    """A blocking connection to an :class:`~repro.server.LDLServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = protocol.DEFAULT_PORT,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, op: str, **payload) -> dict:
+        """Issue one request and return the decoded success response.
+
+        Raises :class:`ServerError` when the server reports a failure
+        and :class:`ProtocolError` on a malformed exchange.
+        """
+        self._next_id += 1
+        request = {"op": op, "id": self._next_id, **payload}
+        self._file.write(protocol.encode_message(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection mid-request")
+        response = protocol.decode_message(line)
+        if response.get("id") not in (None, self._next_id):
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id}"
+            )
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                etype=response.get("etype", "ServerError"),
+            )
+        return response
+
+    # -- operations --------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def query(self, text: str, strategy: str | None = None) -> list[dict]:
+        """Answer a query; one dict of Python values per answer."""
+        payload = {"q": text}
+        if strategy is not None:
+            payload["strategy"] = strategy
+        response = self.call("query", **payload)
+        return [
+            {
+                name: from_term(term)
+                for name, term in protocol.decode_binding(answer).items()
+            }
+            for answer in response["answers"]
+        ]
+
+    def add_facts(self, pred: str, rows: Iterable[Sequence]) -> int:
+        """Insert facts from Python value rows; returns atoms accepted."""
+        encoded = [
+            [encode_term(to_term(v)) for v in row] for row in rows
+        ]
+        return self.call("add_facts", pred=pred, rows=encoded)["count"]
+
+    def add_atoms(self, atoms: Iterable[Atom]) -> int:
+        """Insert pre-built ground atoms (mixed predicates allowed)."""
+        return self.call(
+            "add_facts", facts=[encode_atom(a) for a in atoms]
+        )["count"]
+
+    def remove_facts(self, pred: str, rows: Iterable[Sequence]) -> int:
+        """Delete base facts by Python value rows."""
+        encoded = [
+            [encode_term(to_term(v)) for v in row] for row in rows
+        ]
+        return self.call("remove_facts", pred=pred, rows=encoded)["count"]
+
+    def explain(self, fact: str) -> str | None:
+        """A formatted derivation tree for a model fact, or None."""
+        return self.call("explain", fact=fact)["derivation"]
+
+    def checkpoint(self) -> int:
+        """Snapshot the server's durable session; returns bytes written."""
+        return self.call("checkpoint")["bytes"]
+
+    def stats(self) -> dict:
+        """The server's metrics/session snapshot (the ``stats`` op)."""
+        return self.call("stats")["stats"]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"Client({self.host}:{self.port})"

@@ -1,0 +1,94 @@
+"""An asyncio reader-writer lock (writer-preferring).
+
+Queries against a consistent model can safely overlap, but an update
+must see no readers mid-flight and no reader may observe a half-applied
+update.  The classic answer is a reader-writer lock: any number of
+readers *or* one writer.  Writers are preferred — once a writer is
+waiting, new readers queue behind it — so a steady stream of queries
+cannot starve updates (U-Datalog treats updates as first-class; so do
+we).
+
+This lock is purely cooperative (single event loop, no threads): the
+server acquires it on the loop and performs the guarded blocking work
+in executor threads while holding it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+
+
+class ReadWriteLock:
+    """Any number of concurrent readers, or exactly one writer."""
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # -- introspection (for tests and the stats op) ------------------------
+
+    @property
+    def readers(self) -> int:
+        """Readers currently holding the lock."""
+        return self._readers
+
+    @property
+    def writer_active(self) -> bool:
+        return self._writer_active
+
+    # -- acquisition -------------------------------------------------------
+
+    async def acquire_read(self) -> None:
+        async with self._cond:
+            while self._writer_active or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    async def acquire_write(self) -> None:
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @asynccontextmanager
+    async def read(self):
+        """``async with lock.read():`` — shared acquisition."""
+        await self.acquire_read()
+        try:
+            yield self
+        finally:
+            await self.release_read()
+
+    @asynccontextmanager
+    async def write(self):
+        """``async with lock.write():`` — exclusive acquisition."""
+        await self.acquire_write()
+        try:
+            yield self
+        finally:
+            await self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReadWriteLock(readers={self._readers}, "
+            f"writer={self._writer_active}, "
+            f"writers_waiting={self._writers_waiting})"
+        )

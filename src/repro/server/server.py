@@ -1,0 +1,302 @@
+"""The asyncio TCP server over one shared LDL session.
+
+One :class:`LDLServer` wraps one :class:`repro.api.LDL` session and
+serves the newline-delimited JSON protocol of
+:mod:`repro.server.protocol`.  Concurrency discipline:
+
+* every request runs the (blocking) session call in the event loop's
+  default executor, so slow evaluations never stall the accept loop;
+* reads (``query``, ``explain``, ``stats``) hold the shared side of a
+  :class:`~repro.server.rwlock.ReadWriteLock` and overlap freely;
+* writes (``add_facts``, ``remove_facts``, ``checkpoint``) hold the
+  exclusive side, serializing against the incremental model — a reader
+  therefore always observes a model some prefix of the update stream
+  produced, never a half-applied batch;
+* each request is bounded by ``request_timeout`` seconds and
+  ``max_request_bytes`` on the wire; violations produce an error
+  response (and, for oversized lines, a closed connection);
+* SIGTERM/SIGINT trigger graceful shutdown: stop accepting, drain
+  in-flight requests, and checkpoint a durable session so the next
+  start restores from the snapshot instead of replaying the WAL.
+
+Request failures are *responses*, not connection teardowns: a parse
+error in one query leaves the connection serving the next.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from functools import partial
+
+from repro.api import LDL
+from repro.errors import ProtocolError
+from repro.observe import ServerMetrics
+from repro.server import protocol
+from repro.server.rwlock import ReadWriteLock
+
+#: Ops that only read the model (shared lock) vs. mutate it (exclusive).
+READ_OPS = frozenset({"query", "explain", "stats", "ping"})
+WRITE_OPS = frozenset({"add_facts", "remove_facts", "checkpoint"})
+
+
+class LDLServer:
+    """Serve one LDL session to many concurrent TCP clients."""
+
+    def __init__(
+        self,
+        session: LDL,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        request_timeout: float = 30.0,
+        max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
+        metrics: ServerMetrics | None = None,
+        shutdown_grace: float = 5.0,
+    ) -> None:
+        self.session = session
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_request_bytes = max_request_bytes
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.shutdown_grace = shutdown_grace
+        self._lock = ReadWriteLock()
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._active_requests = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> "LDLServer":
+        """Bind and start accepting; resolves the ephemeral port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=self.max_request_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve` to shut down (signal- and thread-safe)."""
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if self._loop is not None and running is not self._loop:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        else:
+            self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+
+    async def serve(self, handle_signals: bool = True) -> None:
+        """Run until :meth:`request_stop`, then shut down gracefully."""
+        if self._server is None:
+            await self.start()
+        if handle_signals:
+            self.install_signal_handlers()
+        await self._stop.wait()
+        await self.shutdown()
+
+    async def shutdown(self, checkpoint: bool = True) -> None:
+        """Stop accepting, drain in-flight work, checkpoint if durable."""
+        if self._server is not None:
+            self._server.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.shutdown_grace
+        while self._active_requests and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if checkpoint and self.session.store is not None:
+            async with self._lock.write():
+                await loop.run_in_executor(None, self.session.checkpoint)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        self.metrics.connection_opened()
+        try:
+            while not self._stop.is_set():
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # line exceeded max_request_bytes: report and hang up
+                    # (the rest of the oversized line is unrecoverable).
+                    oversize = ProtocolError(
+                        f"request exceeds {self.max_request_bytes} bytes"
+                    )
+                    writer.write(
+                        protocol.encode_message(
+                            protocol.error_response(None, oversize)
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(protocol.encode_message(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-conversation; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self.metrics.connection_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict:
+        try:
+            request = protocol.decode_request(line)
+        except ProtocolError as exc:
+            return protocol.error_response(None, exc)
+        op = request["op"]
+        self.metrics.request_started(op)
+        start = time.perf_counter()
+        try:
+            response = await asyncio.wait_for(
+                self._dispatch(op, request), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            response = protocol.error_response(
+                request,
+                TimeoutError(
+                    f"{op} exceeded the {self.request_timeout}s request timeout"
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - becomes the error response
+            response = protocol.error_response(request, exc)
+        self.metrics.request_finished(
+            op, time.perf_counter() - start, ok=response.get("ok", False)
+        )
+        return response
+
+    async def _dispatch(self, op: str, request: dict) -> dict:
+        if op in WRITE_OPS:
+            async with self._lock.write():
+                return await self._run_op(op, request)
+        async with self._lock.read():
+            return await self._run_op(op, request)
+
+    async def _run_op(self, op: str, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        run = partial(loop.run_in_executor, None)
+        if op == "ping":
+            return protocol.ok_response(request, pong=True)
+        if op == "query":
+            text = request.get("q")
+            if not isinstance(text, str):
+                raise ProtocolError("query needs a 'q' string")
+            strategy = request.get("strategy", "seminaive")
+            bindings = await run(
+                partial(self._query_terms, text, strategy)
+            )
+            return protocol.ok_response(
+                request,
+                answers=[protocol.encode_binding(b) for b in bindings],
+                count=len(bindings),
+            )
+        if op == "explain":
+            fact = request.get("fact")
+            if not isinstance(fact, str):
+                raise ProtocolError("explain needs a 'fact' string")
+            derivation = await run(partial(self.session.explain, fact))
+            return protocol.ok_response(
+                request,
+                derivation=None if derivation is None else derivation.format(),
+            )
+        if op == "stats":
+            return protocol.ok_response(request, stats=await run(self._stats))
+        if op == "add_facts":
+            atoms = protocol.atoms_of_request(request)
+            await run(partial(self.session.add_atoms, atoms))
+            return protocol.ok_response(request, count=len(atoms))
+        if op == "remove_facts":
+            atoms = protocol.atoms_of_request(request)
+            await run(partial(self.session.remove_atoms, atoms))
+            return protocol.ok_response(request, count=len(atoms))
+        if op == "checkpoint":
+            nbytes = await run(self.session.checkpoint)
+            return protocol.ok_response(request, bytes=nbytes)
+        raise ProtocolError(f"unknown op {op!r}")  # unreachable after decode
+
+    # -- blocking helpers (run in executor threads) ------------------------
+
+    def _query_terms(self, text: str, strategy: str) -> list[dict]:
+        """Answer a query as term-valued bindings (wire-encodable)."""
+        from repro.parser.parser import parse_query
+
+        query = parse_query(text)
+        if strategy == "magic":
+            return self.session.query_magic(query).answers()
+        return self.session.model(strategy).answers(query)
+
+    def _stats(self) -> dict:
+        session = self.session
+        store = session.store
+        out = {
+            "server": self.metrics.report(),
+            "session": {
+                "rules": len(session.program),
+                "edb_facts": session.edb_size,
+                "model_facts": len(session.database()),
+                "durable": store is not None,
+            },
+        }
+        if store is not None:
+            out["session"]["store"] = {
+                "path": store.path,
+                "restore_mode": store.stats.restore_mode,
+                "wal_records_replayed": store.stats.wal_records_replayed,
+                "compactions": store.stats.compactions,
+            }
+        return out
+
+
+async def _serve_session(session: LDL, **kwargs) -> LDLServer:
+    server = LDLServer(session, **kwargs)
+    await server.start()
+    await server.serve()
+    return server
+
+
+def serve(
+    session: LDL,
+    host: str = "127.0.0.1",
+    port: int = protocol.DEFAULT_PORT,
+    **kwargs,
+) -> None:
+    """Blocking convenience entry point: serve until SIGTERM/SIGINT."""
+    asyncio.run(_serve_session(session, host=host, port=port, **kwargs))

@@ -37,10 +37,9 @@ from repro.engine.database import Database
 from repro.engine.incremental import IncrementalModel, UpdateStats
 from repro.errors import StorageError
 from repro.observe import EngineHooks, MetricsCollector, emit_storage_event
-from repro.program.rule import Atom, Program
+from repro.program.rule import Atom, Program, canonical_atom
 from repro.storage.snapshot import load_snapshot, program_fingerprint, write_snapshot
 from repro.storage.wal import WriteAheadLog
-from repro.terms.term import evaluate_ground
 
 SNAPSHOT_FILE = "snapshot.jsonl"
 WAL_FILE = "wal.log"
@@ -226,7 +225,7 @@ class DurableStore:
         return stats
 
     def _canonical(self, atom: Atom) -> Atom:
-        return Atom(atom.pred, tuple(evaluate_ground(a) for a in atom.args))
+        return canonical_atom(atom)
 
     # -- maintenance -------------------------------------------------------
 

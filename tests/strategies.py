@@ -53,3 +53,24 @@ def _extend_pattern(children: st.SearchStrategy) -> st.SearchStrategy:
 pattern_terms = st.recursive(
     scalar_constants | variables, _extend_pattern, max_leaves=8
 )
+
+#: Plain Python scalars accepted by :func:`repro.api.to_term`.  Floats
+#: come from a fixed exactly-representable pool so equality round-trips.
+python_scalars = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.sampled_from(["a", "b", "c", "foo", "bar"]),
+    st.sampled_from([0.5, 2.5, -1.25]),
+)
+
+
+def _extend_python(children: st.SearchStrategy) -> st.SearchStrategy:
+    # 1-tuples included on purpose: they must stay tuples through the
+    # to_term/from_term round trip, not collapse to their element.
+    tuples = st.lists(children, min_size=1, max_size=3).map(tuple)
+    sets = st.lists(children, max_size=3).map(frozenset)
+    return tuples | sets
+
+
+#: Arbitrary Python values convertible by :func:`repro.api.to_term`:
+#: scalars, non-empty tuples, and frozensets, nested freely.
+python_values = st.recursive(python_scalars, _extend_python, max_leaves=10)

@@ -1,10 +1,14 @@
 """Tests for the high-level session API (repro.api)."""
 
 import pytest
+from hypothesis import given
 
 from repro import LDL, from_term, to_term
 from repro.errors import EvaluationError
+from repro.program.rule import Atom
 from repro.terms.term import Const, Func, mkset
+
+from tests.strategies import python_values
 
 
 class TestValueConversion:
@@ -29,6 +33,17 @@ class TestValueConversion:
     def test_tuples(self):
         assert to_term((1, "a")) == Func("tuple", (Const(1), Const("a")))
 
+    def test_one_tuple_stays_tuple(self):
+        # regression: 1-tuples used to collapse to their bare element,
+        # breaking the from_term round trip.
+        assert to_term(("a",)) == Func("tuple", (Const("a"),))
+        assert to_term(("a",)) != to_term("a")
+        assert from_term(to_term(("a",))) == ("a",)
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(TypeError):
+            to_term(())
+
     def test_terms_pass_through(self):
         term = Const("x")
         assert to_term(term) is term
@@ -41,6 +56,12 @@ class TestValueConversion:
     def test_from_term_compound_stays_term(self):
         term = Func("f", (Const(1),))
         assert from_term(term) == term
+
+    @given(python_values)
+    def test_roundtrip_property(self, value):
+        term = to_term(value)
+        assert term.is_ground()
+        assert from_term(term) == value
 
 
 class TestSession:
@@ -141,3 +162,16 @@ class TestSession:
     def test_repr(self):
         db = LDL("q(X) <- p(X).").fact("p", 1)
         assert "1 rules" in repr(db)
+
+    def test_noncanonical_atoms_canonicalized_everywhere(self, tmp_path):
+        # regression: evaluate() used to store EDB atoms verbatim while
+        # the durable path normalized through evaluate_ground, so the
+        # same session computed different models in-memory vs durable.
+        atom = Atom("p", (Func("+", (Const(1), Const(2))),))
+        mem = LDL("q(X) <- p(X).")
+        mem.add_atoms([atom])
+        assert mem.extension("q") == [(3,)]
+        assert mem.query("? q(3).", strategy="magic") == [{}]
+        with LDL("q(X) <- p(X).", path=str(tmp_path / "db")) as dur:
+            dur.add_atoms([atom])
+            assert dur.extension("q") == mem.extension("q")

@@ -94,6 +94,44 @@ class TestSemiNaive:
         assert (a.iterations, a.rule_firings, a.facts_derived) == (5, 7, 9)
 
 
+class TestAttribution:
+    """Derivation attribution and firing counts agree across strategies."""
+
+    def test_rule_firings_count_applications(self):
+        # one non-recursive rule: naive runs it once per iteration
+        # (deriving round + no-change round), so exactly 2 applications
+        # regardless of how many tuples each application produced.
+        rules = parse_rules("p(X) <- e(X, _).").proper_rules()
+        db = chain_db(5)
+        stats = naive_fixpoint(db, rules)
+        assert stats.rule_firings == 2
+        assert stats.facts_derived == 5
+
+    def test_both_strategies_attribute_the_deriving_rule(self):
+        from repro.engine.context import EvalContext
+        from repro.observe import TraceRecorder
+
+        attributions = {}
+        for strategy in (naive_fixpoint, seminaive_fixpoint):
+            recorder = TraceRecorder()
+            db = chain_db(5)
+            strategy(db, TC, context=EvalContext(db, hooks=recorder))
+            events = [
+                e for e in recorder.events if e.kind == "fact_derived"
+            ]
+            assert events and all(
+                e.payload["rule"] is not None for e in events
+            )
+            attributions[strategy.__name__] = {
+                (e.payload["fact"], e.payload["rule"]) for e in events
+            }
+        # same facts attributed to the same rules under both strategies
+        assert (
+            attributions["naive_fixpoint"]
+            == attributions["seminaive_fixpoint"]
+        )
+
+
 class TestSizedPlanner:
     def test_same_fixpoint_as_static(self):
         from repro.engine import evaluate

@@ -1,0 +1,402 @@
+"""Tests for the concurrent TCP server (repro.server)."""
+
+import asyncio
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import LDL
+from repro.errors import ProtocolError, ServerError
+from repro.server import Client, LDLServer, ReadWriteLock
+from repro.server import protocol
+
+ROOT = Path(__file__).resolve().parents[1]
+
+TC_PROGRAM = """
+    t(X, Y) <- e(X, Y).
+    t(X, Y) <- e(X, Z), t(Z, Y).
+"""
+
+
+def norm(answers):
+    """Order-independent form of a query answer list."""
+    return sorted(tuple(sorted(b.items())) for b in answers)
+
+
+class ServerThread:
+    """An LDLServer running on a background event-loop thread."""
+
+    def __init__(self, session, **kwargs):
+        kwargs.setdefault("port", 0)
+        self.server = LDLServer(session, **kwargs)
+        self._started = threading.Event()
+        self._failure = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by __enter__/__exit__
+            self._failure = exc
+            self._started.set()
+
+    async def _main(self):
+        await self.server.start()
+        self._started.set()
+        # signal handlers only work on the main thread
+        await self.server.serve(handle_signals=False)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(10), "server did not start"
+        if self._failure is not None:
+            raise self._failure
+        return self
+
+    def __exit__(self, *exc):
+        self.server.request_stop()
+        self._thread.join(10)
+        assert not self._thread.is_alive(), "server did not shut down"
+        if self._failure is not None:
+            raise self._failure
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def client(self, **kwargs):
+        return Client("127.0.0.1", self.port, **kwargs)
+
+
+class TestProtocol:
+    def test_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"? anc(ann, X).\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b"[1, 2]\n")
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(b'{"op": "drop_tables"}\n')
+
+    def test_binding_roundtrip(self):
+        from repro.api import to_term
+
+        binding = {"X": to_term(("a", frozenset({1, 2})))}
+        assert protocol.decode_binding(
+            json.loads(json.dumps(protocol.encode_binding(binding)))
+        ) == binding
+
+    def test_error_response_echoes_id(self):
+        out = protocol.error_response({"id": 7}, ValueError("boom"))
+        assert out == {
+            "ok": False, "error": "boom", "etype": "ValueError", "id": 7,
+        }
+
+
+class TestReadWriteLock:
+    def test_readers_overlap_writer_exclusive(self):
+        async def main():
+            lock = ReadWriteLock()
+            peak_readers = 0
+            writes = 0
+
+            async def reader():
+                nonlocal peak_readers
+                async with lock.read():
+                    peak_readers = max(peak_readers, lock.readers)
+                    assert not lock.writer_active
+                    await asyncio.sleep(0.01)
+
+            async def writer():
+                nonlocal writes
+                async with lock.write():
+                    assert lock.readers == 0
+                    assert lock.writer_active
+                    writes += 1
+                    await asyncio.sleep(0.01)
+
+            await asyncio.gather(
+                reader(), reader(), writer(), reader(), writer()
+            )
+            assert peak_readers >= 2
+            assert writes == 2
+            assert lock.readers == 0 and not lock.writer_active
+
+        asyncio.run(main())
+
+    def test_waiting_writer_blocks_new_readers(self):
+        async def main():
+            lock = ReadWriteLock()
+            order = []
+
+            async def long_reader():
+                async with lock.read():
+                    order.append("r1")
+                    await asyncio.sleep(0.05)
+
+            async def writer():
+                await asyncio.sleep(0.01)  # let the reader in first
+                async with lock.write():
+                    order.append("w")
+
+            async def late_reader():
+                await asyncio.sleep(0.02)  # after the writer queued
+                async with lock.read():
+                    order.append("r2")
+
+            await asyncio.gather(long_reader(), writer(), late_reader())
+            # writer preference: r2 arrived while w waited, so w goes first
+            assert order == ["r1", "w", "r2"]
+
+        asyncio.run(main())
+
+
+class TestServerRequests:
+    def test_basic_ops(self):
+        session = LDL(TC_PROGRAM)
+        with ServerThread(session) as st, st.client() as client:
+            assert client.ping()
+            assert client.add_facts("e", [(1, 2), (2, 3)]) == 2
+            assert client.query("? t(1, X).") == [{"X": 2}, {"X": 3}]
+            assert client.query("? t(1, X).", strategy="magic") == [
+                {"X": 2}, {"X": 3},
+            ]
+            assert "t(1, 3)" in client.explain("t(1, 3)")
+            assert client.remove_facts("e", [(2, 3)]) == 1
+            assert client.query("? t(1, X).") == [{"X": 2}]
+
+    def test_request_failure_keeps_connection(self):
+        with ServerThread(LDL(TC_PROGRAM)) as st, st.client() as client:
+            with pytest.raises(ServerError) as exc_info:
+                client.query("this is not a query")
+            assert exc_info.value.etype == "ParseError"
+            with pytest.raises(ServerError):
+                client.call("query")  # missing 'q'
+            with pytest.raises(ServerError) as exc_info:
+                client.checkpoint()  # no --db behind this session
+            assert exc_info.value.etype == "EvaluationError"
+            assert client.ping()  # connection still serving
+
+    def test_malformed_line_gets_error_response(self):
+        with ServerThread(LDL(TC_PROGRAM)) as st:
+            with socket.create_connection(("127.0.0.1", st.port), 5) as sock:
+                f = sock.makefile("rwb")
+                f.write(b"not json\n")
+                f.flush()
+                response = json.loads(f.readline())
+                assert response["ok"] is False
+                assert response["etype"] == "ProtocolError"
+                # the connection survives a malformed line
+                f.write(b'{"op": "ping"}\n')
+                f.flush()
+                assert json.loads(f.readline())["ok"] is True
+
+    def test_oversized_request_rejected(self):
+        with ServerThread(
+            LDL(TC_PROGRAM), max_request_bytes=256
+        ) as st:
+            with socket.create_connection(("127.0.0.1", st.port), 5) as sock:
+                f = sock.makefile("rwb")
+                f.write(b'{"op": "query", "q": "' + b"x" * 1024 + b'"}\n')
+                f.flush()
+                response = json.loads(f.readline())
+                assert response["ok"] is False
+                assert "256 bytes" in response["error"]
+                assert f.readline() == b""  # server hung up
+
+    def test_stats_op(self):
+        session = LDL(TC_PROGRAM)
+        with ServerThread(session) as st, st.client() as client:
+            client.add_facts("e", [(1, 2)])
+            client.query("? t(X, Y).")
+            stats = client.stats()
+            server = stats["server"]
+            assert server["requests"]["add_facts"] == 1
+            assert server["requests"]["query"] == 1
+            # the stats request itself is counted as started
+            assert server["in_flight"] == 1
+            assert server["connections_opened"] == 1
+            assert server["latency"]["count"] == 2
+            assert server["errors_total"] == 0
+            assert stats["session"]["rules"] == 2
+            assert stats["session"]["edb_facts"] == 1
+            assert stats["session"]["durable"] is False
+
+    def test_request_timeout(self):
+        with ServerThread(
+            LDL(TC_PROGRAM), request_timeout=0.0
+        ) as st, st.client() as client:
+            with pytest.raises(ServerError) as exc_info:
+                client.query("? t(X, Y).")
+            assert exc_info.value.etype == "TimeoutError"
+
+
+class TestConcurrency:
+    WRITERS = 4
+    READERS = 4
+    ROWS_PER_WRITER = 6
+
+    def test_interleaved_clients_consistent_with_scratch_eval(self):
+        """≥ 8 concurrent clients; answers match a from-scratch run."""
+        session = LDL(TC_PROGRAM)
+        errors = []
+        start = threading.Barrier(self.WRITERS + self.READERS)
+
+        def writer(st, i):
+            try:
+                with st.client() as client:
+                    start.wait(10)
+                    base = i * 100
+                    for k in range(self.ROWS_PER_WRITER):
+                        client.add_facts("e", [(base + k, base + k + 1)])
+                        # read-your-writes through the shared model
+                        assert {"Y": base + k + 1} in client.query(
+                            f"? t({base + k}, Y)."
+                        )
+                    # removals interleave too; deterministic final EDB
+                    client.remove_facts("e", [(base, base + 1)])
+            except Exception as exc:  # noqa: BLE001 - reported by main thread
+                errors.append(exc)
+
+        def reader(st):
+            try:
+                with st.client() as client:
+                    start.wait(10)
+                    for _ in range(8):
+                        for binding in client.query("? e(X, Y)."):
+                            assert binding["Y"] == binding["X"] + 1
+                        client.query("? t(X, 103).", strategy="magic")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        with ServerThread(session) as st:
+            threads = [
+                threading.Thread(target=writer, args=(st, i))
+                for i in range(self.WRITERS)
+            ] + [
+                threading.Thread(target=reader, args=(st,))
+                for _ in range(self.READERS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(60)
+            assert not errors, errors
+            with st.client() as client:
+                served = client.query("? t(X, Y).")
+                stats = client.stats()
+
+        # the final EDB is deterministic: every row each writer added,
+        # minus the one it removed
+        fresh = LDL(TC_PROGRAM)
+        for i in range(self.WRITERS):
+            base = i * 100
+            fresh.facts(
+                "e",
+                [
+                    (base + k, base + k + 1)
+                    for k in range(1, self.ROWS_PER_WRITER)
+                ],
+            )
+        assert norm(served) == norm(fresh.query("? t(X, Y)."))
+        assert stats["server"]["in_flight"] == 1  # just the stats call
+        assert stats["server"]["errors_total"] == 0
+
+
+def start_serve(tmp_path, *extra, fsync="always"):
+    """Launch ``repro serve`` as a subprocess; returns (proc, port)."""
+    program = tmp_path / "prog.ldl"
+    if not program.exists():
+        program.write_text(TC_PROGRAM)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(program),
+            "--port", "0", "--db", str(tmp_path / "db"),
+            "--fsync", fsync, *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=str(ROOT),
+    )
+    banner = []
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner.append(line)
+        match = re.search(r"% serving on [^:]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise AssertionError(f"server did not come up:\n{''.join(banner)}")
+
+
+class TestDurableServer:
+    def test_sigterm_checkpoints_then_restart_restores_snapshot(
+        self, tmp_path
+    ):
+        proc, port = start_serve(tmp_path)
+        try:
+            with Client("127.0.0.1", port) as client:
+                client.add_facts("e", [(1, 2), (2, 3)])
+                assert client.query("? t(1, X).") == [{"X": 2}, {"X": 3}]
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+        assert proc.returncode == 0, out
+        assert "% shutdown: durable session checkpointed" in out
+
+        # the restarted server restores from the snapshot — no WAL replay
+        proc2, port2 = start_serve(tmp_path)
+        try:
+            with Client("127.0.0.1", port2) as client:
+                assert client.query("? t(1, X).") == [{"X": 2}, {"X": 3}]
+                store = client.stats()["session"]["store"]
+                assert store["restore_mode"] == "snapshot"
+                assert store["wal_records_replayed"] == 0
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            proc2.communicate(timeout=30)
+
+    def test_sigkill_mid_traffic_recovers_via_wal(self, tmp_path):
+        proc, port = start_serve(tmp_path)
+        acknowledged = []
+        try:
+            with Client("127.0.0.1", port) as client:
+                for k in range(25):
+                    client.add_facts("e", [(k, k + 1)])
+                    acknowledged.append((k, k + 1))
+                    if k == 17:
+                        proc.kill()  # SIGKILL: no checkpoint, WAL only
+                        break
+        except (ProtocolError, OSError):
+            pass  # the kill may race the next request
+        proc.communicate(timeout=30)
+        assert acknowledged, "no write was acknowledged before the kill"
+
+        # every acknowledged write must survive via WAL replay
+        with LDL(TC_PROGRAM, path=str(tmp_path / "db")) as revived:
+            assert revived.store.stats.wal_records_replayed > 0
+            rows = {
+                (b["X"], b["Y"]) for b in revived.query("? e(X, Y).")
+            }
+            assert set(acknowledged) <= rows
