@@ -11,15 +11,31 @@ workload.
 Run:  python benchmarks/harness.py                 # all experiments
       python benchmarks/harness.py E2 E4           # a subset
       python benchmarks/harness.py --json out.json # machine-readable
+      python benchmarks/harness.py --quick E1 E6 --out benchmarks/BENCH_PR4.json
+      python benchmarks/harness.py --quick E1 E6 --check benchmarks/BENCH_PR4.json
+
+``--out`` writes the regression-tracking payload (per-case wall time
+plus fixpoint counters); ``--check`` compares a fresh run against such
+a file and exits non-zero when any case regresses more than 25% after
+normalizing by the median ratio (cancelling machine-speed differences
+between the committing machine and CI).
 """
 
 from __future__ import annotations
 
 import json
+import statistics
 import sys
 import time
 
 from common import EXPERIMENT_TITLES, EXPERIMENTS
+
+REGRESSION_TOLERANCE = 1.25
+
+#: Cases faster than this (baseline seconds) are excluded from the
+#: regression check: at sub-5ms scale, scheduler jitter and allocator
+#: state swamp any real change, and one noisy sample would fail CI.
+REGRESSION_NOISE_FLOOR = 0.005
 
 
 def time_case(case: dict, repeats: int = 3) -> tuple[float, int, dict | None]:
@@ -42,7 +58,32 @@ def time_case(case: dict, repeats: int = 3) -> tuple[float, int, dict | None]:
         collector = getattr(result, "metrics", None)
         if collector is not None:
             metrics_report = collector.report()
+        counters = _fixpoint_counters(result)
+        if counters is not None:
+            case["_fixpoint"] = counters
     return best, metric, metrics_report
+
+
+def _fixpoint_counters(result) -> dict | None:
+    """Fixpoint work counters of a run, when the result carries any.
+
+    ``EvaluationResult`` exposes totals directly; ``MagicResult`` nests
+    them under ``stats.saturation``.  Results without fixpoint stats
+    (layering checks, server throughput) report nothing.
+    """
+    iterations = getattr(result, "total_iterations", None)
+    if iterations is not None:
+        return {
+            "iterations": iterations,
+            "rule_firings": result.total_firings,
+        }
+    saturation = getattr(getattr(result, "stats", None), "saturation", None)
+    if saturation is not None:
+        return {
+            "iterations": saturation.iterations,
+            "rule_firings": saturation.rule_firings,
+        }
+    return None
 
 
 def _format_phases(report: dict) -> str:
@@ -67,11 +108,11 @@ def _format_phases(report: dict) -> str:
     return " ".join(parts)
 
 
-def run_experiment(name: str) -> list[dict]:
+def run_experiment(name: str, repeats: int = 3) -> list[dict]:
     rows = []
     baseline_by_workload: dict[str, float] = {}
     for case in EXPERIMENTS[name]():
-        seconds, facts, metrics_report = time_case(case)
+        seconds, facts, metrics_report = time_case(case, repeats=repeats)
         workload = case["workload"]
         baseline = baseline_by_workload.setdefault(workload, seconds)
         row = {
@@ -81,18 +122,20 @@ def run_experiment(name: str) -> list[dict]:
             "seconds": seconds,
             "speedup": baseline / seconds if seconds else float("inf"),
         }
+        if "_fixpoint" in case:
+            row["fixpoint"] = case["_fixpoint"]
         if metrics_report is not None:
             row["metrics"] = metrics_report
         rows.append(row)
     return rows
 
 
-def print_experiment(name: str) -> list[dict]:
+def print_experiment(name: str, repeats: int = 3) -> list[dict]:
     print(f"\n=== {name}: {EXPERIMENT_TITLES[name]} ===")
     header = f"{'workload':<28} {'strategy':<18} {'facts':>8} {'seconds':>9} {'speedup':>8}"
     print(header)
     print("-" * len(header))
-    rows = run_experiment(name)
+    rows = run_experiment(name, repeats=repeats)
     for row in rows:
         print(
             f"{row['workload']:<28} {row['strategy']:<18} "
@@ -103,21 +146,104 @@ def print_experiment(name: str) -> list[dict]:
     return rows
 
 
+def _tracking_payload(results: dict[str, list[dict]]) -> dict:
+    """The regression-tracking shape written by ``--out``.
+
+    Per-case wall time and fixpoint counters only — the phase/layer
+    metrics blobs are for humans and would churn on every commit.
+    """
+    experiments = {}
+    for name, rows in results.items():
+        experiments[name] = {
+            "title": EXPERIMENT_TITLES[name],
+            "cases": [
+                {
+                    "workload": row["workload"],
+                    "strategy": row["strategy"],
+                    "facts": row["facts"],
+                    "seconds": round(row["seconds"], 6),
+                    **(
+                        {"fixpoint": row["fixpoint"]}
+                        if "fixpoint" in row
+                        else {}
+                    ),
+                }
+                for row in rows
+            ],
+        }
+    return {"tolerance": REGRESSION_TOLERANCE, "experiments": experiments}
+
+
+def check_regressions(
+    results: dict[str, list[dict]], baseline: dict
+) -> list[str]:
+    """Compare a fresh run against a committed baseline file.
+
+    Raw wall-clock ratios conflate machine speed with real regressions,
+    so every shared case's ratio (current / baseline) is normalized by
+    the *median* ratio — a uniformly slower machine moves every ratio
+    equally and cancels out; a genuine regression sticks out above the
+    tolerance.  Cases faster than the noise floor are skipped entirely.
+    Returns human-readable failure lines (empty = pass).
+    """
+    base_cases = {
+        (name, c["workload"], c["strategy"]): c["seconds"]
+        for name, exp in baseline.get("experiments", {}).items()
+        for c in exp["cases"]
+    }
+    ratios: dict[tuple, float] = {}
+    for name, rows in results.items():
+        for row in rows:
+            key = (name, row["workload"], row["strategy"])
+            base = base_cases.get(key)
+            if base and base >= REGRESSION_NOISE_FLOOR and row["seconds"]:
+                ratios[key] = row["seconds"] / base
+    if not ratios:
+        return ["no overlapping cases between run and baseline"]
+    median = statistics.median(ratios.values())
+    tolerance = baseline.get("tolerance", REGRESSION_TOLERANCE)
+    failures = []
+    for key, ratio in sorted(ratios.items()):
+        normalized = ratio / median
+        if normalized > tolerance:
+            name, workload, strategy = key
+            failures.append(
+                f"{name} [{workload} / {strategy}]: "
+                f"{normalized:.2f}x slower than baseline "
+                f"(raw {ratio:.2f}x, median {median:.2f}x, "
+                f"tolerance {tolerance:.2f}x)"
+            )
+    return failures
+
+
+def _take_flag_with_value(argv: list[str], flag: str) -> tuple[list[str], str | None]:
+    if flag not in argv:
+        return argv, None
+    index = argv.index(flag)
+    try:
+        value = argv[index + 1]
+    except IndexError:
+        raise SystemExit(f"{flag} needs a file path")
+    return argv[:index] + argv[index + 2 :], value
+
+
 def main(argv: list[str]) -> None:
-    json_path = None
-    if "--json" in argv:
-        index = argv.index("--json")
-        try:
-            json_path = argv[index + 1]
-        except IndexError:
-            raise SystemExit("--json needs a file path")
-        argv = argv[:index] + argv[index + 2 :]
+    argv, json_path = _take_flag_with_value(argv, "--json")
+    argv, out_path = _take_flag_with_value(argv, "--out")
+    argv, check_path = _take_flag_with_value(argv, "--check")
+    repeats = 3
+    if "--quick" in argv:
+        argv = [a for a in argv if a != "--quick"]
+        # best-of-2, not single-shot: the first run doubles as a warmup
+        # (imports, lazily built indexes, the intern table), which
+        # otherwise shows up as a phantom regression in --check.
+        repeats = 2
     names = argv or list(EXPERIMENTS)
     results: dict[str, list[dict]] = {}
     for name in names:
         if name not in EXPERIMENTS:
             raise SystemExit(f"unknown experiment {name!r}; have {list(EXPERIMENTS)}")
-        results[name] = print_experiment(name)
+        results[name] = print_experiment(name, repeats=repeats)
     if json_path:
         payload = {
             name: {"title": EXPERIMENT_TITLES[name], "rows": rows}
@@ -126,6 +252,21 @@ def main(argv: list[str]) -> None:
         with open(json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote {json_path}")
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(_tracking_payload(results), handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {out_path}")
+    if check_path:
+        with open(check_path) as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(results, baseline)
+        if failures:
+            print(f"\nREGRESSIONS vs {check_path}:")
+            for line in failures:
+                print(f"  {line}")
+            raise SystemExit(1)
+        print(f"\nno regressions vs {check_path}")
 
 
 if __name__ == "__main__":

@@ -7,10 +7,17 @@ from repro.engine.database import Database
 from repro.engine.evaluator import (
     EvaluationResult,
     LayerStats,
+    SCCStats,
     answer_query,
     evaluate,
+    evaluate_component,
 )
-from repro.engine.fixpoint import FixpointStats, naive_fixpoint, seminaive_fixpoint
+from repro.engine.fixpoint import (
+    FixpointStats,
+    naive_fixpoint,
+    seminaive_fixpoint,
+    single_pass,
+)
 from repro.engine.explain import Derivation, explain
 from repro.engine.grouping import apply_grouping_rule, apply_grouping_rules
 from repro.engine.incremental import IncrementalModel, UpdateStats
@@ -47,6 +54,9 @@ __all__ = [
     "EvaluationResult",
     "FixpointStats",
     "LayerStats",
+    "SCCStats",
+    "evaluate_component",
+    "single_pass",
     "MAX_ENUMERATED_SET",
     "Relation",
     "TopDownEvaluator",

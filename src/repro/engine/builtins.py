@@ -16,7 +16,14 @@ from typing import Iterator, Mapping
 from repro.engine.binding import as_chain, extended
 from repro.engine.match import Binding, match_term_chain
 from repro.errors import EvaluationError, NotInUniverseError
-from repro.terms.term import Const, SetVal, Term, evaluate_ground
+from repro.terms.term import (
+    Const,
+    SetVal,
+    Term,
+    Var,
+    evaluate_ground,
+    intern_term,
+)
 
 
 def _match(pattern: Term, value: Term, binding: Mapping[str, Term]):
@@ -28,8 +35,26 @@ MAX_ENUMERATED_SET = 20
 
 
 def _try_ground(term: Term, binding: Mapping[str, Term]) -> Term | None:
-    """Evaluate ``term`` under ``binding`` to a U-element, or None."""
-    substituted = term.substitute(binding)
+    """Evaluate ``term`` under ``binding`` to a U-element, or None.
+
+    The dominant shapes — a variable bound to an already-canonical
+    value, or a canonical constant — skip substitution entirely: values
+    flowing out of the database are interned, so one ``_interned``
+    check replaces substitute + groundness walk + re-evaluation.
+    """
+    if type(term) is Var:
+        substituted = binding.get(term.name)
+        if substituted is None:
+            return None
+    else:
+        substituted = term
+    if substituted._interned:
+        return substituted
+    if substituted is term and not term.is_ground():
+        # only substitute when there is something to substitute: the
+        # plan runner already pre-substitutes builtin arguments, so a
+        # non-variable term here is usually ground.
+        substituted = term.substitute(binding)
     if not substituted.is_ground():
         return None
     try:
@@ -44,8 +69,21 @@ _NOT_A_SET = object()
 
 
 def _set_status(term: Term, binding: Mapping[str, Term]):
-    """SetVal, None (still unbound), or ``_NOT_A_SET`` (bound, non-set)."""
-    substituted = term.substitute(binding)
+    """SetVal, None (still unbound), or ``_NOT_A_SET`` (bound, non-set).
+
+    Same fast paths as :func:`_try_ground`: an interned value answers
+    with one flag check and an ``isinstance``.
+    """
+    if type(term) is Var:
+        substituted = binding.get(term.name)
+        if substituted is None:
+            return None
+    else:
+        substituted = term
+    if substituted._interned:
+        return substituted if isinstance(substituted, SetVal) else _NOT_A_SET
+    if substituted is term and not term.is_ground():
+        substituted = term.substitute(binding)
     if not substituted.is_ground():
         return None
     try:
@@ -101,7 +139,7 @@ def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
         return  # Section 2.2: union is false unless all three are sets
     s1_val, s2_val, s3_val = statuses
     if s1_val is not None and s2_val is not None:
-        result = SetVal(s1_val.elements | s2_val.elements)
+        result = SetVal.from_ground(s1_val.elements | s2_val.elements)
         yield from _match(args[2], result, binding)
         return
     if s3_val is not None:
@@ -110,7 +148,7 @@ def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
                 return
             mandatory = s3_val.elements - s1_val.elements
             for extra in _subsets(s1_val.elements):
-                candidate = SetVal(mandatory | extra)
+                candidate = SetVal.from_ground(mandatory | extra)
                 yield from _match(args[1], candidate, binding)
             return
         if s2_val is not None:
@@ -118,18 +156,43 @@ def _solve_union(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
                 return
             mandatory = s3_val.elements - s2_val.elements
             for extra in _subsets(s2_val.elements):
-                candidate = SetVal(mandatory | extra)
+                candidate = SetVal.from_ground(mandatory | extra)
                 yield from _match(args[0], candidate, binding)
             return
         for left in _subsets(s3_val.elements):
             mandatory = s3_val.elements - left
             for extra in _subsets(left):
-                for ext in _match(args[0], SetVal(left), binding):
+                for ext in _match(args[0], SetVal.from_ground(left), binding):
                     yield from _match(
-                        args[1], SetVal(mandatory | extra), ext
+                        args[1], SetVal.from_ground(mandatory | extra), ext
                     )
         return
     raise EvaluationError("union/3 needs two operands or the union bound")
+
+
+#: Memoized (part, complement) splits per whole set.  Partition-driven
+#: divide-and-conquer (e.g. the parts-explosion TC program) re-splits
+#: the same subassembly set once per containing binding; enumerating
+#: subsets is O(2^n · n log n), so the splits are worth keeping.  The
+#: pair SetVals are interned so downstream matches and head
+#: instantiation share one object per distinct split.
+_PARTITION_CACHE: dict[frozenset, tuple] = {}
+_PARTITION_CACHE_MAX = 4096
+
+
+def _partition_pairs(elements: frozenset) -> tuple:
+    pairs = _PARTITION_CACHE.get(elements)
+    if pairs is None:
+        pairs = tuple(
+            (
+                intern_term(SetVal.from_ground(part)),
+                intern_term(SetVal.from_ground(elements - part)),
+            )
+            for part in _subsets(elements)
+        )
+        if len(_PARTITION_CACHE) < _PARTITION_CACHE_MAX:
+            _PARTITION_CACHE[elements] = pairs
+    return pairs
 
 
 def _solve_partition(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
@@ -138,15 +201,14 @@ def _solve_partition(args: tuple[Term, ...], binding: Binding) -> Iterator[Bindi
         return  # false unless all three are sets
     whole, left, right = statuses
     if whole is not None:
-        for part in _subsets(whole.elements):
-            complement = whole.elements - part
-            for ext in _match(args[1], SetVal(part), binding):
-                yield from _match(args[2], SetVal(complement), ext)
+        for part, complement in _partition_pairs(whole.elements):
+            for ext in _match(args[1], part, binding):
+                yield from _match(args[2], complement, ext)
         return
     if left is not None and right is not None:
         if left.elements & right.elements:
             return
-        union = SetVal(left.elements | right.elements)
+        union = SetVal.from_ground(left.elements | right.elements)
         yield from _match(args[0], union, binding)
         return
     raise EvaluationError("partition/3 needs the whole set or both parts bound")
@@ -164,7 +226,7 @@ def _solve_subset(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]
             yield extended(binding)
         return
     for candidate in _subsets(super_.elements):
-        yield from _match(args[0], SetVal(candidate), binding)
+        yield from _match(args[0], SetVal.from_ground(candidate), binding)
 
 
 def _solve_card(args: tuple[Term, ...], binding: Binding) -> Iterator[Binding]:
@@ -232,7 +294,7 @@ def _solve_intersection(args: tuple[Term, ...], binding: Binding) -> Iterator[Bi
         return
     if s1 is None or s2 is None:
         raise EvaluationError("intersection/3 needs both operands bound")
-    result = SetVal(s1.elements & s2.elements)
+    result = SetVal.from_ground(s1.elements & s2.elements)
     yield from _match(args[2], result, binding)
 
 
@@ -243,7 +305,7 @@ def _solve_difference(args: tuple[Term, ...], binding: Binding) -> Iterator[Bind
         return
     if s1 is None or s2 is None:
         raise EvaluationError("difference/3 needs both operands bound")
-    result = SetVal(s1.elements - s2.elements)
+    result = SetVal.from_ground(s1.elements - s2.elements)
     yield from _match(args[2], result, binding)
 
 
@@ -291,3 +353,13 @@ _HANDLERS = {
     ">": _make_comparison(lambda a, b: a > b),
     ">=": _make_comparison(lambda a, b: a >= b),
 }
+
+
+def handler_for(pred: str):
+    """The handler generator for a built-in predicate, or None.
+
+    The plan compiler binds handlers to steps once, so the runner can
+    call them directly instead of routing every candidate binding
+    through :func:`solve_builtin`'s lookup-and-delegate frame.
+    """
+    return _HANDLERS.get(pred)

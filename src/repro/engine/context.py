@@ -35,6 +35,7 @@ class EvalContext:
     __slots__ = (
         "db",
         "planner",
+        "sized",
         "hooks",
         "observing",
         "metrics",
@@ -52,6 +53,9 @@ class EvalContext:
     ) -> None:
         self.db = db
         self.planner = planner
+        # fixpoint loops test this plain attribute instead of calling
+        # refresh_sizes() per iteration under the default static policy.
+        self.sized = planner == "sized"
         self.hooks: EngineHooks = hooks if hooks is not None else NULL_HOOKS
         self.observing = not isinstance(self.hooks, NullHooks)
         self.metrics = metrics
@@ -101,9 +105,10 @@ class EvalContext:
         Called once per fixpoint iteration.  When the snapshot differs
         from the one current plans were built against, the plan cache
         is invalidated so the next :meth:`plan_for` re-plans with fresh
-        statistics.  A no-op under the static policy.
+        statistics.  A no-op under the static policy (callers on hot
+        paths skip the call entirely via :attr:`sized`).
         """
-        if self.planner != "sized" or self.db is None:
+        if not self.sized or self.db is None:
             return
         sizes = {pred: self.db.count(pred) for pred in self.db.predicates()}
         if sizes != self.sizes:

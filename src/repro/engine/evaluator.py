@@ -7,31 +7,60 @@ of Lemma 3.2.3), then runs its remaining rules to fixpoint (R2).  The
 result is a minimal model of P w.r.t. M0; for positive programs it is
 the unique minimal model.
 
+Within a layer the default scheduler goes further than Theorem 1's
+single fixpoint: the layer's predicates are condensed into strongly
+connected components (:func:`repro.program.dependency.scc_schedule`),
+evaluated in dependency order — non-recursive components in one
+semi-naive-free pass, genuinely recursive components as their own
+(much smaller) fixpoint.  Theorem 2 guarantees the model is the same;
+``scheduler="layer"`` recovers the one-fixpoint-per-stratum behaviour
+for differential testing.
+
 The run is driven through an :class:`~repro.engine.context.EvalContext`
 shared by every layer: rule plans compile once and are reused across
 iterations, ``hooks`` observe layer/iteration/firing/derivation events
 (:mod:`repro.observe`), and ``metrics`` attributes wall-clock time to
-the plan / match / grouping phases and to individual layers.
+the plan / match / grouping phases, to individual layers, and to
+individual SCCs.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Literal as TypingLiteral
 
 from repro.engine.context import EvalContext
 from repro.engine.database import Database
-from repro.engine.fixpoint import FixpointStats, naive_fixpoint, seminaive_fixpoint
+from repro.engine.fixpoint import (
+    FixpointStats,
+    naive_fixpoint,
+    seminaive_fixpoint,
+    single_pass,
+)
 from repro.engine.grouping import apply_grouping_rules
 from repro.engine.match import Binding, match_atom
 from repro.errors import EvaluationError, NotInUniverseError
-from repro.observe import EngineHooks, MetricsCollector
-from repro.program.rule import Atom, Program, Query, canonical_atom
+from repro.observe import EngineHooks, MetricsCollector, emit_event
+from repro.program.dependency import SCCComponent, scc_schedule
+from repro.program.rule import Atom, Program, Query, Rule, canonical_atom
 from repro.program.stratify import Layering, stratify, validate_layering
 from repro.program.wellformed import check_program
 from repro.terms.term import Term, evaluate_ground
 
 Strategy = TypingLiteral["naive", "seminaive"]
+Scheduler = TypingLiteral["scc", "layer"]
+
+
+@dataclass
+class SCCStats:
+    """Work counters and wall time for one scheduled SCC."""
+
+    preds: frozenset[str]
+    recursive: bool
+    grouping_facts: int = 0
+    fixpoint: FixpointStats = field(default_factory=FixpointStats)
+    seconds: float = 0.0
 
 
 @dataclass
@@ -41,6 +70,7 @@ class LayerStats:
     layer: int
     grouping_facts: int = 0
     fixpoint: FixpointStats = field(default_factory=FixpointStats)
+    sccs: list[SCCStats] = field(default_factory=list)
 
 
 @dataclass
@@ -79,6 +109,64 @@ class EvaluationResult:
         return sorted(out, key=lambda a: a.sort_key())
 
 
+def evaluate_component(
+    db: Database,
+    component: SCCComponent,
+    ctx: EvalContext,
+    run_fixpoint=seminaive_fixpoint,
+    layer: int | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> SCCStats:
+    """Evaluate one scheduled SCC against ``db``.
+
+    Grouping rules apply once over the facts from below (the R1 step —
+    their bodies read strictly lower predicates, so component order
+    cannot starve them), then the remaining rules run as a fixpoint
+    when the component is recursive or as a single pass when it is not.
+    ``rules`` restricts the component's rules (incremental cones);
+    ``layer`` tags the emitted SCC events and timings.
+    """
+    stats = SCCStats(component.preds, component.recursive)
+    effective = component.rules if rules is None else tuple(rules)
+    grouping = [r for r in effective if r.is_grouping()]
+    other = [r for r in effective if not r.is_grouping()]
+    if ctx.observing:
+        emit_event(
+            ctx.hooks,
+            "on_scc_start",
+            layer=layer,
+            preds=component.preds,
+            recursive=component.recursive,
+        )
+    start = time.perf_counter()
+    for rule in grouping:
+        for fact in apply_grouping_rules([rule], db, context=ctx):
+            if db.add(fact):
+                stats.grouping_facts += 1
+                if ctx.observing:
+                    ctx.hooks.on_fact_derived(fact, rule)
+    if other:
+        if component.recursive:
+            stats.fixpoint = run_fixpoint(db, other, context=ctx)
+        else:
+            stats.fixpoint = single_pass(db, other, context=ctx)
+    stats.seconds = time.perf_counter() - start
+    if ctx.observing:
+        emit_event(
+            ctx.hooks,
+            "on_scc_end",
+            layer=layer,
+            preds=component.preds,
+            new_facts=stats.grouping_facts + stats.fixpoint.facts_derived,
+            seconds=stats.seconds,
+        )
+    if ctx.timing:
+        ctx.metrics.add_scc_time(
+            layer, component.preds, component.recursive, stats.seconds
+        )
+    return stats
+
+
 def _install_facts(db: Database, program: Program) -> None:
     for rule in program.facts():
         head = rule.head
@@ -100,6 +188,7 @@ def evaluate(
     planner: str = "static",
     hooks: EngineHooks | None = None,
     metrics: MetricsCollector | None = None,
+    scheduler: Scheduler = "scc",
 ) -> EvaluationResult:
     """Compute the standard minimal model of ``program`` over ``edb``.
 
@@ -107,9 +196,13 @@ def evaluate(
     first); Theorem 2 guarantees the result does not depend on the
     choice.  ``strategy`` selects the fixpoint algorithm within layers;
     ``planner="sized"`` enables cardinality-aware join ordering.
+    ``scheduler`` selects how each layer is driven: ``"scc"`` (default)
+    condenses the layer into strongly connected components evaluated in
+    dependency order, ``"layer"`` runs the layer's rules as one fixpoint
+    (the Theorem 1 formulation — kept for differential testing).
     ``hooks`` receives engine events (:class:`repro.observe.EngineHooks`
     — e.g. a :class:`~repro.observe.TraceRecorder`); ``metrics``
-    collects per-phase and per-layer wall-clock timings.
+    collects per-phase, per-layer, and per-SCC wall-clock timings.
     """
     if check:
         check_program(program)
@@ -119,6 +212,8 @@ def evaluate(
         raise EvaluationError("supplied layering violates the layering conditions")
     if strategy not in ("naive", "seminaive"):
         raise EvaluationError(f"unknown strategy {strategy!r}")
+    if scheduler not in ("scc", "layer"):
+        raise EvaluationError(f"unknown scheduler {scheduler!r}")
 
     # canonicalize EDB args exactly as IncrementalModel does, so a
     # session computes the same model in-memory and durably.
@@ -127,6 +222,7 @@ def evaluate(
     ctx = EvalContext(db, planner=planner, hooks=hooks, metrics=metrics)
 
     run_fixpoint = naive_fixpoint if strategy == "naive" else seminaive_fixpoint
+    schedule = scc_schedule(program, layering) if scheduler == "scc" else None
     layer_stats: list[LayerStats] = []
     for i in range(len(layering)):
         stats = LayerStats(layer=i)
@@ -137,16 +233,25 @@ def evaluate(
             ctx.hooks.on_layer_start(i, rules)
         if ctx.timing:
             layer_start = ctx.metrics.now()
-        grouping_rules = [r for r in rules if r.is_grouping()]
-        other_rules = [r for r in rules if not r.is_grouping()]
-        for rule in grouping_rules:
-            for fact in apply_grouping_rules([rule], db, context=ctx):
-                if db.add(fact):
-                    stats.grouping_facts += 1
-                    if ctx.observing:
-                        ctx.hooks.on_fact_derived(fact, rule)
-        if other_rules:
-            stats.fixpoint = run_fixpoint(db, other_rules, context=ctx)
+        if schedule is not None:
+            for component in schedule[i]:
+                scc = evaluate_component(
+                    db, component, ctx, run_fixpoint, layer=i
+                )
+                stats.sccs.append(scc)
+                stats.grouping_facts += scc.grouping_facts
+                stats.fixpoint.merge(scc.fixpoint)
+        else:
+            grouping_rules = [r for r in rules if r.is_grouping()]
+            other_rules = [r for r in rules if not r.is_grouping()]
+            for rule in grouping_rules:
+                for fact in apply_grouping_rules([rule], db, context=ctx):
+                    if db.add(fact):
+                        stats.grouping_facts += 1
+                        if ctx.observing:
+                            ctx.hooks.on_fact_derived(fact, rule)
+            if other_rules:
+                stats.fixpoint = run_fixpoint(db, other_rules, context=ctx)
         if ctx.timing:
             ctx.metrics.add_layer_time(i, ctx.metrics.now() - layer_start)
         if ctx.observing:

@@ -63,6 +63,39 @@ def _derive(
     return derived
 
 
+def single_pass(
+    db: Database,
+    rules: Sequence[Rule],
+    planner: str = "static",
+    context: EvalContext | None = None,
+) -> FixpointStats:
+    """Apply each rule exactly once.  Mutates ``db``.
+
+    Complete (reaches the same result as a fixpoint) only when no rule
+    reads a predicate any rule in ``rules`` defines — i.e. the rules of
+    a non-recursive SCC whose lower components are already evaluated.
+    The SCC scheduler calls this instead of a fixpoint, saving the
+    second iteration a fixpoint needs just to observe emptiness.
+    """
+    ctx = ensure_context(context, db, planner)
+    stats = FixpointStats(iterations=1)
+    if ctx.sized:
+        ctx.refresh_sizes()
+    round_new = 0
+    for rule in rules:
+        derived = _derive(ctx, db, rule, ctx.plan_for(rule))
+        stats.rule_firings += 1
+        for fact in derived:
+            if db.add(fact):
+                stats.facts_derived += 1
+                round_new += 1
+                if ctx.observing:
+                    ctx.hooks.on_fact_derived(fact, rule)
+    if ctx.observing:
+        ctx.hooks.on_iteration(stats.iterations, round_new)
+    return stats
+
+
 def naive_fixpoint(
     db: Database,
     rules: Sequence[Rule],
@@ -78,7 +111,8 @@ def naive_fixpoint(
     stats = FixpointStats()
     while True:
         stats.iterations += 1
-        ctx.refresh_sizes()
+        if ctx.sized:
+            ctx.refresh_sizes()
         # every rule evaluates against the same snapshot: batch the
         # derivations (with their deriving rule) and add afterwards.
         batch: list[tuple[Rule, Atom]] = []
@@ -116,7 +150,8 @@ def seminaive_fixpoint(
     stats = FixpointStats()
 
     stats.iterations += 1
-    ctx.refresh_sizes()
+    if ctx.sized:
+        ctx.refresh_sizes()
     delta: dict[str, list[tuple]] = {}
     round_new = 0
     for rule in rules:
@@ -159,7 +194,8 @@ def seminaive_rounds(
 
     while delta:
         stats.iterations += 1
-        ctx.refresh_sizes()
+        if ctx.sized:
+            ctx.refresh_sizes()
         next_delta: dict[str, list[tuple]] = {}
         round_new = 0
         for rule, occurrence in occurrence_index:

@@ -22,7 +22,7 @@ from repro.engine.plan import run_plan
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.program.rule import Atom, Rule
 from repro.terms.pretty import format_rule
-from repro.terms.term import SetVal, Term, Var, evaluate_ground
+from repro.terms.term import SetVal, Term, Var, evaluate_ground, intern_term
 
 
 def apply_grouping_rule(
@@ -70,7 +70,10 @@ def apply_grouping_rule(
         args: list[Term] = [None] * len(rule.head.args)  # type: ignore[list-item]
         for (i, _), value in zip(other_terms, key):
             args[i] = value
-        args[group_position] = SetVal(values)
+        # grouped values are evaluate_ground outputs, and the grouped
+        # set is probed heavily downstream (partition, member): build
+        # trusted and intern so those probes hit the identity fast path.
+        args[group_position] = intern_term(SetVal.from_ground(values))
         yield Atom(rule.head.pred, tuple(args))
 
 

@@ -28,15 +28,14 @@ import networkx as nx
 
 from repro.engine.context import EvalContext
 from repro.engine.database import Database
+from repro.engine.evaluator import evaluate_component
 from repro.engine.fixpoint import (
     FixpointStats,
-    seminaive_fixpoint,
     seminaive_rounds,
 )
-from repro.engine.grouping import apply_grouping_rules
 from repro.errors import EvaluationError
 from repro.observe import EngineHooks
-from repro.program.dependency import dependency_graph
+from repro.program.dependency import dependency_graph, scc_schedule
 from repro.program.rule import Atom, Program, canonical_atom
 from repro.program.stratify import Layering, stratify
 from repro.program.wellformed import check_program
@@ -72,6 +71,10 @@ class IncrementalModel:
         self.program = program
         self.layering: Layering = stratify(program)
         self._graph = dependency_graph(program)
+        # SCC schedule computed once for the model's lifetime: every
+        # recompute walks the same per-layer component order, filtered
+        # to the affected cone.
+        self._schedule = scc_schedule(program, self.layering)
         self._idb = program.idb_predicates()
         self._edb_facts: set[Atom] = set()
         self.database = materialized if materialized is not None else Database()
@@ -206,23 +209,20 @@ class IncrementalModel:
             fresh.add(atom)
         self.database = fresh
         self._context.db = fresh  # static plans stay valid across swaps
-        for i in range(len(self.layering)):
-            layer_rules = [
-                r
-                for r in self.layering.rules_in_layer(self.program, i)
-                if not r.is_fact() and r.head.pred in cone
-            ]
-            grouping = [r for r in layer_rules if r.is_grouping()]
-            other = [r for r in layer_rules if not r.is_grouping()]
-            for fact in apply_grouping_rules(
-                grouping, self.database, context=self._context
-            ):
-                self.database.add(fact)
-            if other:
-                stats.fixpoint.merge(
-                    seminaive_fixpoint(
-                        self.database, other, context=self._context
-                    )
+        for i, layer_components in enumerate(self._schedule):
+            for component in layer_components:
+                rules = tuple(
+                    r for r in component.rules if r.head.pred in cone
                 )
+                if not rules:
+                    continue
+                scc = evaluate_component(
+                    self.database,
+                    component,
+                    self._context,
+                    layer=i,
+                    rules=rules,
+                )
+                stats.fixpoint.merge(scc.fixpoint)
         self.last_update = stats
         return stats

@@ -28,13 +28,22 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.engine.binding import ChainBinding, as_chain
-from repro.engine.builtins import solve_builtin
+from repro.engine.builtins import handler_for, solve_builtin
 from repro.engine.database import Database
 from repro.engine.match import ground_atom, match_term_chain
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Literal, Rule
-from repro.terms.term import Term, Var, evaluate_ground
+from repro.terms.term import (
+    ARITHMETIC_FUNCTORS,
+    Const,
+    Func,
+    Term,
+    Var,
+    evaluate_ground,
+    fold_arithmetic_values,
+    intern_const,
+)
 
 #: relation-override hook: maps a body-literal *original index* to an
 #: alternative tuple source (e.g. the semi-naive delta).
@@ -46,6 +55,64 @@ VAR = "var"  # payload: variable name, bound before this step
 TERM = "term"  # payload: raw term, substitute+evaluate at runtime
 BIND = "bind"  # payload: variable name, first unbound occurrence
 MATCH = "match"  # payload: (term, needs_substitute) general match
+ARITH = "arith"  # payload: (functor, ((VAR, name) | (CONST, number), ...))
+
+
+def _compile_builtin_arg(arg: Term) -> tuple:
+    """One ``(kind, payload, term)`` descriptor for a builtin argument.
+
+    Variables resolve by one binding lookup; variable-free terms pass
+    through untouched; arithmetic over variables and numeric constants
+    folds directly to an interned constant at run time (no intermediate
+    ``Func`` allocation or ground-term re-evaluation); anything else
+    substitutes at run time.
+    """
+    if isinstance(arg, Var):
+        return (VAR, arg.name, arg)
+    if not arg.variables():
+        return (CONST, arg, arg)
+    if (
+        isinstance(arg, Func)
+        and arg.functor in ARITHMETIC_FUNCTORS
+        and all(
+            isinstance(a, Var)
+            or (isinstance(a, Const) and isinstance(a.value, (int, float)))
+            for a in arg.args
+        )
+    ):
+        parts = tuple(
+            (VAR, a.name) if isinstance(a, Var) else (CONST, a.value)
+            for a in arg.args
+        )
+        return (ARITH, (arg.functor, parts), arg)
+    return (TERM, arg, arg)
+
+
+def _fold_arith(functor: str, parts: tuple, binding) -> Const | None:
+    """Evaluate a precompiled arithmetic argument, or None to fall back.
+
+    Falls back (to substitute-then-evaluate semantics) when an operand
+    is unbound, non-numeric, or the fold itself fails (e.g. division by
+    zero) — the general path then reproduces the exact builtin
+    behavior for those cases.
+    """
+    values = []
+    for kind, payload in parts:
+        if kind == VAR:
+            bound = binding.get(payload)
+            if (
+                bound is None
+                or type(bound) is not Const
+                or not isinstance(bound.value, (int, float))
+            ):
+                return None
+            values.append(bound.value)
+        else:
+            values.append(payload)
+    try:
+        return intern_const(fold_arithmetic_values(functor, values))
+    except EvaluationError:
+        return None
 
 
 class LiteralStep:
@@ -56,8 +123,12 @@ class LiteralStep:
     steps, ``probes`` describes the index key (argument positions whose
     variables are all bound before the step) and ``residuals`` the
     positions that extend the binding; ``fully_bound`` marks pure
-    membership filters.  For non-builtin negations ``neg_args`` holds
-    one descriptor per argument (negation always runs fully bound).
+    membership filters.  ``simple_residuals`` is the pre-extracted
+    ``(position, name)`` list when *every* residual is a plain fresh
+    variable — the overwhelmingly common Datalog shape, executed
+    without the general recursive matcher.  For non-builtin negations
+    ``neg_args`` holds one descriptor per argument (negation always
+    runs fully bound).
     """
 
     __slots__ = (
@@ -68,8 +139,11 @@ class LiteralStep:
         "probe_positions",
         "probes",
         "residuals",
+        "simple_residuals",
         "fully_bound",
         "neg_args",
+        "builtin_args",
+        "builtin_handler",
     )
 
     def __init__(
@@ -93,6 +167,27 @@ class LiteralStep:
         self.residuals = residuals
         self.fully_bound = fully_bound
         self.neg_args = neg_args
+        if residuals and all(kind_ == BIND for _, kind_, _ in residuals):
+            self.simple_residuals = tuple(
+                (pos, name) for pos, _, name in residuals
+            )
+        else:
+            self.simple_residuals = None
+        if kind == "builtin":
+            # per-argument descriptors: variables resolve by one binding
+            # lookup, variable-free terms pass through untouched, mixed
+            # terms substitute at runtime.  Avoids rebuilding the whole
+            # atom per candidate binding.
+            self.builtin_args = tuple(
+                _compile_builtin_arg(arg) for arg in literal.atom.args
+            )
+            # unknown predicates keep the None handler and fall back to
+            # solve_builtin at run time, which raises the same
+            # EvaluationError a direct call would.
+            self.builtin_handler = handler_for(literal.atom.pred)
+        else:
+            self.builtin_args = None
+            self.builtin_handler = None
 
     def __repr__(self) -> str:
         return (
@@ -143,7 +238,12 @@ class HeadTemplate:
                     args.append(value)
                 else:
                     args.append(payload)
-            return Atom(self.atom.pred, tuple(args))
+            atom = Atom(self.atom.pred, args)
+            # binding values are U-elements and CONST parts evaluated at
+            # compile time: skip the per-argument groundness walk that
+            # Database.add would otherwise repeat for every derivation.
+            atom._ground = True
+            return atom
         return ground_atom(self.atom, binding)
 
 
@@ -400,6 +500,21 @@ def _run_relation_step(
         if key is None:
             return
         check_probes = bool(step.probes)
+    simple = step.simple_residuals
+    if simple is not None and not check_probes:
+        # all residuals are fresh variables: bind them directly with
+        # one chain node each, skipping the general recursive matcher.
+        for args in tuples:
+            ext = binding
+            for pos, name in simple:
+                bound = ext.get(name)
+                if bound is None:
+                    ext = ChainBinding(ext, name, args[pos])
+                elif bound != args[pos]:
+                    break
+            else:
+                yield ext
+        return
     # substitute mixed residual terms once per outer binding, as the
     # seed did by substituting the whole atom before matching
     substituted: dict[int, Term] | None = None
@@ -483,8 +598,27 @@ def run_plan(
             source = overrides.get(step.index) if overrides else None
             produced = _run_relation_step(db, step, current, source)
         elif step.kind == "builtin":
-            substituted = step.literal.atom.substitute(current)
-            produced = solve_builtin(substituted.pred, substituted.args, current)
+            args = []
+            for kind, payload, term in step.builtin_args:
+                if kind == VAR:
+                    value = current.get(payload)
+                    args.append(term if value is None else value)
+                elif kind == CONST:
+                    args.append(payload)
+                elif kind == ARITH:
+                    value = _fold_arith(payload[0], payload[1], current)
+                    args.append(
+                        term.substitute(current) if value is None else value
+                    )
+                else:
+                    args.append(term.substitute(current))
+            handler = step.builtin_handler
+            if handler is not None:
+                produced = handler(tuple(args), current)
+            else:
+                produced = solve_builtin(
+                    step.literal.atom.pred, tuple(args), current
+                )
         else:
             produced = _run_negation_step(negative_source, step, current)
         for ext in produced:

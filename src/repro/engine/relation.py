@@ -5,6 +5,11 @@ ground argument tuples.  Joins during rule evaluation probe the
 relation with a subset of argument positions bound; the relation builds
 and maintains a hash index per distinct bound-position signature the
 first time it is probed, turning nested-loop joins into index joins.
+
+Single-position signatures — the dominant shape in linear-recursive
+joins — key their index by the bare term instead of a 1-tuple: the
+term's cached hash makes every dict operation on the index one cached
+lookup instead of a tuple allocation plus a fresh tuple hash.
 """
 
 from __future__ import annotations
@@ -25,7 +30,10 @@ class Relation:
         self.pred = pred
         self.arity = arity
         self._tuples: set[ArgTuple] = set()
-        self._indexes: dict[tuple[int, ...], dict[ArgTuple, list[ArgTuple]]] = {}
+        # bucket values are sets: ``_tuples`` guarantees uniqueness, so
+        # membership and removal stay O(1) instead of O(bucket).  Keys
+        # are bare terms for 1-position signatures, tuples otherwise.
+        self._indexes: dict[tuple[int, ...], dict[object, set[ArgTuple]]] = {}
 
     def __len__(self) -> int:
         return len(self._tuples)
@@ -46,8 +54,15 @@ class Relation:
             )
         self._tuples.add(args)
         for positions, index in self._indexes.items():
-            key = tuple(args[i] for i in positions)
-            index.setdefault(key, []).append(args)
+            if len(positions) == 1:
+                key = args[positions[0]]
+            else:
+                key = tuple(args[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = {args}
+            else:
+                bucket.add(args)
         return True
 
     def add_all(self, tuples: Iterable[ArgTuple]) -> int:
@@ -64,10 +79,13 @@ class Relation:
             return False
         self._tuples.discard(args)
         for positions, index in self._indexes.items():
-            key = tuple(args[i] for i in positions)
+            if len(positions) == 1:
+                key = args[positions[0]]
+            else:
+                key = tuple(args[i] for i in positions)
             bucket = index.get(key)
             if bucket is not None:
-                bucket.remove(args)
+                bucket.discard(args)
                 if not bucket:
                     del index[key]
         return True
@@ -80,27 +98,42 @@ class Relation:
         """
         if not positions:
             return self._tuples
+        single = len(positions) == 1
         index = self._indexes.get(positions)
         if index is None:
             index = {}
-            for args in self._tuples:
-                index_key = tuple(args[i] for i in positions)
-                index.setdefault(index_key, []).append(args)
+            if single:
+                pos = positions[0]
+                for args in self._tuples:
+                    index_key = args[pos]
+                    bucket = index.get(index_key)
+                    if bucket is None:
+                        index[index_key] = {args}
+                    else:
+                        bucket.add(args)
+            else:
+                for args in self._tuples:
+                    index_key = tuple(args[i] for i in positions)
+                    bucket = index.get(index_key)
+                    if bucket is None:
+                        index[index_key] = {args}
+                    else:
+                        bucket.add(args)
             self._indexes[positions] = index
-        return index.get(key, ())
+        return index.get(key[0] if single else key, ())
 
     def copy(self) -> "Relation":
         """An independent clone, *including* already-built hash indexes.
 
         Copies used by incremental and well-founded evaluation probe the
         same signatures as the original; rebuilding every index on first
-        probe would pay the full O(n) construction again.  Bucket lists
+        probe would pay the full O(n) construction again.  Bucket sets
         are copied so later ``add``s on either side stay independent.
         """
         clone = Relation(self.pred, self.arity)
         clone._tuples = set(self._tuples)
         clone._indexes = {
-            positions: {key: list(bucket) for key, bucket in index.items()}
+            positions: {key: set(bucket) for key, bucket in index.items()}
             for positions, index in self._indexes.items()
         }
         return clone

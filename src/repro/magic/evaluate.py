@@ -17,6 +17,12 @@ validation recomputes every deferred rule and checks it derives exactly
 the facts recorded during the run — catching any violation of the
 saturation argument (e.g. a group that grew after it was formed) and
 raising :class:`UnstableMagicEvaluationError`.
+
+The saturation step itself is SCC-condensed
+(:func:`repro.program.dependency.condense_program`): the rewritten
+rules' dependency graph is condensed once, and each sweep evaluates the
+components in dependency order — non-recursive components with a single
+rule application, recursive ones as their own small fixpoint.
 """
 
 from __future__ import annotations
@@ -27,7 +33,8 @@ from typing import Iterable
 from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
 from repro.engine.evaluator import answer_query
-from repro.engine.fixpoint import FixpointStats, seminaive_fixpoint
+from repro.engine.fixpoint import FixpointStats, seminaive_fixpoint, single_pass
+from repro.program.dependency import condense_program
 from repro.engine.grouping import apply_grouping_rule
 from repro.engine.match import Binding
 from repro.engine.plan import apply_rule_plan
@@ -122,6 +129,11 @@ def evaluate_magic(
     db.add(mp.seed)
 
     phase1_rules = list(mp.magic_rules) + list(mp.modified_rules)
+    # condensed once: the saturation sweep walks the rewritten rules'
+    # SCCs in dependency order instead of one global fixpoint.
+    phase1_schedule = [
+        c for c in condense_program(Program(phase1_rules)) if c.rules
+    ]
     derived_by_rule: dict[Rule, set[Atom]] = {r: set() for r in mp.deferred_rules}
     stats = MagicStats()
     # one context across all saturation/deferred phases: every rule in
@@ -134,10 +146,15 @@ def evaluate_magic(
             raise UnstableMagicEvaluationError(
                 f"no fixpoint after {max_phases} phases"
             )
-        if phase1_rules:
-            stats.saturation.merge(
-                seminaive_fixpoint(db, phase1_rules, context=ctx)
-            )
+        for component in phase1_schedule:
+            if component.recursive:
+                stats.saturation.merge(
+                    seminaive_fixpoint(db, component.rules, context=ctx)
+                )
+            else:
+                stats.saturation.merge(
+                    single_pass(db, component.rules, context=ctx)
+                )
         changed = False
         for rule in mp.deferred_rules:
             for fact in _apply_deferred(rule, db, context=ctx):

@@ -76,14 +76,35 @@ STORAGE_EVENTS = (
     "on_snapshot_load",
 )
 
+#: SCC-scheduler observation points (:mod:`repro.engine.evaluator`).
+#: Dispatched tolerantly like storage events, so hook implementations
+#: written before SCC condensation keep working:
+#:
+#: * ``on_scc_start(layer=..., preds=..., recursive=...)`` — one
+#:   component of the stratum's condensation is about to run; ``layer``
+#:   is None outside layered evaluation (magic saturation);
+#: * ``on_scc_end(layer=..., preds=..., new_facts=..., seconds=...)`` —
+#:   the component reached its (single-pass or fixpoint) end.
+SCC_EVENTS = (
+    "on_scc_start",
+    "on_scc_end",
+)
 
-def emit_storage_event(hooks, name: str, **payload) -> None:
-    """Dispatch a storage event to ``hooks`` if it implements ``name``."""
+#: Events dispatched via :func:`emit_event` (tolerant getattr dispatch).
+OPTIONAL_EVENTS = STORAGE_EVENTS + SCC_EVENTS
+
+
+def emit_event(hooks, name: str, **payload) -> None:
+    """Dispatch an optional event to ``hooks`` if it implements ``name``."""
     if hooks is None:
         return
     method = getattr(hooks, name, None)
     if method is not None:
         method(**payload)
+
+
+#: Back-compat alias — the storage layer predates the generic dispatcher.
+emit_storage_event = emit_event
 
 
 class NullHooks:
@@ -119,6 +140,12 @@ class NullHooks:
         pass
 
     def on_snapshot_load(self, path, facts, restored) -> None:
+        pass
+
+    def on_scc_start(self, layer, preds, recursive) -> None:
+        pass
+
+    def on_scc_end(self, layer, preds, new_facts, seconds) -> None:
         pass
 
 
@@ -159,12 +186,12 @@ class CompositeHooks:
             hook.on_fact_derived(fact, rule)
 
     def __getattr__(self, name: str):
-        # storage events fan out too, tolerating member hooks that
-        # predate them (see STORAGE_EVENTS).
-        if name in STORAGE_EVENTS:
+        # storage and SCC events fan out too, tolerating member hooks
+        # that predate them (see OPTIONAL_EVENTS).
+        if name in OPTIONAL_EVENTS:
             def dispatch(**payload) -> None:
                 for hook in self.hooks:
-                    emit_storage_event(hook, name, **payload)
+                    emit_event(hook, name, **payload)
 
             return dispatch
         raise AttributeError(name)
@@ -284,6 +311,29 @@ class TraceRecorder:
             )
         )
 
+    # -- SCC scheduler events (see SCC_EVENTS) ------------------------------
+
+    def on_scc_start(self, layer, preds, recursive) -> None:
+        self.events.append(
+            TraceEvent(
+                "scc_start",
+                {"layer": layer, "preds": preds, "recursive": recursive},
+            )
+        )
+
+    def on_scc_end(self, layer, preds, new_facts, seconds) -> None:
+        self.events.append(
+            TraceEvent(
+                "scc_end",
+                {
+                    "layer": layer,
+                    "preds": preds,
+                    "new_facts": new_facts,
+                    "seconds": seconds,
+                },
+            )
+        )
+
     # -- aggregation -------------------------------------------------------
 
     def count(self, kind: str) -> int:
@@ -348,6 +398,7 @@ class MetricsCollector:
     phases: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     layers: list[tuple[int, float]] = field(default_factory=list)
+    sccs: list[dict] = field(default_factory=list)
 
     def add_time(self, phase: str, seconds: float) -> None:
         self.phases[phase] = self.phases.get(phase, 0.0) + seconds
@@ -357,6 +408,19 @@ class MetricsCollector:
 
     def add_layer_time(self, layer: int, seconds: float) -> None:
         self.layers.append((layer, seconds))
+
+    def add_scc_time(
+        self, layer: int | None, preds, recursive: bool, seconds: float
+    ) -> None:
+        """One SCC finished: record its predicates, kind, and wall time."""
+        self.sccs.append(
+            {
+                "layer": layer,
+                "preds": sorted(preds),
+                "recursive": recursive,
+                "seconds": seconds,
+            }
+        )
 
     def record_storage(
         self, bytes_written: int = 0, fsyncs: int = 0, replayed: int = 0
@@ -382,6 +446,7 @@ class MetricsCollector:
                 {"layer": layer, "seconds": seconds}
                 for layer, seconds in self.layers
             ],
+            "sccs": [dict(entry) for entry in self.sccs],
         }
 
     def format(self) -> str:

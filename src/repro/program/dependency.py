@@ -89,3 +89,73 @@ def depends_on(program: Program, pred: str) -> frozenset[str]:
     if pred not in graph:
         return frozenset()
     return frozenset(nx.descendants(graph, pred))
+
+
+class SCCComponent(NamedTuple):
+    """One strongly connected component of the dependency graph.
+
+    ``recursive`` is True when the component's rules can feed
+    themselves — more than one predicate, or a self-loop.  ``rules``
+    holds the program's non-fact rules whose head lies in ``preds``
+    (empty for pure EDB components).
+    """
+
+    preds: frozenset[str]
+    recursive: bool
+    rules: tuple[Rule, ...]
+
+
+def condense_program(
+    program: Program, graph: nx.DiGraph | None = None
+) -> list[SCCComponent]:
+    """SCCs of the dependency graph in bottom-up evaluation order.
+
+    The returned list is topologically ordered so that every predicate a
+    component depends on lives in an *earlier* component (dependency
+    edges run head → body, so the condensation's topological order is
+    reversed).  Theorem 2 licenses the move: the minimal model does not
+    depend on the layering, so each SCC may be evaluated as its own —
+    much smaller — fixpoint, and non-recursive SCCs need only a single
+    rule application each.
+    """
+    if graph is None:
+        graph = dependency_graph(program)
+    rules_by_head: dict[str, list[Rule]] = {}
+    for rule in program.rules:
+        if not rule.is_fact():
+            rules_by_head.setdefault(rule.head.pred, []).append(rule)
+    condensation = nx.condensation(graph)
+    components: list[SCCComponent] = []
+    for node in reversed(list(nx.topological_sort(condensation))):
+        members = frozenset(condensation.nodes[node]["members"])
+        recursive = len(members) > 1 or any(
+            graph.has_edge(p, p) for p in members
+        )
+        rules = tuple(
+            r
+            for pred in sorted(members)
+            for r in rules_by_head.get(pred, ())
+        )
+        components.append(SCCComponent(members, recursive, rules))
+    return components
+
+
+def scc_schedule(
+    program: Program, layering
+) -> list[list[SCCComponent]]:
+    """Per-layer evaluation schedule: SCCs in dependency order.
+
+    An SCC never spans layers (mutually dependent predicates satisfy
+    ``p >= q`` and ``q >= p``, forcing equal layer indexes under any
+    valid layering), so each component of :func:`condense_program` is
+    assigned to the layer of its predicates; within a layer the
+    components keep their topological order.  Components without rules
+    (EDB-only predicates) are dropped — there is nothing to run.
+    """
+    schedule: list[list[SCCComponent]] = [[] for _ in range(len(layering))]
+    for component in condense_program(program):
+        if not component.rules:
+            continue
+        layer = layering.index(next(iter(component.preds)))
+        schedule[layer].append(component)
+    return schedule

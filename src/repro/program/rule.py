@@ -28,18 +28,24 @@ class Atom:
     serve directly as U-facts.
     """
 
-    __slots__ = ("pred", "args")
+    __slots__ = ("pred", "args", "_hash", "_ground")
 
     def __init__(self, pred: str, args: Iterable[Term] = ()) -> None:
         self.pred = pred
         self.args = tuple(args)
+        self._hash = None
+        self._ground = None
 
     @property
     def arity(self) -> int:
         return len(self.args)
 
     def is_ground(self) -> bool:
-        return all(a.is_ground() for a in self.args)
+        g = self._ground
+        if g is None:
+            g = all(a.is_ground() for a in self.args)
+            self._ground = g
+        return g
 
     def variables(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
@@ -48,7 +54,7 @@ class Atom:
         return out
 
     def substitute(self, binding: Mapping[str, Term]) -> "Atom":
-        return Atom(self.pred, (a.substitute(binding) for a in self.args))
+        return Atom(self.pred, [a.substitute(binding) for a in self.args])
 
     def has_group_term(self) -> bool:
         """True when ``<...>`` occurs anywhere among the arguments."""
@@ -67,6 +73,8 @@ class Atom:
         return (self.pred, len(self.args), tuple(a.sort_key() for a in self.args))
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Atom)
             and self.pred == other.pred
@@ -74,7 +82,14 @@ class Atom:
         )
 
     def __hash__(self) -> int:
-        return hash((Atom, self.pred, self.args))
+        h = self._hash
+        if h is None:
+            h = hash((Atom, self.pred, self.args))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (Atom, (self.pred, self.args))
 
     def __repr__(self) -> str:
         return f"Atom({format_atom(self)})"

@@ -27,7 +27,7 @@ import json
 
 from repro.errors import StorageError
 from repro.program.rule import Atom
-from repro.terms.term import Const, Func, SetVal, Term
+from repro.terms.term import Const, Func, SetVal, Term, intern_term
 
 #: Bump when the tag alphabet or layout changes; decoders refuse newer.
 CODEC_VERSION = 1
@@ -47,30 +47,35 @@ def encode_term(term: Term) -> list:
 
 
 def decode_term(obj) -> Term:
-    """Decode one tagged tree back to a term; inverse of :func:`encode_term`."""
+    """Decode one tagged tree back to a term; inverse of :func:`encode_term`.
+
+    Decoded terms are re-interned bottom-up, so facts arriving from the
+    WAL, a snapshot, or the server protocol share subterm objects with
+    the rest of the process and hit the evaluator's identity fast paths.
+    """
     if not isinstance(obj, list) or not obj:
         raise StorageError(f"malformed term encoding: {obj!r}")
     tag = obj[0]
     if tag == "s" and len(obj) == 2 and isinstance(obj[1], str):
-        return Const(obj[1])
+        return intern_term(Const(obj[1]))
     if tag == "q" and len(obj) == 2 and isinstance(obj[1], str):
-        return Const(obj[1], quoted=True)
+        return intern_term(Const(obj[1], quoted=True))
     if (
         tag == "n"
         and len(obj) == 2
         and isinstance(obj[1], (int, float))
         and not isinstance(obj[1], bool)
     ):
-        return Const(obj[1])
+        return intern_term(Const(obj[1]))
     if tag == "S" and len(obj) == 2 and isinstance(obj[1], list):
-        return SetVal(decode_term(e) for e in obj[1])
+        return intern_term(SetVal(decode_term(e) for e in obj[1]))
     if (
         tag == "f"
         and len(obj) == 3
         and isinstance(obj[1], str)
         and isinstance(obj[2], list)
     ):
-        return Func(obj[1], (decode_term(a) for a in obj[2]))
+        return intern_term(Func(obj[1], (decode_term(a) for a in obj[2])))
     raise StorageError(f"malformed term encoding: {obj!r}")
 
 

@@ -18,6 +18,26 @@ universe *U*; :func:`evaluate_ground` folds the built-in constructor
 ``scons`` and ground set patterns into canonical :class:`SetVal` values,
 raising :class:`~repro.errors.NotInUniverseError` when the result would
 fall outside *U* (e.g. ``scons`` onto a non-set).
+
+Two hot-path mechanisms live here:
+
+* **cached hashes** — every term carries a ``_hash`` slot filled on the
+  first ``hash()`` call; equality short-circuits on identity and on
+  differing cached hashes before falling back to structural comparison.
+  Cached hashes never survive pickling (``hash(str)`` is randomized per
+  process), so every class reduces to its constructor arguments;
+* **interning** — :func:`intern_term` maps structurally equal ground
+  terms to one canonical representative.  :func:`evaluate_ground` and
+  the storage codec intern every term they produce, so facts flowing
+  through the evaluator, the durable store, and the server protocol
+  share subterm objects and equality in join probes usually hits the
+  ``is`` fast path.  A per-term ``_interned`` flag marks canonical
+  representatives so re-evaluating an already-canonical term is a
+  single attribute load.  The table uses ``dict.setdefault``: under
+  concurrent decodes (server executor threads) two equal representatives
+  can transiently escape, which is benign — identity is only ever a fast
+  path over structural equality.  :func:`clear_intern_table` releases
+  the table (e.g. between long-lived server workloads).
 """
 
 from __future__ import annotations
@@ -65,11 +85,13 @@ class Term:
 class Var(Term):
     """A logical variable, identified by name."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash", "_interned")
     _kind_rank = 0
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self._hash = None
+        self._interned = False
 
     def is_ground(self) -> bool:
         return False
@@ -84,10 +106,19 @@ class Var(Term):
         return (self._kind_rank, self.name)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Var) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash((Var, self.name))
+        h = self._hash
+        if h is None:
+            h = hash((Var, self.name))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
@@ -101,7 +132,7 @@ class Const(Term):
     affects printing.
     """
 
-    __slots__ = ("value", "quoted")
+    __slots__ = ("value", "quoted", "_hash", "_interned")
     _kind_rank = 1
 
     def __init__(self, value, quoted: bool = False) -> None:
@@ -109,6 +140,8 @@ class Const(Term):
             raise TypeError(f"unsupported constant payload: {value!r}")
         self.value = value
         self.quoted = quoted and isinstance(value, str)
+        self._hash = None
+        self._interned = False
 
     def is_ground(self) -> bool:
         return True
@@ -125,6 +158,8 @@ class Const(Term):
         return (self._kind_rank, 0, float(self.value), str(self.value))
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Const)
             and self.value == other.value
@@ -132,7 +167,14 @@ class Const(Term):
         )
 
     def __hash__(self) -> int:
-        return hash((Const, type(self.value).__name__, self.value))
+        h = self._hash
+        if h is None:
+            h = hash((Const, type(self.value).__name__, self.value))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (Const, (self.value, self.quoted))
 
     def __repr__(self) -> str:
         return f"Const({self.value!r})"
@@ -141,19 +183,26 @@ class Const(Term):
 class Func(Term):
     """A compound term ``functor(args...)`` with a fixed arity."""
 
-    __slots__ = ("functor", "args")
+    __slots__ = ("functor", "args", "_hash", "_interned", "_ground")
     _kind_rank = 2
 
     def __init__(self, functor: str, args: Iterable[Term]) -> None:
         self.functor = functor
         self.args = tuple(args)
+        self._hash = None
+        self._interned = False
+        self._ground = None
         if not self.args:
             raise ValueError(
                 f"zero-arity Func {functor!r}; use Const for plain symbols"
             )
 
     def is_ground(self) -> bool:
-        return all(a.is_ground() for a in self.args)
+        g = self._ground
+        if g is None:
+            g = all(a.is_ground() for a in self.args)
+            self._ground = g
+        return g
 
     def variables(self) -> frozenset[str]:
         out: frozenset[str] = frozenset()
@@ -162,7 +211,7 @@ class Func(Term):
         return out
 
     def substitute(self, binding: Mapping[str, Term]) -> Term:
-        return Func(self.functor, (a.substitute(binding) for a in self.args))
+        return Func(self.functor, [a.substitute(binding) for a in self.args])
 
     def walk(self) -> Iterator[Term]:
         yield self
@@ -178,14 +227,24 @@ class Func(Term):
         )
 
     def __eq__(self, other: object) -> bool:
-        return (
-            isinstance(other, Func)
-            and self.functor == other.functor
-            and self.args == other.args
-        )
+        if self is other:
+            return True
+        if not isinstance(other, Func):
+            return False
+        h1, h2 = self._hash, other._hash
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
+        return self.functor == other.functor and self.args == other.args
 
     def __hash__(self) -> int:
-        return hash((Func, self.functor, self.args))
+        h = self._hash
+        if h is None:
+            h = hash((Func, self.functor, self.args))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (Func, (self.functor, self.args))
 
     def __repr__(self) -> str:
         return f"Func({self.functor!r}, {list(self.args)!r})"
@@ -194,7 +253,7 @@ class Func(Term):
 class SetVal(Term):
     """A ground finite set — an element of F(U) in the LDL1 universe."""
 
-    __slots__ = ("elements",)
+    __slots__ = ("elements", "_hash", "_interned")
     _kind_rank = 3
 
     def __init__(self, elements: Iterable[Term] = ()) -> None:
@@ -205,6 +264,22 @@ class SetVal(Term):
             if not e.is_ground():
                 raise ValueError(f"SetVal element must be ground: {e!r}")
         self.elements = elems
+        self._hash = None
+        self._interned = False
+
+    @classmethod
+    def from_ground(cls, elements: Iterable[Term]) -> "SetVal":
+        """Build from elements already known to be ground U-elements.
+
+        Skips the per-element validation walk; only for callers whose
+        inputs come out of :func:`evaluate_ground` or an existing
+        :class:`SetVal` — set algebra in the builtins, for instance.
+        """
+        self = cls.__new__(cls)
+        self.elements = frozenset(elements)
+        self._hash = None
+        self._interned = False
+        return self
 
     def is_ground(self) -> bool:
         return True
@@ -237,10 +312,24 @@ class SetVal(Term):
         return iter(sorted(self.elements, key=lambda t: t.sort_key()))
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, SetVal) and self.elements == other.elements
+        if self is other:
+            return True
+        if not isinstance(other, SetVal):
+            return False
+        h1, h2 = self._hash, other._hash
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
+        return self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash((SetVal, self.elements))
+        h = self._hash
+        if h is None:
+            h = hash((SetVal, self.elements))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (SetVal, (tuple(self.elements),))
 
     def __repr__(self) -> str:
         return f"SetVal({sorted(self.elements, key=lambda t: t.sort_key())!r})"
@@ -256,12 +345,14 @@ class SetPattern(Term):
     ``scons(t1, scons(..., rest))``.
     """
 
-    __slots__ = ("items", "rest")
+    __slots__ = ("items", "rest", "_hash", "_interned")
     _kind_rank = 4
 
     def __init__(self, items: Iterable[Term], rest: Term | None = None) -> None:
         self.items = tuple(items)
         self.rest = rest
+        self._hash = None
+        self._interned = False
         if rest is not None and not isinstance(rest, (Var, SetVal, SetPattern, Func)):
             raise TypeError(f"set-pattern rest must be a variable or set: {rest!r}")
 
@@ -307,6 +398,8 @@ class SetPattern(Term):
         )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, SetPattern)
             and self.items == other.items
@@ -314,7 +407,14 @@ class SetPattern(Term):
         )
 
     def __hash__(self) -> int:
-        return hash((SetPattern, self.items, self.rest))
+        h = self._hash
+        if h is None:
+            h = hash((SetPattern, self.items, self.rest))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (SetPattern, (self.items, self.rest))
 
     def __repr__(self) -> str:
         return f"SetPattern({list(self.items)!r}, rest={self.rest!r})"
@@ -329,11 +429,13 @@ class GroupTerm(Term):
     by :mod:`repro.transform`.
     """
 
-    __slots__ = ("inner",)
+    __slots__ = ("inner", "_hash", "_interned")
     _kind_rank = 5
 
     def __init__(self, inner: Term) -> None:
         self.inner = inner
+        self._hash = None
+        self._interned = False
 
     def is_ground(self) -> bool:
         return False
@@ -352,22 +454,107 @@ class GroupTerm(Term):
         return (self._kind_rank, self.inner.sort_key())
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, GroupTerm) and self.inner == other.inner
 
     def __hash__(self) -> int:
-        return hash((GroupTerm, self.inner))
+        h = self._hash
+        if h is None:
+            h = hash((GroupTerm, self.inner))
+            self._hash = h
+        return h
+
+    def __reduce__(self):
+        return (GroupTerm, (self.inner,))
 
     def __repr__(self) -> str:
         return f"GroupTerm({self.inner!r})"
 
 
+#: Canonical representatives of ground terms, keyed structurally.  The
+#: table grows with the set of distinct ground terms seen by a process;
+#: long-lived servers can release it with :func:`clear_intern_table`.
+_INTERN_TABLE: dict = {}
+
+
+def _intern_key(term: Term):
+    """Table key for ``term``.
+
+    ``Const.__eq__`` deliberately ignores ``quoted`` (it only affects
+    printing), but interning must not collapse the distinction: the
+    storage codec tags quoted strings differently, and canonical
+    snapshot bytes would otherwise depend on which variant a process
+    happened to intern first.
+    """
+    if isinstance(term, Const):
+        return (Const, term.value.__class__, term.value, term.quoted)
+    return term
+
+
+def intern_term(term: Term) -> Term:
+    """Return the canonical representative of a ground term.
+
+    Structurally equal terms interned by the same process map to one
+    object, so equality between interned terms usually succeeds on the
+    ``is`` fast path and their cached hashes are computed once.  A term
+    that already is the canonical representative carries
+    ``_interned=True`` and returns immediately without touching the
+    table.  The lookup uses ``dict.setdefault``; concurrent callers
+    (server executor threads) may transiently both insert, which is
+    benign — identity is a fast path over structural equality, never a
+    substitute for it.
+    """
+    if term._interned:
+        return term
+    key = _intern_key(term)
+    interned = _INTERN_TABLE.get(key)
+    if interned is not None:
+        return interned
+    winner = _INTERN_TABLE.setdefault(key, term)
+    winner._interned = True
+    return winner
+
+
+def intern_const(value, quoted: bool = False) -> Const:
+    """Canonical :class:`Const` for ``value`` without allocating first.
+
+    Equivalent to ``intern_term(Const(value, quoted))`` but probes the
+    table directly, so the hot arithmetic/comparison paths skip the
+    throwaway allocation whenever the constant has been seen before.
+    """
+    key = (Const, value.__class__, value, quoted)
+    interned = _INTERN_TABLE.get(key)
+    if interned is not None:
+        return interned
+    term = Const(value, quoted)
+    winner = _INTERN_TABLE.setdefault(key, term)
+    winner._interned = True
+    return winner
+
+
+def intern_table_size() -> int:
+    """Number of canonical representatives currently held."""
+    return len(_INTERN_TABLE)
+
+
+def clear_intern_table() -> None:
+    """Release every interned representative (the shared constants below
+    are re-seeded).  Existing terms stay valid and keep their
+    ``_interned`` flag — they remain canonical for themselves; only
+    identity sharing with terms interned later is lost."""
+    _INTERN_TABLE.clear()
+    for term in (EMPTY_SET, BOTTOM):
+        _INTERN_TABLE.setdefault(_intern_key(term), term)
+
+
 #: The empty set constant ``{}`` — interpreted as the empty SetVal.
-EMPTY_SET = SetVal()
+EMPTY_SET = intern_term(SetVal())
 
 #: The reserved bottom constant of Section 3.3, "whose usage is
 #: prohibited in programs" and which the negation-to-grouping
 #: transformation injects.
-BOTTOM = Const("$bottom")
+BOTTOM = intern_term(Const("$bottom"))
 
 
 def mkset(elements: Iterable[Term]) -> SetVal:
@@ -380,8 +567,12 @@ def const(value) -> Const:
     return Const(value)
 
 
-def _evaluate_arithmetic(functor: str, args: tuple[Term, ...]) -> Term:
-    """Fold an arithmetic functor applied to numeric constants."""
+def _evaluate_arithmetic(functor: str, args: tuple[Term, ...]):
+    """Fold an arithmetic functor applied to numeric constants.
+
+    Returns the raw Python number; the caller interns it via
+    :func:`intern_const` without an intermediate ``Const`` allocation.
+    """
     values = []
     for a in args:
         if not isinstance(a, Const) or not isinstance(a.value, (int, float)):
@@ -389,6 +580,16 @@ def _evaluate_arithmetic(functor: str, args: tuple[Term, ...]) -> Term:
                 f"arithmetic on non-number: {functor}({args!r})"
             )
         values.append(a.value)
+    return fold_arithmetic_values(functor, values)
+
+
+def fold_arithmetic_values(functor: str, values: list):
+    """Apply an arithmetic functor to raw Python numbers.
+
+    Shared by ground-term evaluation and the plan runner's precompiled
+    arithmetic arguments.  Raises :class:`EvaluationError` on division
+    or mod by zero and on unknown functors.
+    """
     if functor == "+":
         result = values[0] + values[1]
     elif functor == "-":
@@ -413,7 +614,7 @@ def _evaluate_arithmetic(functor: str, args: tuple[Term, ...]) -> Term:
         result = abs(values[0])
     else:  # pragma: no cover - guarded by caller
         raise EvaluationError(f"unknown arithmetic functor {functor!r}")
-    return Const(result)
+    return result
 
 
 def evaluate_ground(term: Term) -> Term:
@@ -428,12 +629,17 @@ def evaluate_ground(term: Term) -> Term:
     * arithmetic functors over numbers are folded to constants,
     * every other functor maps to "itself" (free interpretation).
 
+    Every result is interned (:func:`intern_term`), so repeated
+    evaluation of equal ground terms yields the identical object, and
+    an already-canonical input returns itself after one flag check.
     Raises :class:`EvaluationError` on non-ground input.
     """
+    if term._interned:
+        return term
     if isinstance(term, (Const, Var, SetVal)):
         if isinstance(term, Var):
             raise EvaluationError(f"cannot evaluate non-ground term {term!r}")
-        return term
+        return intern_term(term)
     if isinstance(term, GroupTerm):
         raise EvaluationError(f"grouping term {term!r} is not a U-element")
     if isinstance(term, SetPattern):
@@ -445,7 +651,7 @@ def evaluate_ground(term: Term) -> Term:
                     f"set-pattern rest evaluated to a non-set: {rest!r}"
                 )
             elements.extend(rest.elements)
-        return SetVal(elements)
+        return intern_term(SetVal.from_ground(elements))
     if isinstance(term, Func):
         args = tuple(evaluate_ground(a) for a in term.args)
         if term.functor == SCONS:
@@ -456,10 +662,10 @@ def evaluate_ground(term: Term) -> Term:
                 raise NotInUniverseError(
                     f"scons onto a non-set is outside U: scons(_, {tail!r})"
                 )
-            return SetVal({element} | tail.elements)
+            return intern_term(SetVal.from_ground({element} | tail.elements))
         if term.functor in ARITHMETIC_FUNCTORS:
-            return _evaluate_arithmetic(term.functor, args)
-        return Func(term.functor, args)
+            return intern_const(_evaluate_arithmetic(term.functor, args))
+        return intern_term(Func(term.functor, args))
     raise EvaluationError(f"unknown term kind: {term!r}")
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from hypothesis import strategies as st
 
 from repro.terms.term import Const, Func, SetVal, Var
+from repro.workloads.generator import GeneratorConfig, random_program
 
 #: Symbols drawn from a small pool so collisions (and therefore
 #: interesting set overlaps) are common.
@@ -74,3 +75,16 @@ def _extend_python(children: st.SearchStrategy) -> st.SearchStrategy:
 #: Arbitrary Python values convertible by :func:`repro.api.to_term`:
 #: scalars, non-empty tuples, and frozensets, nested freely.
 python_values = st.recursive(python_scalars, _extend_python, max_leaves=10)
+
+#: Random admissible programs (with their base facts), negation and
+#: grouping turned up so stratified features are exercised often.
+#: Backed by the seeded workload generator, so shrinking reduces to
+#: smaller seeds rather than structurally smaller programs — acceptable
+#: for differential tests whose failures are rerun by seed.
+generated_programs = st.builds(
+    lambda seed: random_program(
+        seed,
+        GeneratorConfig(negation_probability=0.4, grouping_probability=0.35),
+    ),
+    st.integers(min_value=0, max_value=100_000),
+)

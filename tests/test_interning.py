@@ -1,0 +1,96 @@
+"""Invariants of the ground-term intern table.
+
+Interning is an identity fast path layered over structural equality:
+every canonicalization entry point (ground evaluation, the storage
+codec, and therefore the wire protocol, which reuses the codec) must
+hand back the one canonical representative, and nothing about a term's
+cached state may leak through serialization boundaries.
+"""
+
+import pickle
+
+from repro.storage.codec import decode_atom, decode_term, encode_atom, encode_term
+from repro.terms.term import (
+    Const,
+    Func,
+    SetPattern,
+    SetVal,
+    evaluate_ground,
+    intern_const,
+    intern_term,
+)
+
+
+def test_evaluate_ground_returns_interned_representative():
+    first = evaluate_ground(Func("f", (Const(1), Const("a"))))
+    second = evaluate_ground(Func("f", (Const(1), Const("a"))))
+    assert first is second
+    assert first._interned
+
+
+def test_evaluate_ground_is_identity_on_canonical_terms():
+    term = evaluate_ground(SetPattern((Const(1), Const(2))))
+    assert isinstance(term, SetVal)
+    assert evaluate_ground(term) is term
+
+
+def test_arithmetic_folds_to_interned_constant():
+    folded = evaluate_ground(Func("+", (Const(2), Const(3))))
+    assert folded is intern_const(5)
+    assert folded is evaluate_ground(Func("+", (Const(4), Const(1))))
+
+
+def test_codec_decode_reinterns():
+    original = evaluate_ground(Func("g", (Const("x"), SetVal((Const(1),)))))
+    decoded = decode_term(encode_term(original))
+    assert decoded is original
+
+
+def test_codec_decode_reinterns_atom_args():
+    from repro.program.rule import Atom, canonical_atom
+
+    atom = canonical_atom(Atom("p", (Const(1), SetVal((Const("a"),)))))
+    decoded = decode_atom(encode_atom(atom))
+    assert decoded == atom
+    for arg, original in zip(decoded.args, atom.args):
+        assert arg is original
+
+
+def test_hash_survives_pickle_round_trip():
+    original = evaluate_ground(Func("f", (Const(1), SetVal((Const(2),)))))
+    hash(original)  # populate the cache
+    clone = pickle.loads(pickle.dumps(original))
+    assert clone == original
+    assert hash(clone) == hash(original)
+    # cached state must not travel: the clone is a fresh object that
+    # re-interns to the canonical representative rather than claiming
+    # to already be one.
+    assert clone is not original
+    assert not clone._interned
+    assert intern_term(clone) is original
+
+
+def test_hash_survives_codec_round_trip():
+    original = evaluate_ground(SetPattern((Const(1), Const("a"))))
+    hash(original)
+    decoded = decode_term(encode_term(original))
+    assert hash(decoded) == hash(original)
+
+
+def test_interning_preserves_quoted_const_distinction():
+    plain = intern_term(Const("sym"))
+    quoted = intern_term(Const("sym", quoted=True))
+    # Const.__eq__ ignores quoting (it only affects printing), but the
+    # codec tags the variants differently, so interning must keep them
+    # as separate representatives.
+    assert plain == quoted
+    assert plain is not quoted
+    assert intern_term(Const("sym")) is plain
+    assert intern_term(Const("sym", quoted=True)) is quoted
+
+
+def test_intern_const_matches_intern_term():
+    assert intern_const(7) is intern_term(Const(7))
+    assert intern_const("a", quoted=True) is intern_term(
+        Const("a", quoted=True)
+    )

@@ -99,7 +99,7 @@ class TestMetricsCollector:
         metrics = MetricsCollector()
         run(ANC, metrics=metrics)
         report = metrics.report()
-        assert set(report) == {"phases", "counters", "layers"}
+        assert set(report) == {"phases", "counters", "layers", "sccs"}
         assert all({"layer", "seconds"} == set(row) for row in report["layers"])
 
     def test_result_carries_collector(self):

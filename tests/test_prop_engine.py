@@ -9,7 +9,7 @@ from repro.parser import parse_rules
 from repro.program.rule import Atom
 from repro.terms.term import Const, SetVal, Var
 
-from tests.strategies import ground_sets
+from tests.strategies import generated_programs, ground_sets
 
 TC_RULES = """
 t(X, Y) <- e(X, Y).
@@ -35,6 +35,20 @@ def test_naive_equals_seminaive_on_random_graphs(pairs):
     naive = evaluate(program, edb=edb, strategy="naive")
     semi = evaluate(program, edb=edb, strategy="seminaive")
     assert naive.database == semi.database
+
+
+@given(generated_programs)
+@settings(max_examples=25, deadline=None)
+def test_scc_schedule_equals_layer_schedule(generated):
+    """SCC-condensed scheduling is an optimization, not a semantics.
+
+    On random admissible programs — negation and grouping included —
+    evaluating each stratum SCC-by-SCC (non-recursive components in a
+    single pass) must produce exactly the model of the layer-at-a-time
+    fixpoint (Theorem 2 licenses the per-component order)."""
+    scc = evaluate(generated.program, edb=generated.edb, scheduler="scc")
+    layer = evaluate(generated.program, edb=generated.edb, scheduler="layer")
+    assert scc.database == layer.database
 
 
 @given(edges)
