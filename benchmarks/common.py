@@ -852,3 +852,44 @@ def e19_server() -> list[dict]:
 
 EXPERIMENTS["E19"] = e19_server
 EXPERIMENT_TITLES["E19"] = "server throughput: concurrent clients, read-only vs mixed"
+
+
+# -- E21: executor ablation — set-at-a-time batch vs tuple-at-a-time ----------
+
+def e20_executor() -> list[dict]:
+    cases = []
+    anc = parse_rules(ANCESTOR_RULES)
+    for n in (200, 400):
+        edb = chain_family(n)
+        workload = f"anc chain n={n}"
+        for executor in ("tuple", "batch"):
+            cases.append(
+                case(
+                    workload,
+                    f"{executor}-executor",
+                    lambda p=anc, f=edb, ex=executor: evaluate(
+                        p, edb=f, executor=ex
+                    ),
+                    lambda r: r.total_facts,
+                )
+            )
+    # same-generation stresses the probe path: wide deltas joined twice
+    # per round against the parent relation.
+    sg = parse_rules(SG_RULES)
+    edb = generation_family(8, 14)
+    for executor in ("tuple", "batch"):
+        cases.append(
+            case(
+                "sg 8x14",
+                f"{executor}-executor",
+                lambda p=sg, f=edb, ex=executor: evaluate(
+                    p, edb=f, executor=ex
+                ),
+                lambda r: r.total_facts,
+            )
+        )
+    return cases
+
+
+EXPERIMENTS["E21"] = e20_executor
+EXPERIMENT_TITLES["E21"] = "executor ablation: set-at-a-time batch vs tuple-at-a-time"

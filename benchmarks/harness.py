@@ -12,13 +12,16 @@ Run:  python benchmarks/harness.py                 # all experiments
       python benchmarks/harness.py E2 E4           # a subset
       python benchmarks/harness.py --json out.json # machine-readable
       python benchmarks/harness.py --quick E1 E6 --out benchmarks/BENCH_PR4.json
-      python benchmarks/harness.py --quick E1 E6 --check benchmarks/BENCH_PR4.json
+      python benchmarks/harness.py --quick E1 E6 --check benchmarks/BENCH_PR5.json
+      python benchmarks/harness.py --executor tuple E1   # force an executor
 
 ``--out`` writes the regression-tracking payload (per-case wall time
 plus fixpoint counters); ``--check`` compares a fresh run against such
 a file and exits non-zero when any case regresses more than 25% after
 normalizing by the median ratio (cancelling machine-speed differences
-between the committing machine and CI).
+between the committing machine and CI).  Both flags trigger a second
+full sampling pass and keep the per-case minimum of the two, so a
+machine-speed phase during one window cannot skew a single case.
 """
 
 from __future__ import annotations
@@ -38,10 +41,23 @@ REGRESSION_TOLERANCE = 1.25
 REGRESSION_NOISE_FLOOR = 0.005
 
 
+#: Adaptive sampling: after the requested repeats, keep re-running a
+#: case until this much wall time has been spent measuring it (or the
+#: cap below is hit).  Short cases are the ones scheduler jitter hurts
+#: most — a 30ms case needs ~10 samples before its minimum is
+#: trustworthy, while a 2s case is already stable at 2–3.
+MEASUREMENT_BUDGET = 0.4
+MAX_REPEATS = 12
+
+
 def time_case(case: dict, repeats: int = 3) -> tuple[float, int, dict | None]:
     """Best-of-N wall time, facts metric, and phase timings of one case.
 
-    Cases whose run returns an object carrying a
+    ``repeats`` is a floor: sampling continues past it until
+    :data:`MEASUREMENT_BUDGET` seconds have been spent on the case (or
+    :data:`MAX_REPEATS` runs), so short cases collect enough samples
+    for their minimum to survive scheduler jitter.  Cases whose run
+    returns an object carrying a
     :class:`repro.observe.MetricsCollector` (``result.metrics``) also
     report per-phase (plan/match/grouping) and per-layer attribution,
     taken from the last repeat.
@@ -49,10 +65,16 @@ def time_case(case: dict, repeats: int = 3) -> tuple[float, int, dict | None]:
     best = float("inf")
     metric = 0
     metrics_report = None
-    for _ in range(repeats):
+    spent = 0.0
+    runs = 0
+    while runs < repeats or (
+        spent < MEASUREMENT_BUDGET and runs < MAX_REPEATS
+    ):
         start = time.perf_counter()
         result = case["run"]()
         elapsed = time.perf_counter() - start
+        spent += elapsed
+        runs += 1
         best = min(best, elapsed)
         metric = case["metric"](result)
         collector = getattr(result, "metrics", None)
@@ -102,9 +124,18 @@ def _format_phases(report: dict) -> str:
             + "]"
         )
     counters = report.get("counters", {})
-    for name in ("plans_built", "plan_cache_hits"):
+    for name in (
+        "plans_built",
+        "plan_cache_hits",
+        "batch_steps",
+        "batch_bindings",
+        "batch_peak",
+    ):
         if name in counters:
             parts.append(f"{name}={counters[name]}")
+    join_orders = report.get("join_orders", [])
+    if join_orders:
+        parts.append(f"join_orders={len(join_orders)}")
     return " ".join(parts)
 
 
@@ -231,6 +262,13 @@ def main(argv: list[str]) -> None:
     argv, json_path = _take_flag_with_value(argv, "--json")
     argv, out_path = _take_flag_with_value(argv, "--out")
     argv, check_path = _take_flag_with_value(argv, "--check")
+    argv, executor = _take_flag_with_value(argv, "--executor")
+    if executor is not None:
+        # process-wide: every experiment below runs under this executor
+        # (cases that pass an explicit executor=, like E21's, keep it).
+        from repro.engine.exec import set_default_executor
+
+        set_default_executor(executor)
     repeats = 3
     if "--quick" in argv:
         argv = [a for a in argv if a != "--quick"]
@@ -244,6 +282,17 @@ def main(argv: list[str]) -> None:
         if name not in EXPERIMENTS:
             raise SystemExit(f"unknown experiment {name!r}; have {list(EXPERIMENTS)}")
         results[name] = print_experiment(name, repeats=repeats)
+    if out_path or check_path:
+        # Regression tracking compares minima, and machine speed drifts
+        # on minute timescales (frequency scaling, noisy neighbours), so
+        # a single sampling window per case can catch one case in a fast
+        # phase and another in a slow one.  A second full pass minutes
+        # after the first samples a different phase; the per-case min of
+        # both passes is what gets written and checked.
+        print("\nsecond sampling pass (machine-speed jitter control)...")
+        for name in names:
+            for row, again in zip(results[name], run_experiment(name, repeats=repeats)):
+                row["seconds"] = min(row["seconds"], again["seconds"])
     if json_path:
         payload = {
             name: {"title": EXPERIMENT_TITLES[name], "rows": rows}

@@ -352,7 +352,13 @@ class LDL:
 
         atom = parse_atom(fact_text.rstrip(". \n"))
         fact = canonical_atom(atom)
-        return explain(self.program, self.database(strategy), fact)
+        result = self.model(strategy)
+        # share the evaluation's plan cache so explanation re-solves
+        # bodies with exactly the plans evaluation used (None for the
+        # durable-store path, where explain builds a private context).
+        return explain(
+            self.program, result.database, fact, context=result.context
+        )
 
     def extension(self, pred: str, strategy: Strategy = "seminaive") -> list[tuple]:
         """The computed extension of one predicate as Python tuples."""

@@ -18,6 +18,13 @@ from repro.engine.fixpoint import (
     seminaive_fixpoint,
     single_pass,
 )
+from repro.engine.exec import (
+    EXECUTORS,
+    default_executor,
+    derive_facts,
+    enumerate_bindings,
+    set_default_executor,
+)
 from repro.engine.explain import Derivation, explain
 from repro.engine.grouping import apply_grouping_rule, apply_grouping_rules
 from repro.engine.incremental import IncrementalModel, UpdateStats
@@ -48,6 +55,11 @@ __all__ = [
     "compile_rule",
     "run_plan",
     "Derivation",
+    "EXECUTORS",
+    "default_executor",
+    "derive_facts",
+    "enumerate_bindings",
+    "set_default_executor",
     "IncrementalModel",
     "UpdateStats",
     "explain",

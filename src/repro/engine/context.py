@@ -4,8 +4,11 @@ Every evaluation strategy (layered bottom-up, incremental, magic,
 tabled top-down) runs against an :class:`EvalContext` that owns
 
 * the database under evaluation,
-* the planner policy (``"static"`` or ``"sized"``) and, for the sized
-  policy, the current relation-cardinality snapshot,
+* the planner policy and, for size-aware policies, the current
+  relation-cardinality snapshot,
+* the executor choice (``"batch"`` set-at-a-time pipeline or
+  ``"tuple"`` one-binding-at-a-time recursion; ``None`` defers to the
+  process-wide default in :mod:`repro.engine.exec`),
 * a cache of compiled :class:`~repro.engine.plan.RulePlan`s keyed by
   (rule, delta occurrence, initially-bound variables) — each distinct
   key is compiled at most once until the policy invalidates it,
@@ -16,9 +19,17 @@ Hot paths guard hook dispatch behind the plain-attribute
 :attr:`EvalContext.observing` flag (and timing behind
 :attr:`EvalContext.timing`) so the no-op defaults cost one attribute
 check.  The seed recomputed ``order_body`` every fixpoint iteration;
-under the context the "sized" planner is a *re-plan policy*: sizes are
-snapshotted once per iteration (:meth:`refresh_sizes`) and plans are
-recompiled only when the snapshot actually changed.
+under the context the planner is a *re-plan policy*:
+
+* ``"sized-once"`` (default) — cardinality-aware join ordering from
+  live size snapshots (:meth:`refresh_sizes` updates them once per
+  fixpoint iteration), but a plan compiled for a key is kept for the
+  context's lifetime;
+* ``"sized"`` — like ``"sized-once"`` but the plan cache is
+  invalidated whenever the snapshot changes, so every rule re-plans
+  against fresh statistics (the E15 planner experiment);
+* ``"static"`` — sizes are never consulted; ordering falls back to
+  the syntactic heuristic alone.
 """
 
 from __future__ import annotations
@@ -28,6 +39,12 @@ from repro.engine.plan import RulePlan, compile_rule
 from repro.observe import EngineHooks, MetricsCollector, NULL_HOOKS, NullHooks
 from repro.program.rule import Rule
 
+#: planner policies accepted by :class:`EvalContext`.
+PLANNERS = ("static", "sized", "sized-once")
+
+#: policies that snapshot live relation sizes for join ordering.
+_SIZE_AWARE = ("sized", "sized-once")
+
 
 class EvalContext:
     """Evaluation-wide state shared by all strategies and layers."""
@@ -36,6 +53,7 @@ class EvalContext:
         "db",
         "planner",
         "sized",
+        "executor",
         "hooks",
         "observing",
         "metrics",
@@ -47,21 +65,28 @@ class EvalContext:
     def __init__(
         self,
         db: Database | None = None,
-        planner: str = "static",
+        planner: str = "sized-once",
         hooks: EngineHooks | None = None,
         metrics: MetricsCollector | None = None,
+        executor: str | None = None,
     ) -> None:
         self.db = db
         self.planner = planner
         # fixpoint loops test this plain attribute instead of calling
-        # refresh_sizes() per iteration under the default static policy.
-        self.sized = planner == "sized"
+        # refresh_sizes() per iteration under the static policy.
+        self.sized = planner in _SIZE_AWARE
+        # None defers to repro.engine.exec.default_executor() at each
+        # call, so set_default_executor affects existing contexts too.
+        self.executor = executor
         self.hooks: EngineHooks = hooks if hooks is not None else NULL_HOOKS
         self.observing = not isinstance(self.hooks, NullHooks)
         self.metrics = metrics
         self.timing = metrics is not None
         self.sizes: dict[str, int] | None = None
         self._plans: dict[tuple, RulePlan] = {}
+        if self.sized and db is not None:
+            # seed the snapshot so even the first plans see live sizes
+            self.sizes = {pred: db.count(pred) for pred in db.predicates()}
 
     def plan_for(
         self,
@@ -95,25 +120,29 @@ class EvalContext:
         if self.timing:
             self.metrics.add_time("plan", self.metrics.now() - start)
             self.metrics.incr("plans_built")
+            self.metrics.record_join_order(plan)
         if self.observing:
             self.hooks.on_plan_built(plan)
         return plan
 
     def refresh_sizes(self) -> None:
-        """Re-plan policy for ``planner="sized"``: snapshot cardinalities.
+        """Size-snapshot policy, called once per fixpoint iteration.
 
-        Called once per fixpoint iteration.  When the snapshot differs
-        from the one current plans were built against, the plan cache
-        is invalidated so the next :meth:`plan_for` re-plans with fresh
-        statistics.  A no-op under the static policy (callers on hot
-        paths skip the call entirely via :attr:`sized`).
+        Under ``"sized-once"`` (the default) the snapshot is updated so
+        plans compiled *later* — new rules, new delta occurrences —
+        order their joins against live cardinalities, but already-built
+        plans are kept.  Under ``"sized"`` a changed snapshot also
+        invalidates the plan cache, so the next :meth:`plan_for`
+        re-plans with fresh statistics.  A no-op under the static
+        policy (callers on hot paths skip the call entirely via
+        :attr:`sized`).
         """
         if not self.sized or self.db is None:
             return
         sizes = {pred: self.db.count(pred) for pred in self.db.predicates()}
         if sizes != self.sizes:
             self.sizes = sizes
-            if self._plans:
+            if self.planner == "sized" and self._plans:
                 if self.timing:
                     self.metrics.incr("plan_invalidations")
                 self._plans.clear()
@@ -130,7 +159,7 @@ class EvalContext:
 
 
 def ensure_context(
-    context: EvalContext | None, db: Database, planner: str = "static"
+    context: EvalContext | None, db: Database, planner: str = "sized-once"
 ) -> EvalContext:
     """The given context, or a fresh private one for direct calls.
 

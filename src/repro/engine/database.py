@@ -69,6 +69,12 @@ class Database:
         rel = self._relations.get(atom.pred)
         return rel is not None and atom.args in rel
 
+    def contains_tuple(self, pred: str, args: ArgTuple) -> bool:
+        """Membership test without building an :class:`Atom` (the batch
+        executor's anti-join probes by raw argument tuple)."""
+        rel = self._relations.get(pred)
+        return rel is not None and args in rel
+
     def tuples(self, pred: str) -> Iterable[ArgTuple]:
         rel = self._relations.get(pred)
         return iter(rel) if rel is not None else ()
@@ -80,6 +86,15 @@ class Database:
         if rel is None:
             return ()
         return rel.lookup(positions, key)
+
+    def probe_index(
+        self, pred: str, positions: tuple[int, ...]
+    ) -> dict[object, set[ArgTuple]] | None:
+        """The predicate's hash index for ``positions`` (built on first
+        use), or None for an unknown predicate.  See
+        :meth:`Relation.probe_index`."""
+        rel = self._relations.get(pred)
+        return None if rel is None else rel.probe_index(positions)
 
     def count(self, pred: str | None = None) -> int:
         """Number of facts for one predicate, or in total."""

@@ -82,6 +82,9 @@ class EvaluationResult:
     layer_stats: list[LayerStats]
     strategy: Strategy
     metrics: MetricsCollector | None = None
+    #: the EvalContext the model was computed under; explanation reuses
+    #: its plan cache so explain and evaluation always agree on plans.
+    context: EvalContext | None = None
 
     @property
     def total_facts(self) -> int:
@@ -185,21 +188,26 @@ def evaluate(
     strategy: Strategy = "seminaive",
     layering: Layering | None = None,
     check: bool = True,
-    planner: str = "static",
+    planner: str = "sized-once",
     hooks: EngineHooks | None = None,
     metrics: MetricsCollector | None = None,
     scheduler: Scheduler = "scc",
+    executor: str | None = None,
 ) -> EvaluationResult:
     """Compute the standard minimal model of ``program`` over ``edb``.
 
     ``layering`` overrides the canonical stratification (it is validated
     first); Theorem 2 guarantees the result does not depend on the
     choice.  ``strategy`` selects the fixpoint algorithm within layers;
-    ``planner="sized"`` enables cardinality-aware join ordering.
+    ``planner`` picks the join-ordering policy (``"sized-once"`` —
+    cardinality-aware, plans cached; ``"sized"`` — re-plans on size
+    change; ``"static"`` — syntactic heuristic only).
     ``scheduler`` selects how each layer is driven: ``"scc"`` (default)
     condenses the layer into strongly connected components evaluated in
     dependency order, ``"layer"`` runs the layer's rules as one fixpoint
     (the Theorem 1 formulation — kept for differential testing).
+    ``executor`` picks the body executor (``"batch"`` set-at-a-time /
+    ``"tuple"`` one-binding-at-a-time; None uses the process default).
     ``hooks`` receives engine events (:class:`repro.observe.EngineHooks`
     — e.g. a :class:`~repro.observe.TraceRecorder`); ``metrics``
     collects per-phase, per-layer, and per-SCC wall-clock timings.
@@ -219,7 +227,9 @@ def evaluate(
     # session computes the same model in-memory and durably.
     db = Database(canonical_atom(a) for a in edb)
     _install_facts(db, program)
-    ctx = EvalContext(db, planner=planner, hooks=hooks, metrics=metrics)
+    ctx = EvalContext(
+        db, planner=planner, hooks=hooks, metrics=metrics, executor=executor
+    )
 
     run_fixpoint = naive_fixpoint if strategy == "naive" else seminaive_fixpoint
     schedule = scc_schedule(program, layering) if scheduler == "scc" else None
@@ -259,7 +269,7 @@ def evaluate(
                 i, stats.grouping_facts + stats.fixpoint.facts_derived
             )
         layer_stats.append(stats)
-    return EvaluationResult(db, layering, layer_stats, strategy, metrics)
+    return EvaluationResult(db, layering, layer_stats, strategy, metrics, ctx)
 
 
 def _query_tuples(db: Database, query: Query) -> Iterable[tuple[Term, ...]]:

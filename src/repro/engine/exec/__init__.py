@@ -1,0 +1,115 @@
+"""Executor package: one body-evaluation entry point for the engine.
+
+Every consumer — the fixpoint loops, grouping, magic evaluation, the
+incremental model, explanation, and the semantics reference modules —
+enumerates rule-body bindings through :func:`enumerate_bindings` (or
+its fact-producing wrapper :func:`derive_facts`).  Two executors sit
+behind it:
+
+* ``"batch"`` (default) — the set-at-a-time operator pipeline in
+  :mod:`repro.engine.exec.batch`;
+* ``"tuple"`` — the original one-binding-at-a-time recursion in
+  :mod:`repro.engine.exec.tuplewise`, kept for differential testing.
+
+The process-wide default comes from the ``REPRO_EXECUTOR`` environment
+variable (CI runs the engine suite under ``REPRO_EXECUTOR=tuple`` so
+the compatibility path cannot rot) and can be changed with
+:func:`set_default_executor` (the benchmark harness ``--executor``
+knob).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+from repro.engine.binding import ChainBinding
+from repro.engine.database import Database
+from repro.engine.exec.batch import group_bindings, run_plan_batch
+from repro.engine.exec.tuplewise import run_plan_tuple
+from repro.engine.plan import RulePlan, SourceOverrides
+from repro.program.rule import Atom
+
+EXECUTORS = ("batch", "tuple")
+
+
+def _validated(name: str) -> str:
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTORS}"
+        )
+    return name
+
+
+_default_executor = _validated(os.environ.get("REPRO_EXECUTOR", "batch"))
+
+
+def default_executor() -> str:
+    """The process-wide executor used when none is requested."""
+    return _default_executor
+
+
+def set_default_executor(name: str) -> None:
+    """Change the process-wide default (harness ``--executor`` knob)."""
+    global _default_executor
+    _default_executor = _validated(name)
+
+
+def enumerate_bindings(
+    db: Database,
+    plan: RulePlan,
+    binding: dict | ChainBinding | None = None,
+    overrides: SourceOverrides | None = None,
+    negation_db: Database | None = None,
+    executor: str | None = None,
+    metrics=None,
+) -> Iterable[ChainBinding]:
+    """All bindings satisfying ``plan``'s body, via the chosen executor.
+
+    Returns an iterable of copy-on-write chain bindings: a realized
+    list from the batch executor, a lazy iterator from the tuple one.
+    """
+    name = _default_executor if executor is None else _validated(executor)
+    if name == "tuple":
+        return run_plan_tuple(
+            db, plan, binding=binding, overrides=overrides,
+            negation_db=negation_db,
+        )
+    return run_plan_batch(
+        db, plan, binding=binding, overrides=overrides,
+        negation_db=negation_db, metrics=metrics,
+    )
+
+
+def derive_facts(
+    db: Database,
+    plan: RulePlan,
+    overrides: SourceOverrides | None = None,
+    negation_db: Database | None = None,
+    executor: str | None = None,
+    metrics=None,
+) -> list[Atom]:
+    """Head facts derived by one rule application (ground heads only;
+    bindings that take the head outside U are dropped)."""
+    instantiate = plan.instantiate_head
+    facts: list[Atom] = []
+    for binding in enumerate_bindings(
+        db, plan, overrides=overrides, negation_db=negation_db,
+        executor=executor, metrics=metrics,
+    ):
+        fact = instantiate(binding)
+        if fact is not None:
+            facts.append(fact)
+    return facts
+
+
+__all__ = [
+    "EXECUTORS",
+    "default_executor",
+    "set_default_executor",
+    "enumerate_bindings",
+    "derive_facts",
+    "group_bindings",
+    "run_plan_batch",
+    "run_plan_tuple",
+]

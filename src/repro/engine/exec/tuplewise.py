@@ -1,0 +1,52 @@
+"""Tuple-at-a-time executor: the original recursive enumeration.
+
+Kept as ``executor="tuple"`` for differential testing against the batch
+executor, mirroring how the layer scheduler survives alongside the SCC
+scheduler.  One binding flows through the whole step sequence before
+the next one starts; every step shape delegates to the shared
+per-binding runtime helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.binding import ChainBinding, as_chain
+from repro.engine.database import Database
+from repro.engine.exec.runtime import builtin_step, negation_step, relation_step
+from repro.engine.plan import RulePlan, SourceOverrides
+
+
+def run_plan_tuple(
+    db: Database,
+    plan: RulePlan,
+    binding: dict | ChainBinding | None = None,
+    overrides: SourceOverrides | None = None,
+    negation_db: Database | None = None,
+) -> Iterator[ChainBinding]:
+    """Enumerate body bindings one at a time (depth-first).
+
+    Yields copy-on-write :class:`ChainBinding` views; callers that store
+    results should ``materialize()`` them.
+    """
+    steps = plan.steps
+    total = len(steps)
+    negative_source = negation_db if negation_db is not None else db
+
+    def recurse(index: int, current: ChainBinding) -> Iterator[ChainBinding]:
+        if index == total:
+            yield current
+            return
+        step = steps[index]
+        kind = step.kind
+        if kind == "relation":
+            source = overrides.get(step.index) if overrides else None
+            produced = relation_step(db, step, current, source)
+        elif kind == "builtin":
+            produced = builtin_step(step, current)
+        else:
+            produced = negation_step(negative_source, step, current)
+        for extended in produced:
+            yield from recurse(index + 1, extended)
+
+    yield from recurse(0, as_chain(binding))

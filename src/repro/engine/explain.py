@@ -15,10 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
+from repro.engine.exec import enumerate_bindings
 from repro.engine.grouping import apply_grouping_rule
 from repro.engine.match import Binding, ground_atom, match_atom
-from repro.engine.solve import solve_body
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Program, Rule
 from repro.terms.pretty import format_atom, format_rule
@@ -77,18 +78,26 @@ class Derivation:
 
 
 def explain(
-    program: Program, db: Database, fact: Atom
+    program: Program,
+    db: Database,
+    fact: Atom,
+    context: EvalContext | None = None,
 ) -> Derivation | None:
     """Build a derivation tree for ``fact`` over the computed model
     ``db``; returns None when the fact is not in the model.
 
-    Derivation depth is bounded by the model size, so the recursion
-    limit is raised proportionally for the duration of the search.
+    ``context`` shares the evaluation's plan cache (the session passes
+    the context its model was computed under), so explanation re-solves
+    rule bodies with exactly the plans evaluation used instead of
+    recompiling orders per call.  Derivation depth is bounded by the
+    model size, so the recursion limit is raised proportionally for the
+    duration of the search.
     """
     from repro.util import deep_recursion
 
+    ctx = ensure_context(context, db)
     with deep_recursion(60 * len(db) + 10_000):
-        return _explain(program, db, fact, frozenset())
+        return _explain(program, db, fact, frozenset(), ctx)
 
 
 def _explain(
@@ -96,6 +105,7 @@ def _explain(
     db: Database,
     fact: Atom,
     forbidden: frozenset[Atom],
+    ctx: EvalContext,
 ) -> Derivation | None:
     if fact not in db or fact in forbidden:
         return None
@@ -111,9 +121,11 @@ def _explain(
     blocked = forbidden | {fact}
     for rule in rules:
         if rule.is_grouping():
-            derivation = _explain_grouping(program, db, fact, rule, blocked)
+            derivation = _explain_grouping(
+                program, db, fact, rule, blocked, ctx
+            )
         else:
-            derivation = _explain_plain(program, db, fact, rule, blocked)
+            derivation = _explain_plain(program, db, fact, rule, blocked, ctx)
         if derivation is not None:
             return derivation
     # present in the model but not derivable by any rule: an EDB-loaded
@@ -129,6 +141,7 @@ def _justify_premises(
     rule: Rule,
     binding: Binding,
     blocked: frozenset[Atom],
+    ctx: EvalContext,
 ) -> tuple[tuple[Derivation, ...], tuple[Atom, ...]] | None:
     premises: list[Derivation] = []
     absences: list[Atom] = []
@@ -141,7 +154,7 @@ def _justify_premises(
         if lit.negative:
             absences.append(ground)
             continue
-        sub = _explain(program, db, ground, blocked)
+        sub = _explain(program, db, ground, blocked, ctx)
         if sub is None:
             return None
         premises.append(sub)
@@ -154,13 +167,21 @@ def _explain_plain(
     fact: Atom,
     rule: Rule,
     blocked: frozenset[Atom],
+    ctx: EvalContext,
 ) -> Derivation | None:
     for head_binding in match_atom(rule.head, fact.args, {}):
-        for binding in solve_body(db, rule.body, binding=head_binding):
+        plan = ctx.plan_for(
+            rule, initially_bound=frozenset(head_binding)
+        )
+        for binding in enumerate_bindings(
+            db, plan, binding=head_binding, executor=ctx.executor
+        ):
             derived = ground_atom(rule.head, binding)
             if derived != fact:
                 continue
-            justified = _justify_premises(program, db, rule, binding, blocked)
+            justified = _justify_premises(
+                program, db, rule, binding, blocked, ctx
+            )
             if justified is None:
                 continue
             premises, absences = justified
@@ -174,15 +195,18 @@ def _explain_grouping(
     fact: Atom,
     rule: Rule,
     blocked: frozenset[Atom],
+    ctx: EvalContext,
 ) -> Derivation | None:
     # recompute the rule's groups and locate the class producing `fact`
-    if fact not in set(apply_grouping_rule(rule, db)):
+    if fact not in set(apply_grouping_rule(rule, db, context=ctx)):
         return None
     premises: list[Derivation] = []
     absences: list[Atom] = []
     seen_premises: set[Atom] = set()
     group_position = rule.head.group_positions()[0]
-    for binding in solve_body(db, rule.body):
+    for binding in enumerate_bindings(
+        db, ctx.plan_for(rule), executor=ctx.executor
+    ):
         derived_key = ground_atom(
             Atom(
                 rule.head.pred,
@@ -202,7 +226,9 @@ def _explain_grouping(
         )
         if derived_key != fact_key:
             continue
-        justified = _justify_premises(program, db, rule, binding, blocked)
+        justified = _justify_premises(
+            program, db, rule, binding, blocked, ctx
+        )
         if justified is None:
             return None
         for premise in justified[0]:

@@ -22,7 +22,7 @@ from typing import Sequence
 
 from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
-from repro.engine.plan import apply_rule_plan
+from repro.engine.exec import derive_facts
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Rule
 
@@ -51,13 +51,18 @@ class FixpointStats:
 def _derive(
     ctx: EvalContext, db: Database, rule: Rule, plan, overrides=None
 ) -> list[Atom]:
-    """One rule application: run the plan, time it, fire hooks."""
+    """One rule application: run the executor, time it, fire hooks."""
     if ctx.timing:
         start = ctx.metrics.now()
-        derived = list(apply_rule_plan(db, plan, overrides=overrides))
+        derived = derive_facts(
+            db, plan, overrides=overrides, executor=ctx.executor,
+            metrics=ctx.metrics,
+        )
         ctx.metrics.add_time("match", ctx.metrics.now() - start)
     else:
-        derived = list(apply_rule_plan(db, plan, overrides=overrides))
+        derived = derive_facts(
+            db, plan, overrides=overrides, executor=ctx.executor
+        )
     if ctx.observing:
         ctx.hooks.on_rule_fired(rule, len(derived))
     return derived
@@ -66,7 +71,7 @@ def _derive(
 def single_pass(
     db: Database,
     rules: Sequence[Rule],
-    planner: str = "static",
+    planner: str = "sized-once",
     context: EvalContext | None = None,
 ) -> FixpointStats:
     """Apply each rule exactly once.  Mutates ``db``.
@@ -99,7 +104,7 @@ def single_pass(
 def naive_fixpoint(
     db: Database,
     rules: Sequence[Rule],
-    planner: str = "static",
+    planner: str = "sized-once",
     context: EvalContext | None = None,
 ) -> FixpointStats:
     """Run all rules to fixpoint, naive strategy.  Mutates ``db``.
@@ -136,7 +141,7 @@ def naive_fixpoint(
 def seminaive_fixpoint(
     db: Database,
     rules: Sequence[Rule],
-    planner: str = "static",
+    planner: str = "sized-once",
     context: EvalContext | None = None,
 ) -> FixpointStats:
     """Run all rules to fixpoint, semi-naive strategy.  Mutates ``db``.
@@ -175,7 +180,7 @@ def seminaive_rounds(
     db: Database,
     rules: Sequence[Rule],
     delta: dict[str, list[tuple]],
-    planner: str = "static",
+    planner: str = "sized-once",
     context: EvalContext | None = None,
 ) -> FixpointStats:
     """Continue a semi-naive fixpoint from an explicit delta.

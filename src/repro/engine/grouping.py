@@ -18,11 +18,11 @@ from typing import Iterator
 
 from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
-from repro.engine.plan import run_plan
-from repro.errors import EvaluationError, NotInUniverseError
+from repro.engine.exec import enumerate_bindings, group_bindings
+from repro.errors import EvaluationError
 from repro.program.rule import Atom, Rule
 from repro.terms.pretty import format_rule
-from repro.terms.term import SetVal, Term, Var, evaluate_ground, intern_term
+from repro.terms.term import SetVal, Term, Var, intern_term
 
 
 def apply_grouping_rule(
@@ -51,20 +51,15 @@ def apply_grouping_rule(
     ]
 
     ctx = ensure_context(context, db)
-    groups: dict[tuple[Term, ...], set[Term]] = {}
-    for binding in run_plan(db, ctx.plan_for(rule)):
-        if group_var not in binding:
-            raise EvaluationError(
-                f"grouped variable {group_var} unbound by body: {format_rule(rule)}"
-            )
-        try:
-            key = tuple(
-                evaluate_ground(arg.substitute(binding)) for _, arg in other_terms
-            )
-            value = evaluate_ground(binding[group_var])
-        except (NotInUniverseError, EvaluationError):
-            continue
-        groups.setdefault(key, set()).add(value)
+    bindings = enumerate_bindings(
+        db,
+        ctx.plan_for(rule),
+        executor=ctx.executor,
+        metrics=ctx.metrics if ctx.timing else None,
+    )
+    groups = group_bindings(
+        bindings, group_var, other_terms, lambda: format_rule(rule)
+    )
 
     for key, values in groups.items():
         args: list[Term] = [None] * len(rule.head.args)  # type: ignore[list-item]

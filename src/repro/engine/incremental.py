@@ -208,7 +208,9 @@ class IncrementalModel:
         for atom in self._edb_facts:
             fresh.add(atom)
         self.database = fresh
-        self._context.db = fresh  # static plans stay valid across swaps
+        # cached plans stay valid across swaps: the sized-once policy
+        # never invalidates, and plans hold no database references.
+        self._context.db = fresh
         for i, layer_components in enumerate(self._schedule):
             for component in layer_components:
                 rules = tuple(

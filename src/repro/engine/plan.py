@@ -17,20 +17,24 @@ analysis *once* per (rule, delta-occurrence, planner) and emits a
 * a precomputed :class:`HeadTemplate` that instantiates the head by
   direct binding lookups when possible.
 
-:func:`run_plan` executes a plan against a database, extending
-bindings as immutable chains (:mod:`repro.engine.binding`) so that a
-dict is materialized only when a consumer asks for one.  Plans are
-cached and shared by :class:`~repro.engine.context.EvalContext`.
+Execution lives in :mod:`repro.engine.exec`: the batch executor runs a
+plan set-at-a-time over whole binding batches, the tuple executor keeps
+the original one-binding-at-a-time recursion for differential testing.
+:func:`run_plan` and :func:`apply_rule_plan` remain as thin wrappers
+that route to the configured executor, extending bindings as immutable
+chains (:mod:`repro.engine.binding`) so that a dict is materialized
+only when a consumer asks for one.  Plans are cached and shared by
+:class:`~repro.engine.context.EvalContext`.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from repro.engine.binding import ChainBinding, as_chain
-from repro.engine.builtins import handler_for, solve_builtin
+from repro.engine.binding import ChainBinding
+from repro.engine.builtins import handler_for
 from repro.engine.database import Database
-from repro.engine.match import ground_atom, match_term_chain
+from repro.engine.match import ground_atom
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Literal, Rule
@@ -41,8 +45,6 @@ from repro.terms.term import (
     Term,
     Var,
     evaluate_ground,
-    fold_arithmetic_values,
-    intern_const,
 )
 
 #: relation-override hook: maps a body-literal *original index* to an
@@ -86,33 +88,6 @@ def _compile_builtin_arg(arg: Term) -> tuple:
         )
         return (ARITH, (arg.functor, parts), arg)
     return (TERM, arg, arg)
-
-
-def _fold_arith(functor: str, parts: tuple, binding) -> Const | None:
-    """Evaluate a precompiled arithmetic argument, or None to fall back.
-
-    Falls back (to substitute-then-evaluate semantics) when an operand
-    is unbound, non-numeric, or the fold itself fails (e.g. division by
-    zero) — the general path then reproduces the exact builtin
-    behavior for those cases.
-    """
-    values = []
-    for kind, payload in parts:
-        if kind == VAR:
-            bound = binding.get(payload)
-            if (
-                bound is None
-                or type(bound) is not Const
-                or not isinstance(bound.value, (int, float))
-            ):
-                return None
-            values.append(bound.value)
-        else:
-            values.append(payload)
-    try:
-        return intern_const(fold_arithmetic_values(functor, values))
-    except EvaluationError:
-        return None
 
 
 class LiteralStep:
@@ -422,154 +397,6 @@ def compile_rule(
     return plan
 
 
-def _probe_key(
-    probes: tuple, binding: ChainBinding, lenient: bool
-) -> tuple[Term, ...] | None:
-    """Evaluate the probe descriptors to a key tuple.
-
-    ``lenient`` controls failure semantics for residual terms, matching
-    the seed: probing the database caught only :class:`EvaluationError`
-    (``NotInUniverseError`` propagated), while matching override tuples
-    went through ``match_term`` which swallowed both.
-    """
-    parts: list[Term] = []
-    for _pos, kind, payload in probes:
-        if kind == CONST:
-            parts.append(payload)
-        elif kind == VAR:
-            parts.append(binding[payload])
-        else:
-            try:
-                parts.append(evaluate_ground(payload.substitute(binding)))
-            except EvaluationError:
-                return None
-            except NotInUniverseError:
-                if lenient:
-                    return None
-                raise
-    return tuple(parts)
-
-
-def _match_residuals(
-    residuals: tuple,
-    args: tuple[Term, ...],
-    binding: ChainBinding,
-    substituted: dict[int, Term] | None,
-) -> Iterator[ChainBinding]:
-    """Extend ``binding`` over the non-probe positions of one tuple."""
-    if not residuals:
-        yield binding
-        return
-    pos, kind, payload = residuals[0]
-    rest = residuals[1:]
-    if kind == BIND:
-        bound = binding.get(payload)
-        if bound is None:
-            yield from _match_residuals(
-                rest, args, binding.bind(payload, args[pos]), substituted
-            )
-        elif bound == args[pos]:
-            yield from _match_residuals(rest, args, binding, substituted)
-        return
-    term, needs_substitute = payload
-    if needs_substitute and substituted is not None:
-        term = substituted[pos]
-    for ext in match_term_chain(term, args[pos], binding):
-        yield from _match_residuals(rest, args, ext, substituted)
-
-
-def _run_relation_step(
-    db: Database,
-    step: LiteralStep,
-    binding: ChainBinding,
-    source: Iterable[tuple[Term, ...]] | None,
-) -> Iterator[ChainBinding]:
-    if source is None:
-        key = _probe_key(step.probes, binding, lenient=False)
-        if key is None:
-            return
-        tuples = db.lookup(step.literal.atom.pred, step.probe_positions, key)
-        if step.fully_bound:
-            for _args in tuples:
-                yield binding
-            return
-        check_probes = False
-    else:
-        tuples = source
-        key = _probe_key(step.probes, binding, lenient=True)
-        if key is None:
-            return
-        check_probes = bool(step.probes)
-    simple = step.simple_residuals
-    if simple is not None and not check_probes:
-        # all residuals are fresh variables: bind them directly with
-        # one chain node each, skipping the general recursive matcher.
-        for args in tuples:
-            ext = binding
-            for pos, name in simple:
-                bound = ext.get(name)
-                if bound is None:
-                    ext = ChainBinding(ext, name, args[pos])
-                elif bound != args[pos]:
-                    break
-            else:
-                yield ext
-        return
-    # substitute mixed residual terms once per outer binding, as the
-    # seed did by substituting the whole atom before matching
-    substituted: dict[int, Term] | None = None
-    for pos, kind, payload in step.residuals:
-        if kind == MATCH and payload[1]:
-            if substituted is None:
-                substituted = {}
-            substituted[pos] = payload[0].substitute(binding)
-    for args in tuples:
-        if check_probes:
-            ok = True
-            for (pos, _kind, _payload), part in zip(step.probes, key):
-                if args[pos] != part:
-                    ok = False
-                    break
-            if not ok:
-                continue
-            if not step.residuals:
-                if len(args) == len(step.literal.atom.args):
-                    yield binding
-                continue
-        yield from _match_residuals(step.residuals, args, binding, substituted)
-
-
-def _run_negation_step(
-    negation_db: Database, step: LiteralStep, binding: ChainBinding
-) -> Iterator[ChainBinding]:
-    literal = step.literal
-    if step.neg_args is None:
-        # negated built-in: a closed test under the current binding
-        substituted = literal.atom.substitute(binding)
-        satisfied = any(
-            True
-            for _ in solve_builtin(substituted.pred, substituted.args, binding)
-        )
-        if not satisfied:
-            yield binding
-        return
-    args: list[Term] = []
-    for kind, payload in step.neg_args:
-        if kind == CONST:
-            args.append(payload)
-        elif kind == VAR:
-            value = binding.get(payload)
-            if value is None:
-                return
-            args.append(value)
-        else:
-            try:
-                args.append(evaluate_ground(payload.substitute(binding)))
-            except (NotInUniverseError, EvaluationError):
-                return
-    if Atom(literal.atom.pred, tuple(args)) not in negation_db:
-        yield binding
-
 
 def run_plan(
     db: Database,
@@ -577,54 +404,30 @@ def run_plan(
     binding: Mapping[str, Term] | None = None,
     overrides: SourceOverrides | None = None,
     negation_db: Database | None = None,
+    executor: str | None = None,
 ) -> Iterator[ChainBinding]:
     """Enumerate applicable bindings of a compiled body over ``db``.
 
-    Yields :class:`ChainBinding` extensions of ``binding`` (read-only
+    Routes to the configured executor (:mod:`repro.engine.exec`); the
+    default is the set-at-a-time batch executor.  Yields
+    :class:`ChainBinding` extensions of ``binding`` (read-only
     Mappings; call ``.materialize()`` for a plain dict).  ``overrides``
     swaps the tuple source of specific body occurrences (semi-naive
     deltas); ``negation_db`` checks negative literals against a
     different interpretation (well-founded reduct construction).
     """
-    steps = plan.steps
-    negative_source = negation_db if negation_db is not None else db
+    from repro.engine.exec import enumerate_bindings
 
-    def recurse(index: int, current: ChainBinding) -> Iterator[ChainBinding]:
-        if index == len(steps):
-            yield current
-            return
-        step = steps[index]
-        if step.kind == "relation":
-            source = overrides.get(step.index) if overrides else None
-            produced = _run_relation_step(db, step, current, source)
-        elif step.kind == "builtin":
-            args = []
-            for kind, payload, term in step.builtin_args:
-                if kind == VAR:
-                    value = current.get(payload)
-                    args.append(term if value is None else value)
-                elif kind == CONST:
-                    args.append(payload)
-                elif kind == ARITH:
-                    value = _fold_arith(payload[0], payload[1], current)
-                    args.append(
-                        term.substitute(current) if value is None else value
-                    )
-                else:
-                    args.append(term.substitute(current))
-            handler = step.builtin_handler
-            if handler is not None:
-                produced = handler(tuple(args), current)
-            else:
-                produced = solve_builtin(
-                    step.literal.atom.pred, tuple(args), current
-                )
-        else:
-            produced = _run_negation_step(negative_source, step, current)
-        for ext in produced:
-            yield from recurse(index + 1, ext)
-
-    yield from recurse(0, as_chain(binding))
+    return iter(
+        enumerate_bindings(
+            db,
+            plan,
+            binding=binding,
+            overrides=overrides,
+            negation_db=negation_db,
+            executor=executor,
+        )
+    )
 
 
 def apply_rule_plan(
@@ -632,9 +435,17 @@ def apply_rule_plan(
     plan: RulePlan,
     overrides: SourceOverrides | None = None,
     negation_db: Database | None = None,
+    executor: str | None = None,
 ) -> Iterator[Atom]:
     """Head facts derived by one (non-grouping) compiled rule over ``db``."""
-    for binding in run_plan(db, plan, overrides=overrides, negation_db=negation_db):
-        fact = plan.instantiate_head(binding)
-        if fact is not None:
-            yield fact
+    from repro.engine.exec import derive_facts
+
+    return iter(
+        derive_facts(
+            db,
+            plan,
+            overrides=overrides,
+            negation_db=negation_db,
+            executor=executor,
+        )
+    )

@@ -98,11 +98,22 @@ class Relation:
         """
         if not positions:
             return self._tuples
-        single = len(positions) == 1
+        index = self.probe_index(positions)
+        return index.get(key[0] if len(positions) == 1 else key, ())
+
+    def probe_index(
+        self, positions: tuple[int, ...]
+    ) -> dict[object, set[ArgTuple]]:
+        """The hash index for a non-empty position signature, built on
+        first use.  The batch executor probes this dict directly — one
+        cached-hash ``get`` per binding, no call layers in the join's
+        inner loop.  Keys follow the index convention: bare term for
+        1-position signatures, tuple otherwise.
+        """
         index = self._indexes.get(positions)
         if index is None:
             index = {}
-            if single:
+            if len(positions) == 1:
                 pos = positions[0]
                 for args in self._tuples:
                     index_key = args[pos]
@@ -120,7 +131,7 @@ class Relation:
                     else:
                         bucket.add(args)
             self._indexes[positions] = index
-        return index.get(key[0] if single else key, ())
+        return index
 
     def copy(self) -> "Relation":
         """An independent clone, *including* already-built hash indexes.

@@ -47,12 +47,21 @@ def order_body(
     occurrence).  ``sizes`` (predicate → cardinality) switches the
     positive-literal heuristic from "most bound arguments" to an
     estimated scan cost ``|relation| / 4^bound_args`` — the
-    statistics-aware planner of experiment E15.  Raises
-    :class:`SafetyError` when no safe order exists.
+    statistics-aware planner of experiment E15.  Relations with no
+    stored tuples (unpopulated IDB predicates, top-down tables) carry
+    no cardinality evidence and are assumed as large as the largest
+    known relation.  Raises :class:`SafetyError` when no safe order
+    exists.
     """
     remaining = set(range(len(literals)))
     bound = set(initially_bound)
     plan: list[int] = []
+    # a relation with no stored tuples carries no cardinality evidence
+    # (an IDB predicate not yet populated, a top-down table): assume it
+    # is as large as the largest known relation, so bound-argument
+    # connectivity still ranks it — a zero-cost guess would schedule
+    # recursive literals before their generators, unbinding them.
+    unknown_size = max(sizes.values(), default=1) if sizes else 1
 
     def eligible_class(index: int) -> int | None:
         lit = literals[index]
@@ -89,11 +98,11 @@ def order_body(
                 1 for a in lit.atom.args if a.variables() <= bound
             )
             if sizes is not None and klass == 2:
-                relation_size = sizes.get(lit.atom.pred, 1)
+                relation_size = sizes.get(lit.atom.pred, 0) or unknown_size
                 cost = relation_size / (4 ** bound_args)
-                candidate = (klass, cost, index)
+                candidate = (klass, cost, -bound_args, index)
             else:
-                candidate = (klass, -bound_args, index)
+                candidate = (klass, 0, -bound_args, index)
             if best is None or candidate < best:
                 best = candidate
         if best is None:
@@ -101,7 +110,7 @@ def order_body(
                 format_literal(literals[i]) for i in sorted(remaining)
             )
             raise SafetyError(f"no safe evaluation order for: {unsatisfied}")
-        index = best[2]
+        index = best[-1]
         plan.append(index)
         remaining.discard(index)
         if literals[index].positive:
@@ -116,6 +125,7 @@ def solve_body(
     binding: Binding | None = None,
     overrides: SourceOverrides | None = None,
     negation_db: Database | None = None,
+    executor: str | None = None,
 ) -> Iterator[Binding]:
     """Enumerate applicable bindings for a rule body over ``db``.
 
@@ -123,22 +133,30 @@ def solve_body(
     ``overrides`` swaps the tuple source of specific body occurrences
     (semi-naive deltas, magic-constrained relations); ``negation_db``
     checks negative literals against a different interpretation (the
-    well-founded semantics' reduct construction).
+    well-founded semantics' reduct construction); ``executor`` picks
+    the body executor (defaulting to the process-wide choice).
 
     Compatibility wrapper: compiles a throwaway
-    :class:`~repro.engine.plan.RulePlan` body and executes it,
-    materializing each applicable binding as a plain dict.  Engine hot
-    paths share cached plans through
-    :class:`~repro.engine.context.EvalContext` instead.
+    :class:`~repro.engine.plan.RulePlan` body and hands it to the one
+    shared executor pipeline (:mod:`repro.engine.exec`), materializing
+    each applicable binding as a plain dict.  Engine hot paths share
+    cached plans through :class:`~repro.engine.context.EvalContext`
+    instead.
     """
-    from repro.engine.plan import compile_body, run_plan
+    from repro.engine.exec import enumerate_bindings
+    from repro.engine.plan import compile_body
 
     initially_bound = frozenset(binding) if binding else frozenset()
     compiled = compile_body(
         literals, order=plan, initially_bound=initially_bound
     )
-    for result in run_plan(
-        db, compiled, binding=binding, overrides=overrides, negation_db=negation_db
+    for result in enumerate_bindings(
+        db,
+        compiled,
+        binding=binding,
+        overrides=overrides,
+        negation_db=negation_db,
+        executor=executor,
     ):
         yield result.materialize()
 

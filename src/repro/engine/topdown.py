@@ -288,16 +288,21 @@ class TopDownEvaluator:
 
     def _body_bindings(
         self, body: tuple[Literal, ...], plan: tuple[int, ...], binding: Binding
-    ) -> Iterator[Binding]:
-        def recurse(step: int, current: Binding) -> Iterator[Binding]:
-            if step == len(plan):
-                yield current
-                return
-            lit = body[plan[step]]
-            for extended in self._solve_literal(lit, current):
-                yield from recurse(step + 1, extended)
-
-        yield from recurse(0, binding)
+    ) -> list[Binding]:
+        # set-at-a-time, like the bottom-up batch executor: each literal
+        # extends the whole batch before the next literal runs.  Eager
+        # table reads are safe because the tabling driver iterates to
+        # fixpoint — any pass-ordering difference is absorbed by _grew.
+        batch: list[Binding] = [binding]
+        for index in plan:
+            lit = body[index]
+            next_batch: list[Binding] = []
+            for current in batch:
+                next_batch.extend(self._solve_literal(lit, current))
+            batch = next_batch
+            if not batch:
+                break
+        return batch
 
     def _solve_literal(self, lit: Literal, binding: Binding) -> Iterator[Binding]:
         pred = lit.atom.pred

@@ -35,9 +35,9 @@ from repro.engine.database import Database
 from repro.engine.evaluator import answer_query
 from repro.engine.fixpoint import FixpointStats, seminaive_fixpoint, single_pass
 from repro.program.dependency import condense_program
+from repro.engine.exec import derive_facts
 from repro.engine.grouping import apply_grouping_rule
 from repro.engine.match import Binding
-from repro.engine.plan import apply_rule_plan
 from repro.errors import UnstableMagicEvaluationError
 from repro.observe import EngineHooks
 from repro.magic.rewrite import MagicProgram, magic_rewrite
@@ -92,7 +92,7 @@ def _apply_deferred(
     ctx = ensure_context(context, db)
     if rule.is_grouping():
         return list(apply_grouping_rule(rule, db, context=ctx))
-    return list(apply_rule_plan(db, ctx.plan_for(rule)))
+    return derive_facts(db, ctx.plan_for(rule), executor=ctx.executor)
 
 
 def evaluate_magic(

@@ -392,13 +392,17 @@ class MetricsCollector:
     uses ``plan`` (RulePlan compilation), ``match`` (body enumeration +
     head instantiation) and ``grouping`` (the R1 step); ``layers`` holds
     ``(layer, seconds)`` pairs in evaluation order.  ``counters`` holds
-    integer tallies (``plans_built``, ``plan_cache_hits``).
+    integer tallies (``plans_built``, ``plan_cache_hits``, and the
+    batch-executor tallies ``batch_steps``/``batch_bindings``/
+    ``batch_peak``).  ``join_orders`` records the chosen per-rule join
+    order for every plan compiled under this collector.
     """
 
     phases: dict[str, float] = field(default_factory=dict)
     counters: dict[str, int] = field(default_factory=dict)
     layers: list[tuple[int, float]] = field(default_factory=list)
     sccs: list[dict] = field(default_factory=list)
+    join_orders: list[dict] = field(default_factory=list)
 
     def add_time(self, phase: str, seconds: float) -> None:
         self.phases[phase] = self.phases.get(phase, 0.0) + seconds
@@ -434,6 +438,28 @@ class MetricsCollector:
         if replayed:
             self.incr("wal_records_replayed", replayed)
 
+    def record_join_order(self, plan) -> None:
+        """One plan compiled: record the join order the planner chose."""
+        from repro.program.rule import format_rule
+
+        rule = getattr(plan, "rule", None)
+        self.join_orders.append(
+            {
+                "rule": format_rule(rule) if rule is not None else None,
+                "order": list(plan.order),
+                "planner": plan.planner,
+                "first": plan.first,
+            }
+        )
+
+    def record_batch(self, size: int) -> None:
+        """One batch-executor step finished with ``size`` live bindings."""
+        counters = self.counters
+        counters["batch_steps"] = counters.get("batch_steps", 0) + 1
+        counters["batch_bindings"] = counters.get("batch_bindings", 0) + size
+        if size > counters.get("batch_peak", 0):
+            counters["batch_peak"] = size
+
     def now(self) -> float:
         return time.perf_counter()
 
@@ -447,6 +473,7 @@ class MetricsCollector:
                 for layer, seconds in self.layers
             ],
             "sccs": [dict(entry) for entry in self.sccs],
+            "join_orders": [dict(entry) for entry in self.join_orders],
         }
 
     def format(self) -> str:

@@ -22,24 +22,29 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
+from repro.engine.exec import derive_facts
 from repro.engine.grouping import apply_grouping_rule
-from repro.engine.match import ground_atom
-from repro.engine.solve import solve_body
 from repro.errors import EvaluationError
 from repro.program.rule import Atom, Program
 
 Interpretation = frozenset[Atom]
 
 
-def tp(program: Program, interpretation: Iterable[Atom]) -> Interpretation:
+def tp(
+    program: Program,
+    interpretation: Iterable[Atom],
+    context: EvalContext | None = None,
+) -> Interpretation:
     """One application of the immediate-consequence operator.
 
     Only defined for *simple* programs (positive, grouping-free):
     returns the heads of all rule instances whose bodies hold in the
     interpretation, together with the program's ground facts.  Raises
     for non-simple rules — the point of Section 2 is that they have no
-    monotone T_P.
+    monotone T_P.  ``context`` shares compiled rule plans across
+    applications (the Kleene iteration in :func:`lfp` passes one).
     """
     for rule in program.rules:
         if not rule.is_simple():
@@ -47,12 +52,12 @@ def tp(program: Program, interpretation: Iterable[Atom]) -> Interpretation:
                 "T_P is only defined for simple rules (no grouping/negation)"
             )
     db = Database(interpretation)
+    ctx = ensure_context(context, db)
     out: set[Atom] = set()
     for rule in program.rules:
-        for binding in solve_body(db, rule.body):
-            head = ground_atom(rule.head, binding)
-            if head is not None:
-                out.add(head)
+        out.update(
+            derive_facts(db, ctx.plan_for(rule), executor=ctx.executor)
+        )
     return frozenset(out)
 
 
@@ -61,8 +66,9 @@ def lfp(
 ) -> Interpretation:
     """Least fixpoint of ``M ↦ base ∪ M ∪ T_P(M)`` by Kleene iteration."""
     current: Interpretation = frozenset(base)
+    ctx = EvalContext()  # plans compiled once, reused every step
     for _ in range(max_steps):
-        step = current | tp(program, current)
+        step = current | tp(program, current, context=ctx)
         if step == current:
             return current
         current = step
@@ -92,15 +98,15 @@ def tp_with_grouping(
     builds the layered operational semantics instead.
     """
     db = Database(interpretation)
+    ctx = ensure_context(None, db)
     out: set[Atom] = set()
     for rule in program.rules:
         if rule.is_grouping():
-            out.update(apply_grouping_rule(rule, db))
+            out.update(apply_grouping_rule(rule, db, context=ctx))
             continue
         if any(lit.negative for lit in rule.body):
             raise EvaluationError("negation is not supported by this operator")
-        for binding in solve_body(db, rule.body):
-            head = ground_atom(rule.head, binding)
-            if head is not None:
-                out.add(head)
+        out.update(
+            derive_facts(db, ctx.plan_for(rule), executor=ctx.executor)
+        )
     return frozenset(out)

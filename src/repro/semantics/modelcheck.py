@@ -17,10 +17,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, NamedTuple
 
+from repro.engine.context import ensure_context
 from repro.engine.database import Database
+from repro.engine.exec import enumerate_bindings
 from repro.engine.grouping import apply_grouping_rule
 from repro.engine.match import ground_atom
-from repro.engine.solve import solve_body
 from repro.program.rule import Atom, Program, Rule
 
 Interpretation = frozenset[Atom]
@@ -43,14 +44,17 @@ def violations(
     """Yield one witness per rule falsified by ``interpretation``."""
     facts = frozenset(interpretation)
     db = _as_database(facts)
+    ctx = ensure_context(None, db)
     for rule in program.rules:
         if rule.is_grouping():
-            for fact in apply_grouping_rule(rule, db):
+            for fact in apply_grouping_rule(rule, db, context=ctx):
                 if fact not in facts:
                     yield Violation(rule, fact)
                     break
             continue
-        for binding in solve_body(db, rule.body):
+        for binding in enumerate_bindings(
+            db, ctx.plan_for(rule), executor=ctx.executor
+        ):
             head = ground_atom(rule.head, binding)
             if head is None or head not in facts:
                 missing = head if head is not None else rule.head.substitute(binding)

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.context import EvalContext
 from repro.engine.database import Database
-from repro.engine.solve import head_facts, order_body, solve_body
+from repro.engine.exec import derive_facts
 from repro.errors import EvaluationError
 from repro.program.rule import Atom, Program
 from repro.program.wellformed import check_program
@@ -56,20 +57,24 @@ class WellFoundedModel:
         return "false"
 
 
-def _reduct(program: Program, base: Database, assumed: Database) -> Database:
-    """Least model with ¬q decided against the fixed ``assumed`` set."""
+def _reduct(
+    program: Program, base: Database, assumed: Database, ctx: EvalContext
+) -> Database:
+    """Least model with ¬q decided against the fixed ``assumed`` set.
+
+    Rule plans come from the shared ``ctx`` (compiled once per
+    ``wellfounded`` call, not once per reduct iteration) and run through
+    the engine's one executor pipeline with negation checked against
+    ``assumed``.
+    """
     db = base.copy()
-    rules = [r for r in program.proper_rules()]
+    plans = [ctx.plan_for(rule) for rule in program.proper_rules()]
     changed = True
     while changed:
         changed = False
-        for rule in rules:
-            plan = order_body(rule.body)
-            derived = list(
-                head_facts(
-                    rule.head,
-                    solve_body(db, rule.body, plan, negation_db=assumed),
-                )
+        for plan in plans:
+            derived = derive_facts(
+                db, plan, negation_db=assumed, executor=ctx.executor
             )
             for fact in derived:
                 if db.add(fact):
@@ -107,18 +112,22 @@ def wellfounded(
             )
         )
 
+    # one context for the whole alternating fixpoint: every reduct
+    # reuses the same compiled plans.
+    ctx = EvalContext(base)
+
     # O_0 = Γ(∅): with nothing assumed true every negation succeeds,
     # giving the most generous overestimate; `under` starts as a
     # placeholder that the first comparison always rejects.
     under = base.copy()
-    over = _reduct(program, base, Database())
+    over = _reduct(program, base, Database(), ctx)
     rounds = 1
     while True:
         rounds += 1
         if rounds > max_rounds:
             raise EvaluationError("alternating fixpoint did not converge")
-        new_under = _reduct(program, base, over)
-        new_over = _reduct(program, base, new_under)
+        new_under = _reduct(program, base, over, ctx)
+        new_over = _reduct(program, base, new_under, ctx)
         if new_under == under and new_over == over:
             break
         under, over = new_under, new_over

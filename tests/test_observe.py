@@ -99,8 +99,16 @@ class TestMetricsCollector:
         metrics = MetricsCollector()
         run(ANC, metrics=metrics)
         report = metrics.report()
-        assert set(report) == {"phases", "counters", "layers", "sccs"}
+        assert set(report) == {
+            "phases", "counters", "layers", "sccs", "join_orders"
+        }
         assert all({"layer", "seconds"} == set(row) for row in report["layers"])
+        # one entry per compiled plan: which join order the planner chose
+        assert all(
+            {"rule", "order", "planner"} <= set(entry)
+            for entry in report["join_orders"]
+        )
+        assert report["join_orders"]
 
     def test_result_carries_collector(self):
         metrics = MetricsCollector()

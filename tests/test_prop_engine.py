@@ -51,6 +51,37 @@ def test_scc_schedule_equals_layer_schedule(generated):
     assert scc.database == layer.database
 
 
+@given(generated_programs)
+@settings(max_examples=25, deadline=None)
+def test_batch_executor_equals_tuple_executor(generated):
+    """The set-at-a-time batch executor is an optimization, not a
+    semantics.
+
+    On random admissible programs — negation and grouping included —
+    running every rule body through the batch operator pipeline must
+    produce exactly the model of the original one-binding-at-a-time
+    recursion."""
+    batch = evaluate(generated.program, edb=generated.edb, executor="batch")
+    tup = evaluate(generated.program, edb=generated.edb, executor="tuple")
+    assert batch.database == tup.database
+
+
+@given(generated_programs)
+@settings(max_examples=10, deadline=None)
+def test_batch_executor_equals_tuple_executor_naive(generated):
+    """Same differential under the naive strategy (no delta overrides),
+    covering the full-scan join paths."""
+    batch = evaluate(
+        generated.program, edb=generated.edb, strategy="naive",
+        executor="batch",
+    )
+    tup = evaluate(
+        generated.program, edb=generated.edb, strategy="naive",
+        executor="tuple",
+    )
+    assert batch.database == tup.database
+
+
 @given(edges)
 @settings(max_examples=30, deadline=None)
 def test_transitive_closure_matches_reference(pairs):
