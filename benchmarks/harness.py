@@ -130,6 +130,7 @@ def _format_phases(report: dict) -> str:
         "batch_steps",
         "batch_bindings",
         "batch_peak",
+        "id_table_size",
     ):
         if name in counters:
             parts.append(f"{name}={counters[name]}")
@@ -269,6 +270,13 @@ def main(argv: list[str]) -> None:
         from repro.engine.exec import set_default_executor
 
         set_default_executor(executor)
+    argv, specialize = _take_flag_with_value(argv, "--specialize")
+    if specialize is not None:
+        # ablation knob: "off" measures the batch executor without
+        # compiled per-plan closures (same as REPRO_SPECIALIZE=off).
+        from repro.engine.exec import set_specialization
+
+        set_specialization(specialize)
     repeats = 3
     if "--quick" in argv:
         argv = [a for a in argv if a != "--quick"]

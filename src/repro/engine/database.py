@@ -42,7 +42,16 @@ class Database:
         """Insert a ground atom; returns True when new."""
         if not atom.is_ground():
             raise ValueError(f"cannot store non-ground atom {atom!r}")
-        return self.relation(atom.pred, atom.arity).add(atom.args)
+        args = atom.args
+        rel = self._relations.get(atom.pred)
+        if rel is None:
+            rel = self.relation(atom.pred, len(args))
+        row = getattr(atom, "_row", None)
+        if row is not None:
+            # the specialized executor derived this fact in ID space
+            # and attached the row: skip re-encoding the arguments
+            return rel.add_row(row, args)
+        return rel.add(args)
 
     def add_tuple(self, pred: str, args: ArgTuple) -> bool:
         return self.relation(pred, len(args)).add(args)
@@ -95,6 +104,20 @@ class Database:
         :meth:`Relation.probe_index`."""
         rel = self._relations.get(pred)
         return None if rel is None else rel.probe_index(positions)
+
+    def id_rows(self, pred: str):
+        """The predicate's stored ID rows (a set-like view), or None for
+        an unknown predicate.  See :meth:`Relation.id_rows`."""
+        rel = self._relations.get(pred)
+        return None if rel is None else rel.id_rows()
+
+    def id_index(self, pred: str, positions: tuple[int, ...]):
+        """The predicate's ID-space hash index for ``positions`` (built
+        on first use), or None for an unknown predicate.  The
+        specialized executors probe this dict directly.  See
+        :meth:`Relation.id_index`."""
+        rel = self._relations.get(pred)
+        return None if rel is None else rel.id_index(positions)
 
     def count(self, pred: str | None = None) -> int:
         """Number of facts for one predicate, or in total."""

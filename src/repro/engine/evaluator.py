@@ -46,7 +46,7 @@ from repro.program.dependency import SCCComponent, scc_schedule
 from repro.program.rule import Atom, Program, Query, Rule, canonical_atom
 from repro.program.stratify import Layering, stratify, validate_layering
 from repro.program.wellformed import check_program
-from repro.terms.term import Term, evaluate_ground
+from repro.terms.term import Term, evaluate_ground, id_table_size
 
 Strategy = TypingLiteral["naive", "seminaive"]
 Scheduler = TypingLiteral["scc", "layer"]
@@ -269,6 +269,8 @@ def evaluate(
                 i, stats.grouping_facts + stats.fixpoint.facts_derived
             )
         layer_stats.append(stats)
+    if metrics is not None:
+        metrics.record_id_table(id_table_size())
     return EvaluationResult(db, layering, layer_stats, strategy, metrics, ctx)
 
 

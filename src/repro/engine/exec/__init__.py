@@ -3,19 +3,26 @@
 Every consumer — the fixpoint loops, grouping, magic evaluation, the
 incremental model, explanation, and the semantics reference modules —
 enumerates rule-body bindings through :func:`enumerate_bindings` (or
-its fact-producing wrapper :func:`derive_facts`).  Two executors sit
+its fact-producing wrapper :func:`derive_facts`).  Three lanes sit
 behind it:
 
-* ``"batch"`` (default) — the set-at-a-time operator pipeline in
+* **specialized** (default) — each plan compiles once into a closure
+  of nested loops over ID rows (:mod:`repro.engine.exec.specialize`);
+  shapes or call conditions it cannot prove it handles fall through to
+* ``"batch"`` — the set-at-a-time term-level operator pipeline in
   :mod:`repro.engine.exec.batch`;
 * ``"tuple"`` — the original one-binding-at-a-time recursion in
   :mod:`repro.engine.exec.tuplewise`, kept for differential testing.
 
-The process-wide default comes from the ``REPRO_EXECUTOR`` environment
-variable (CI runs the engine suite under ``REPRO_EXECUTOR=tuple`` so
-the compatibility path cannot rot) and can be changed with
-:func:`set_default_executor` (the benchmark harness ``--executor``
-knob).
+The process-wide executor default comes from the ``REPRO_EXECUTOR``
+environment variable (CI runs the engine suite under
+``REPRO_EXECUTOR=tuple`` so the compatibility path cannot rot) and can
+be changed with :func:`set_default_executor` (the benchmark harness
+``--executor`` knob).  Plan specialization sits *on top of* the batch
+executor and is toggled independently by ``REPRO_SPECIALIZE``
+(``on``/``off``; CI runs a leg with ``REPRO_SPECIALIZE=off`` so the
+term-level batch lane cannot rot either) or
+:func:`set_specialization`.
 """
 
 from __future__ import annotations
@@ -26,11 +33,14 @@ from typing import Iterable
 from repro.engine.binding import ChainBinding
 from repro.engine.database import Database
 from repro.engine.exec.batch import group_bindings, run_plan_batch
+from repro.engine.exec.specialize import FALLBACK, specialized_plan
 from repro.engine.exec.tuplewise import run_plan_tuple
 from repro.engine.plan import RulePlan, SourceOverrides
 from repro.program.rule import Atom
 
 EXECUTORS = ("batch", "tuple")
+
+SPECIALIZE_MODES = ("on", "off")
 
 
 def _validated(name: str) -> str:
@@ -41,7 +51,17 @@ def _validated(name: str) -> str:
     return name
 
 
+def _validated_specialize(name: str) -> str:
+    if name not in SPECIALIZE_MODES:
+        raise ValueError(
+            f"unknown specialization mode {name!r}; "
+            f"expected one of {SPECIALIZE_MODES}"
+        )
+    return name
+
+
 _default_executor = _validated(os.environ.get("REPRO_EXECUTOR", "batch"))
+_specialize = _validated_specialize(os.environ.get("REPRO_SPECIALIZE", "on"))
 
 
 def default_executor() -> str:
@@ -53,6 +73,17 @@ def set_default_executor(name: str) -> None:
     """Change the process-wide default (harness ``--executor`` knob)."""
     global _default_executor
     _default_executor = _validated(name)
+
+
+def specialization() -> str:
+    """Whether compiled-plan specialization is ``"on"`` or ``"off"``."""
+    return _specialize
+
+
+def set_specialization(name: str) -> None:
+    """Toggle compiled-plan specialization (harness ``--specialize``)."""
+    global _specialize
+    _specialize = _validated_specialize(name)
 
 
 def enumerate_bindings(
@@ -67,7 +98,8 @@ def enumerate_bindings(
     """All bindings satisfying ``plan``'s body, via the chosen executor.
 
     Returns an iterable of copy-on-write chain bindings: a realized
-    list from the batch executor, a lazy iterator from the tuple one.
+    list from the batch and specialized executors, a lazy iterator from
+    the tuple one.
     """
     name = _default_executor if executor is None else _validated(executor)
     if name == "tuple":
@@ -75,6 +107,12 @@ def enumerate_bindings(
             db, plan, binding=binding, overrides=overrides,
             negation_db=negation_db,
         )
+    if _specialize == "on":
+        result = specialized_plan(plan).run(
+            "bindings", db, binding, overrides, negation_db, metrics
+        )
+        if result is not FALLBACK:
+            return result
     return run_plan_batch(
         db, plan, binding=binding, overrides=overrides,
         negation_db=negation_db, metrics=metrics,
@@ -91,11 +129,20 @@ def derive_facts(
 ) -> list[Atom]:
     """Head facts derived by one rule application (ground heads only;
     bindings that take the head outside U are dropped)."""
+    name = _default_executor if executor is None else _validated(executor)
+    if name == "batch" and _specialize == "on" and plan.head is not None:
+        # the specialized atoms mode inlines head instantiation too:
+        # facts come straight off the ID rows, no intermediate binding
+        result = specialized_plan(plan).run(
+            "atoms", db, None, overrides, negation_db, metrics
+        )
+        if result is not FALLBACK:
+            return result
     instantiate = plan.instantiate_head
     facts: list[Atom] = []
     for binding in enumerate_bindings(
         db, plan, overrides=overrides, negation_db=negation_db,
-        executor=executor, metrics=metrics,
+        executor=name, metrics=metrics,
     ):
         fact = instantiate(binding)
         if fact is not None:
@@ -105,8 +152,11 @@ def derive_facts(
 
 __all__ = [
     "EXECUTORS",
+    "SPECIALIZE_MODES",
     "default_executor",
     "set_default_executor",
+    "specialization",
+    "set_specialization",
     "enumerate_bindings",
     "derive_facts",
     "group_bindings",

@@ -20,6 +20,14 @@ The output batch is the same *multiset* of bindings the tuple executor
 produces (order may differ): no deduplication happens here, so
 ``on_rule_fired`` counts and grouping multiplicities agree between the
 two executors exactly.
+
+Since PR 6 this module is the *term-lane* implementation: when plan
+specialization is on (the default), supported plans instead run as
+compiled ID-row closures over the columnar relation layer
+(:mod:`repro.engine.exec.specialize`), and this executor serves as
+their fallback for unsupported shapes — plus the whole engine's path
+under ``REPRO_SPECIALIZE=off``.  Both lanes produce identical binding
+multisets; the CI differential legs hold them to that.
 """
 
 from __future__ import annotations

@@ -1,0 +1,817 @@
+"""Per-plan specialization: compile a RulePlan to one Python closure.
+
+The batch executor (:mod:`repro.engine.exec.batch`) still *interprets*
+the step vocabulary per call: for every batch it re-dispatches on step
+kind, re-reads descriptor tuples, and shuttles ``ChainBinding`` objects
+of boxed terms between operators.  This module removes that
+interpretive overhead: each :class:`~repro.engine.plan.RulePlan`
+compiles once into a specialized function whose source *inlines* the
+plan — nested loops over ID rows (:mod:`repro.engine.relation`), probe
+keys as int (tuples of int) dict gets against
+:meth:`~repro.engine.relation.Relation.id_index`, negation as ID-row
+set membership, and residual fresh variables as direct tuple
+subscripts into local ints.  Terms materialize from the ID table only
+at the boundaries: builtin calls, general residual matching, and the
+emitted facts/bindings.
+
+Two modes share one generator:
+
+* ``"atoms"`` — the :func:`~repro.engine.exec.derive_facts` shape:
+  emits ground head :class:`~repro.program.rule.Atom` facts directly
+  (the head template is inlined too; non-fast heads fall back to
+  :func:`~repro.engine.match.ground_atom` per row);
+* ``"bindings"`` — the :func:`~repro.engine.exec.enumerate_bindings`
+  shape: emits :class:`~repro.engine.binding.ChainBinding` objects
+  (consumers call ``.materialize()``), one root dict per row.
+
+Semantics are *identical by construction* to the term-level batch
+executor — same binding multisets, same failure semantics (lenient
+override probes vs raising database probes), same per-step
+``record_batch`` metrics — and the tuple executor remains the
+differential oracle for both.  Shapes the generator cannot prove it
+handles raise :class:`_Unsupported` and the caller falls back to the
+term-level batch lane; runtime conditions it cannot handle (a seed
+binding whose keys differ from the plan's ``initially_bound``) return
+:data:`FALLBACK` *before* any override source is consumed.
+
+Compiled closures capture the ID table by reference; like relations,
+they must not outlive :func:`repro.terms.term.clear_intern_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.engine.binding import (
+    EMPTY_BINDING,
+    ChainBinding,
+    materialize,
+)
+from repro.engine.database import Database
+from repro.engine.exec.runtime import (
+    builtin_step,
+    fold_arith,
+    match_residuals,
+    negated_builtin_holds,
+    substituted_residuals,
+)
+from repro.engine.match import ground_atom
+from repro.engine.plan import ARITH, CONST, VAR, LiteralStep, RulePlan, SourceOverrides
+from repro.engine.relation import decode_row, encode_args
+from repro.errors import EvaluationError, NotInUniverseError
+from repro.program.rule import Atom
+from repro.terms.term import Term, _ID_TABLE, evaluate_ground, row_id
+
+#: Sentinel: the specialized path declined (before consuming any
+#: override source); the caller must run the term-level batch lane.
+FALLBACK = object()
+
+
+class _Unsupported(Exception):
+    """The generator cannot prove it handles this plan shape."""
+
+
+# -- runtime helpers shared by every generated closure ----------------------
+
+
+def _encode_rows(source) -> list[tuple[int, ...]]:
+    """Materialize an override source once, as ID rows."""
+    return [encode_args(args) for args in source]
+
+
+def _encode_rows_exact(source, arity: int) -> list[tuple[int, ...]]:
+    """Like :func:`_encode_rows` but dropping wrong-arity rows — the
+    probe-only override semantics (each binding passes once per row *of
+    the right arity*)."""
+    return [encode_args(args) for args in source if len(args) == arity]
+
+
+def _build_index(rows, positions):
+    """An ID-space hash index over override rows.  Buckets are lists:
+    override sources are multisets and duplicates must keep counting."""
+    index: dict = {}
+    if len(positions) == 1:
+        pos = positions[0]
+        for row in rows:
+            key = row[pos]
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+    else:
+        for row in rows:
+            key = tuple(row[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [row]
+            else:
+                bucket.append(row)
+    return index
+
+
+def _out_rid(value: Term) -> int:
+    rid = value._rid
+    return row_id(value) if rid is None else rid
+
+
+def _term_prober(term: Term, in_names: tuple[str, ...]):
+    """Evaluate a residual probe term to its row ID, or -1 to drop the
+    binding.  Failure semantics match :func:`runtime.probe_key`:
+    ``EvaluationError`` always drops; ``NotInUniverseError`` drops only
+    for lenient (override) sources and raises for database probes."""
+
+    def probe(in_rids, lenient):
+        table = _ID_TABLE
+        binding = {n: table[r] for n, r in zip(in_names, in_rids)}
+        try:
+            value = evaluate_ground(term.substitute(binding))
+        except EvaluationError:
+            return -1
+        except NotInUniverseError:
+            if lenient:
+                return -1
+            raise
+        rid = value._rid
+        return row_id(value) if rid is None else rid
+
+    return probe
+
+
+def _neg_prober(term: Term, in_names: tuple[str, ...]):
+    """Evaluate a negation argument term to its row ID, or -1 to drop
+    the binding (unbound or outside U: not applicable, as in
+    :func:`runtime.negation_args`)."""
+
+    def probe(in_rids):
+        table = _ID_TABLE
+        binding = {n: table[r] for n, r in zip(in_names, in_rids)}
+        try:
+            value = evaluate_ground(term.substitute(binding))
+        except (NotInUniverseError, EvaluationError):
+            return -1
+        rid = value._rid
+        return row_id(value) if rid is None else rid
+
+    return probe
+
+
+def _residual_matcher(
+    step: LiteralStep, in_names: tuple[str, ...], out_names: tuple[str, ...]
+):
+    """General residual matching (repeated variables, nested patterns)
+    over a whole bucket of ID rows: one call per outer binding, the
+    mixed residual terms substituted once (exactly the batch
+    executor's amortization), returning the row-ID tuples of the new
+    variables, one per match."""
+
+    residuals = step.residuals
+
+    def matcher(in_rids, rows):
+        table = _ID_TABLE
+        root = {n: table[r] for n, r in zip(in_names, in_rids)}
+        binding = ChainBinding(root=root) if root else EMPTY_BINDING
+        substituted = substituted_residuals(step, binding)
+        outs = []
+        for row in rows:
+            args = tuple(table[rid] for rid in row)
+            for ext in match_residuals(residuals, args, binding, substituted):
+                outs.append(tuple(_out_rid(ext[n]) for n in out_names))
+        return outs
+
+    return matcher
+
+
+def _builtin_runner(
+    step: LiteralStep, in_names: tuple[str, ...], out_names: tuple[str, ...]
+):
+    """Generic builtin fallback (unknown predicates route through
+    ``solve_builtin``): materialize the bound arguments, run the step,
+    re-encode the output variables.  One result tuple per yielded
+    extension, so filter multiplicities survive.  Known handlers are
+    inlined by the generator instead."""
+
+    def run(in_rids):
+        table = _ID_TABLE
+        root = {n: table[r] for n, r in zip(in_names, in_rids)}
+        binding = ChainBinding(root=root) if root else EMPTY_BINDING
+        outs = []
+        for ext in builtin_step(step, binding):
+            outs.append(tuple(_out_rid(ext[n]) for n in out_names))
+        return outs
+
+    return run
+
+
+def _single_out_rid(step: LiteralStep, in_names: tuple[str, ...], out_name: str):
+    """Slow path for an inlined assignment builtin whose arithmetic
+    fast-fold declined (unbound/non-numeric operand, fold failure): run
+    the full builtin step — exact error and universe semantics — and
+    return the single extension's output row ID, or -1 when the builtin
+    is false.  Only used for shapes that yield at most one extension
+    (``=`` binding one fresh variable)."""
+
+    def run(in_rids):
+        table = _ID_TABLE
+        root = {n: table[r] for n, r in zip(in_names, in_rids)}
+        binding = ChainBinding(root=root) if root else EMPTY_BINDING
+        for ext in builtin_step(step, binding):
+            return _out_rid(ext[out_name])
+        return -1
+
+    return run
+
+
+def _filter_holds(step: LiteralStep, in_names: tuple[str, ...]):
+    """Slow path for an inlined filter builtin: True iff the step
+    yields (filters yield at most one extension)."""
+
+    def run(in_rids):
+        table = _ID_TABLE
+        root = {n: table[r] for n, r in zip(in_names, in_rids)}
+        binding = ChainBinding(root=root) if root else EMPTY_BINDING
+        for _ in builtin_step(step, binding):
+            return True
+        return False
+
+    return run
+
+
+def _neg_builtin(step: LiteralStep, in_names: tuple[str, ...]):
+    """Closed negated-builtin test over materialized bound arguments."""
+
+    def holds(in_rids):
+        table = _ID_TABLE
+        root = {n: table[r] for n, r in zip(in_names, in_rids)}
+        binding = ChainBinding(root=root) if root else EMPTY_BINDING
+        return negated_builtin_holds(step, binding)
+
+    return holds
+
+
+# -- the generator ----------------------------------------------------------
+
+
+class _Codegen:
+    """Builds the source of one specialized closure.
+
+    The generated function has the shape::
+
+        def _specialized(db, overrides, seed, base, negdb, metrics):
+            out = []; _ap = out.append
+            <per-step source prologue: override vs db, indexes, counters>
+            for _root in _ONE:            # single pass; makes every
+                <nested per-step loops>   # drop-binding check a plain
+                    <emission epilogue>   # ``continue``
+            <record_batch epilogue>
+            return out
+
+    ``seed`` maps initially-bound variable names to row IDs, ``base``
+    the same names to their original term values (used verbatim in
+    emitted bindings, exactly as the term executors keep the caller's
+    root binding)."""
+
+    def __init__(self, plan: RulePlan, mode: str) -> None:
+        self.plan = plan
+        self.mode = mode
+        self.env: dict = {
+            "_T": _ID_TABLE,
+            "_CB": ChainBinding,
+            "_Atom": Atom,
+            "_ga": ground_atom,
+            "_enc": _encode_rows,
+            "_encf": _encode_rows_exact,
+            "_bix": _build_index,
+            "_fold": fold_arith,
+            "_rid": row_id,
+            "_EB": EMPTY_BINDING,
+            "_ED": {},
+            "_ONE": (0,),
+            "_ES": frozenset(),
+        }
+        self.locals: dict[str, str] = {}  # variable name -> local name
+        self.assigned: set[str] = set()
+        self.pro: list[str] = []  # prologue lines (one indent level)
+        self.body: list[str] = []  # loop-nest lines (absolute indent)
+        self.depth = 2  # inside the function and the _ONE loop
+
+    # -- small emission helpers --------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.body.append("    " * self.depth + line)
+
+    def local_for(self, name: str) -> str:
+        loc = self.locals.get(name)
+        if loc is None:
+            loc = f"v{len(self.locals)}"
+            self.locals[name] = loc
+        return loc
+
+    def bound_local(self, name: str) -> str:
+        """The local holding an already-bound variable, loading it from
+        the seed on first use."""
+        if name not in self.assigned:
+            if name not in self.plan.initially_bound:
+                raise _Unsupported(f"variable {name!r} unbound at use")
+            loc = self.local_for(name)
+            self.pro.append(f"{loc} = seed[{name!r}]")
+            self.assigned.add(name)
+        return self.locals[name]
+
+    def ins_expr(self, names) -> str:
+        for name in names:
+            self.bound_local(name)
+        if not names:
+            return "()"
+        inner = ", ".join(self.locals[n] for n in names)
+        return f"({inner},)" if len(names) == 1 else f"({inner})"
+
+    # -- per-step emission -------------------------------------------------
+
+    def relation_step(self, k: int, step: LiteralStep) -> None:
+        atom = step.literal.atom
+        pred = atom.pred
+        arity = len(atom.args)
+        general = bool(step.residuals) and step.simple_residuals is None
+        pro = self.pro
+        emit = self.emit
+        pro.append(
+            f"_s{k} = None if overrides is None else overrides.get({step.index})"
+        )
+        if step.probes:
+            # probe-only override rows must be arity-filtered (each
+            # binding passes once per matching row of the right arity);
+            # rows feeding residual matching are not (parity with the
+            # term-level matchers, which ignore trailing columns).
+            enc = "_enc" if step.residuals else "_encf"
+            arg = f"_s{k}" if step.residuals else f"_s{k}, {arity}"
+            pro.append(f"if _s{k} is None:")
+            pro.append(
+                f"    _i{k} = db.id_index({pred!r}, {step.probe_positions!r})"
+            )
+            pro.append(f"    _l{k} = False")
+            pro.append("else:")
+            pro.append(
+                f"    _i{k} = _bix({enc}({arg}), {step.probe_positions!r})"
+            )
+            pro.append(f"    _l{k} = True")
+            # an unknown predicate skips the step wholesale, before any
+            # probe-key evaluation (the batch executor's semantics)
+            emit(f"if _i{k} is None:")
+            emit("    continue")
+            parts = []
+            for pos, kindp, payload in step.probes:
+                if kindp == VAR:
+                    parts.append(self.bound_local(payload))
+                elif kindp == CONST:
+                    parts.append(str(row_id(payload)))
+                else:  # TERM: evaluate per binding at the term boundary
+                    hname = f"_t{k}_{pos}"
+                    in_names = tuple(sorted(payload.variables()))
+                    ins = self.ins_expr(in_names)
+                    self.env[hname] = _term_prober(payload, in_names)
+                    tloc = f"_p{k}_{pos}"
+                    emit(f"{tloc} = {hname}({ins}, _l{k})")
+                    emit(f"if {tloc} < 0:")
+                    emit("    continue")
+                    parts.append(tloc)
+            key = parts[0] if len(parts) == 1 else "(" + ", ".join(parts) + ")"
+            emit(f"_b{k} = _i{k}.get({key})")
+            emit(f"if not _b{k}:")
+            emit("    continue")
+            rows = f"_b{k}"
+        else:
+            pro.append(f"if _s{k} is None:")
+            pro.append(f"    _r{k} = db.id_rows({pred!r})")
+            pro.append(f"    if _r{k} is None:")
+            pro.append(f"        _r{k} = ()")
+            pro.append("else:")
+            pro.append(f"    _r{k} = _enc(_s{k})")
+            rows = f"_r{k}"
+        if general:
+            # one matcher call per outer binding over the whole bucket:
+            # the mixed residual terms substitute once, as in the batch
+            # executor's general-residual operator
+            bound = step.bound_before
+            in_names = tuple(sorted(atom.variables() & bound))
+            out_names = tuple(sorted(atom.variables() - bound))
+            ins = self.ins_expr(in_names)
+            hname = f"_m{k}"
+            self.env[hname] = _residual_matcher(step, in_names, out_names)
+            emit(f"for _y{k} in {hname}({ins}, {rows}):")
+            self.depth += 1
+            if out_names:
+                targets = ", ".join(self.local_for(n) for n in out_names)
+                comma = "," if len(out_names) == 1 else ""
+                emit(f"{targets}{comma} = _y{k}")
+                self.assigned.update(out_names)
+            emit(f"_c{k} += 1")
+            return
+        emit(f"for _x{k} in {rows}:")
+        self.depth += 1
+        if not step.residuals:
+            emit(f"_c{k} += 1")
+        else:
+            for pos, name in step.simple_residuals:
+                loc = self.local_for(name)
+                emit(f"{loc} = _x{k}[{pos}]")
+                self.assigned.add(name)
+            emit(f"_c{k} += 1")
+
+    def negation_step(self, k: int, step: LiteralStep) -> None:
+        atom = step.literal.atom
+        emit = self.emit
+        if step.neg_args is None:  # negated builtin: closed test
+            in_names = tuple(sorted(atom.variables() & step.bound_before))
+            ins = self.ins_expr(in_names)
+            hname = f"_nb{k}"
+            self.env[hname] = _neg_builtin(step, in_names)
+            emit(f"if not {hname}({ins}):")
+            emit("    continue")
+            emit(f"_c{k} += 1")
+            return
+        self.pro.append(f"_n{k} = negdb.id_rows({atom.pred!r})")
+        self.pro.append(f"if _n{k} is None:")
+        self.pro.append(f"    _n{k} = _ES")
+        parts = []
+        for i, (kindn, payload) in enumerate(step.neg_args):
+            if kindn == VAR:
+                parts.append(self.bound_local(payload))
+            elif kindn == CONST:
+                parts.append(str(row_id(payload)))
+            else:  # TERM: unbound or outside U drops the binding
+                hname = f"_g{k}_{i}"
+                in_names = tuple(
+                    sorted(payload.variables() & step.bound_before)
+                )
+                ins = self.ins_expr(in_names)
+                self.env[hname] = _neg_prober(payload, in_names)
+                tloc = f"_q{k}_{i}"
+                emit(f"{tloc} = {hname}({ins})")
+                emit(f"if {tloc} < 0:")
+                emit("    continue")
+                parts.append(tloc)
+        comma = "," if len(parts) == 1 else ""
+        emit(f"if ({', '.join(parts)}{comma}) in _n{k}:")
+        emit("    continue")
+        emit(f"_c{k} += 1")
+
+    def builtin_step(self, k: int, step: LiteralStep) -> None:
+        atom = step.literal.atom
+        emit = self.emit
+        bound = step.bound_before
+        in_names = tuple(sorted(atom.variables() & bound))
+        out_names = tuple(sorted(atom.variables() - bound))
+        handler = step.builtin_handler
+        if (
+            handler is not None
+            and len(step.builtin_args) == 2
+            and atom.pred in ("=", "!=")
+            and self._builtin_eq_ne(k, step, in_names, out_names)
+        ):
+            return
+        if handler is None:
+            # unknown predicate: generic solve_builtin fallback helper
+            ins = self.ins_expr(in_names)
+            hname = f"_u{k}"
+            self.env[hname] = _builtin_runner(step, in_names, out_names)
+            emit(f"for _x{k} in {hname}({ins}):")
+            self.depth += 1
+            if out_names:
+                targets = ", ".join(self.local_for(n) for n in out_names)
+                comma = "," if len(out_names) == 1 else ""
+                emit(f"{targets}{comma} = _x{k}")
+                self.assigned.update(out_names)
+            emit(f"_c{k} += 1")
+            return
+        # known handler: inline the argument materialization (the
+        # builtin_call_args descriptor walk resolves at generation
+        # time — a VAR argument is statically bound or not) and call
+        # the compiled handler directly with a minimal root binding
+        for name in in_names:
+            self.bound_local(name)
+        if in_names:
+            entries = ", ".join(f"{n!r}: _T[{self.locals[n]}]" for n in in_names)
+            emit(f"_d{k} = {{{entries}}}")
+            emit(f"_e{k} = _CB(root=_d{k})")
+            dct, bnd = f"_d{k}", f"_e{k}"
+        else:
+            dct, bnd = "_ED", "_EB"
+        arg_exprs = []
+        for j, (kinda, payload, term) in enumerate(step.builtin_args):
+            if kinda == VAR:
+                if payload in bound:
+                    arg_exprs.append(f"_T[{self.locals[payload]}]")
+                else:
+                    cname = f"_v{k}_{j}"
+                    self.env[cname] = term
+                    arg_exprs.append(cname)
+            elif kinda == CONST:
+                cname = f"_k{k}_{j}"
+                self.env[cname] = payload
+                arg_exprs.append(cname)
+            elif kinda == ARITH:
+                self.env[f"_af{k}_{j}"] = payload[0]
+                self.env[f"_ag{k}_{j}"] = payload[1]
+                self.env[f"_at{k}_{j}"] = term
+                wname = f"_w{k}_{j}"
+                emit(f"{wname} = _fold(_af{k}_{j}, _ag{k}_{j}, {dct})")
+                emit(f"if {wname} is None:")
+                emit(f"    {wname} = _at{k}_{j}.substitute({bnd})")
+                arg_exprs.append(wname)
+            else:  # TERM: mixed pattern, substitute per binding
+                self.env[f"_at{k}_{j}"] = term
+                arg_exprs.append(f"_at{k}_{j}.substitute({bnd})")
+        comma = "," if len(arg_exprs) == 1 else ""
+        hname = f"_h{k}"
+        self.env[hname] = handler
+        emit(f"for _x{k} in {hname}(({', '.join(arg_exprs)}{comma}), {bnd}):")
+        self.depth += 1
+        for name in out_names:
+            loc = self.local_for(name)
+            emit(f"_o{k} = _x{k}[{name!r}]")
+            emit(f"{loc} = _o{k}._rid")
+            emit(f"if {loc} is None:")
+            emit(f"    {loc} = _rid(_o{k})")
+            self.assigned.add(name)
+        emit(f"_c{k} += 1")
+
+    def _emit_fold(self, k: int, arg) -> None:
+        """Emit the arithmetic fast-fold for one ARITH argument into
+        ``_w{k}`` (a Const, or None when the fold declines)."""
+        _kinda, payload, _term = arg
+        names = []
+        for kv, name in payload[1]:
+            if kv == VAR and name not in names:
+                names.append(name)
+        for name in names:
+            self.bound_local(name)
+        entries = ", ".join(f"{n!r}: _T[{self.locals[n]}]" for n in names)
+        self.env[f"_af{k}"] = payload[0]
+        self.env[f"_ag{k}"] = payload[1]
+        self.emit(f"_w{k} = _fold(_af{k}, _ag{k}, {{{entries}}})")
+
+    def _builtin_eq_ne(self, k: int, step, in_names, out_names) -> bool:
+        """Inline the ``=``/``!=`` shapes that resolve in ID space —
+        row-ID equality coincides with term equality, so ground
+        comparisons become int comparisons and ``Fresh = expr``
+        becomes a local assignment (with the full builtin step as the
+        slow path whenever the arithmetic fold declines).  Returns
+        True when the step was emitted."""
+        emit = self.emit
+        bound = step.bound_before
+        pred = step.literal.atom.pred
+
+        def ground_expr(arg):
+            kinda, payload, _term = arg
+            if kinda == CONST:
+                return str(row_id(payload))
+            if kinda == VAR and payload in bound:
+                return self.bound_local(payload)
+            return None
+
+        def arith_ok(arg):
+            kinda, payload, _term = arg
+            return kinda == ARITH and all(
+                kv != VAR or name in bound for kv, name in payload[1]
+            )
+
+        a, b = step.builtin_args
+        ga, gb = ground_expr(a), ground_expr(b)
+        if ga is not None and gb is not None:
+            op = "==" if pred == "!=" else "!="
+            emit(f"if {ga} {op} {gb}:")
+            emit("    continue")
+            emit(f"_c{k} += 1")
+            return True
+        if pred == "!=":
+            return False
+        for this, other, gother in ((a, b, gb), (b, a, ga)):
+            kinda, payload, _term = this
+            if kinda != VAR or payload in bound:
+                continue
+            if out_names != (payload,):
+                return False
+            if gother is not None:
+                loc = self.local_for(payload)
+                emit(f"{loc} = {gother}")
+                self.assigned.add(payload)
+                emit(f"_c{k} += 1")
+                return True
+            if arith_ok(other):
+                self._emit_fold(k, other)
+                ins = self.ins_expr(in_names)
+                hname = f"_uq{k}"
+                self.env[hname] = _single_out_rid(step, in_names, payload)
+                emit(f"if _w{k} is None:")
+                emit(f"    _y{k} = {hname}({ins})")
+                emit("else:")
+                emit(f"    _y{k} = _w{k}._rid")
+                emit(f"    if _y{k} is None:")
+                emit(f"        _y{k} = _rid(_w{k})")
+                emit(f"if _y{k} < 0:")
+                emit("    continue")
+                loc = self.local_for(payload)
+                emit(f"{loc} = _y{k}")
+                self.assigned.add(payload)
+                emit(f"_c{k} += 1")
+                return True
+            return False
+        for gthis, other in ((ga, b), (gb, a)):
+            if gthis is not None and arith_ok(other):
+                self._emit_fold(k, other)
+                ins = self.ins_expr(in_names)
+                hname = f"_uf{k}"
+                self.env[hname] = _filter_holds(step, in_names)
+                emit(f"if _w{k} is None:")
+                emit(f"    if not {hname}({ins}):")
+                emit("        continue")
+                emit("else:")
+                emit(f"    _y{k} = _w{k}._rid")
+                emit(f"    if _y{k} is None:")
+                emit(f"        _y{k} = _rid(_w{k})")
+                emit(f"    if _y{k} != {gthis}:")
+                emit("        continue")
+                emit(f"_c{k} += 1")
+                return True
+        return False
+
+    # -- emission epilogue (innermost loop body) ---------------------------
+
+    def binding_dict_expr(self) -> str:
+        """A dict literal of the full output binding: seed variables
+        keep their original term values (from ``base``), body-bound
+        variables materialize from the ID table."""
+        entries = [
+            f"{name!r}: base[{name!r}]" for name in sorted(self.plan.initially_bound)
+        ]
+        for name, loc in self.locals.items():
+            if name in self.plan.initially_bound:
+                continue
+            if name in self.assigned:
+                entries.append(f"{name!r}: _T[{loc}]")
+        return "{" + ", ".join(entries) + "}"
+
+    def emit_result(self) -> None:
+        if self.mode == "bindings":
+            self.emit(f"_ap(_CB(root={self.binding_dict_expr()}))")
+            return
+        head = self.plan.head
+        if head is None:
+            raise _Unsupported("body-only plan has no head template")
+        parts = []
+        rids = []
+        fast = head.fast
+        if fast:
+            for i, (kindh, payload) in enumerate(head.parts):
+                if kindh == VAR:
+                    if payload in self.plan.initially_bound:
+                        parts.append(f"base[{payload!r}]")
+                        rids.append(self.bound_local(payload))
+                    elif payload in self.assigned:
+                        parts.append(f"_T[{self.locals[payload]}]")
+                        rids.append(self.locals[payload])
+                    else:
+                        # head variable the body never binds: per-row
+                        # ground_atom fallback, like the term template
+                        fast = False
+                        break
+                else:
+                    cname = f"_k{i}"
+                    self.env[cname] = payload
+                    parts.append(cname)
+                    rids.append(str(row_id(payload)))
+        if fast:
+            comma = "," if len(parts) == 1 else ""
+            self.emit(
+                f"_a = _Atom({head.atom.pred!r}, ({', '.join(parts)}{comma}))"
+            )
+            self.emit("_a._ground = True")
+            # the ID row rides along so Database.add skips re-encoding
+            self.emit(f"_a._row = ({', '.join(rids)}{comma})")
+            self.emit("_ap(_a)")
+        else:
+            self.env["_H"] = head.atom
+            self.emit(f"_d = {self.binding_dict_expr()}")
+            self.emit("_f = _ga(_H, _d)")
+            self.emit("if _f is not None:")
+            self.emit("    _ap(_f)")
+
+    # -- assembly ----------------------------------------------------------
+
+    def build(self) -> tuple[str, dict]:
+        steps = self.plan.steps
+        for k, step in enumerate(steps):
+            self.pro.append(f"_c{k} = 0")
+            if step.kind == "relation":
+                self.relation_step(k, step)
+            elif step.kind == "negation":
+                self.negation_step(k, step)
+            elif step.kind == "builtin":
+                self.builtin_step(k, step)
+            else:
+                raise _Unsupported(f"unknown step kind {step.kind!r}")
+        self.emit_result()
+        lines = ["def _specialized(db, overrides, seed, base, negdb, metrics):"]
+        lines.append("    out = []")
+        lines.append("    _ap = out.append")
+        lines.extend("    " + line for line in self.pro)
+        lines.append("    for _root in _ONE:")
+        lines.extend(self.body)
+        if steps:
+            # per-step record_batch parity with the term batch executor:
+            # step k is recorded iff the batch entering it was non-empty
+            lines.append("    if metrics is not None:")
+            lines.append("        _rb = metrics.record_batch")
+            lines.append("        _rb(_c0)")
+            indent = "        "
+            for k in range(1, len(steps)):
+                lines.append(f"{indent}if _c{k - 1}:")
+                indent += "    "
+                lines.append(f"{indent}_rb(_c{k})")
+        lines.append("    return out")
+        return "\n".join(lines) + "\n", self.env
+
+
+def _generate(plan: RulePlan, mode: str) -> tuple[str, dict]:
+    return _Codegen(plan, mode).build()
+
+
+# -- the compiled-plan wrapper ----------------------------------------------
+
+
+#: Process-wide source → code-object memo.  Plan caches live per
+#: EvalContext, so the same rule re-specializes on every evaluation;
+#: its generated source is deterministic (locals are numbered in
+#: discovery order, constants are baked as row-ID literals, which are
+#: stable for the life of the intern table), so ``compile`` — by far
+#: the expensive part — runs once per distinct source per process.
+#: After ``clear_intern_table`` the baked IDs change, so stale entries
+#: mismatch by text and are simply never reused.
+_CODE_CACHE: dict[tuple[str, str], object] = {}
+
+
+class SpecializedPlan:
+    """Lazy per-mode compilation cache hung off a :class:`RulePlan`.
+
+    Each mode compiles at most once; an unsupported shape caches False
+    so the term-level fallback is not re-attempted per call."""
+
+    __slots__ = ("plan", "_fns")
+
+    def __init__(self, plan: RulePlan) -> None:
+        self.plan = plan
+        self._fns: dict[str, object] = {}
+
+    def _function(self, mode: str):
+        fn = self._fns.get(mode)
+        if fn is None:
+            plan = self.plan
+            try:
+                source, env = _generate(plan, mode)
+                label = plan.head.atom.pred if plan.head is not None else "body"
+                key = (f"<specialized:{label}:{mode}>", source)
+                code = _CODE_CACHE.get(key)
+                if code is None:
+                    code = compile(source, key[0], "exec")
+                    _CODE_CACHE[key] = code
+                exec(code, env)
+                fn = env["_specialized"]
+            except _Unsupported:
+                fn = False
+            self._fns[mode] = fn
+        return fn
+
+    def run(
+        self,
+        mode: str,
+        db: Database,
+        binding: Mapping[str, Term] | None,
+        overrides: SourceOverrides | None,
+        negation_db: Database | None,
+        metrics,
+    ):
+        """Run one mode, or :data:`FALLBACK` (always before consuming
+        any override source, so the term lane sees fresh iterators)."""
+        plan = self.plan
+        base = {} if binding is None else materialize(binding)
+        if frozenset(base) != plan.initially_bound:
+            return FALLBACK
+        fn = self._function(mode)
+        if fn is False:
+            return FALLBACK
+        try:
+            seed = {name: row_id(value) for name, value in base.items()}
+        except (TypeError, AttributeError):
+            return FALLBACK
+        negdb = db if negation_db is None else negation_db
+        return fn(db, overrides, seed, base, negdb, metrics)
+
+
+def specialized_plan(plan: RulePlan) -> SpecializedPlan:
+    """The plan's specialization cache, created on first use."""
+    spec = plan._spec
+    if spec is None:
+        spec = SpecializedPlan(plan)
+        plan._spec = spec
+    return spec

@@ -119,18 +119,29 @@ def naive_fixpoint(
         if ctx.sized:
             ctx.refresh_sizes()
         # every rule evaluates against the same snapshot: batch the
-        # derivations (with their deriving rule) and add afterwards.
-        batch: list[tuple[Rule, Atom]] = []
-        for rule in rules:
-            derived = _derive(ctx, db, rule, ctx.plan_for(rule))
-            stats.rule_firings += 1
-            batch.extend((rule, fact) for fact in derived)
+        # derivations (with their deriving rule when hooks need it)
+        # and add afterwards.
         new = 0
-        for rule, fact in batch:
-            if db.add(fact):
-                new += 1
-                if ctx.observing:
+        if ctx.observing:
+            batch: list[tuple[Rule, Atom]] = []
+            for rule in rules:
+                derived = _derive(ctx, db, rule, ctx.plan_for(rule))
+                stats.rule_firings += 1
+                batch.extend((rule, fact) for fact in derived)
+            for rule, fact in batch:
+                if db.add(fact):
+                    new += 1
                     ctx.hooks.on_fact_derived(fact, rule)
+        else:
+            facts: list[Atom] = []
+            for rule in rules:
+                derived = _derive(ctx, db, rule, ctx.plan_for(rule))
+                stats.rule_firings += 1
+                facts.extend(derived)
+            add = db.add
+            for fact in facts:
+                if add(fact):
+                    new += 1
         stats.facts_derived += new
         if ctx.observing:
             ctx.hooks.on_iteration(stats.iterations, new)

@@ -233,6 +233,7 @@ class RulePlan:
         "planner",
         "first",
         "initially_bound",
+        "_spec",
     )
 
     def __init__(
@@ -252,6 +253,11 @@ class RulePlan:
         self.planner = planner
         self.first = first
         self.initially_bound = initially_bound
+        # lazy per-plan specialization cache; the compiled-closure
+        # executor (repro.engine.exec.specialize) hangs its state here.
+        # Populated on first execution, after compile_rule has finished
+        # mutating head/rule.
+        self._spec = None
 
     def instantiate_head(self, binding: Mapping[str, Term]) -> Atom | None:
         assert self.head is not None, "body-only plan has no head template"

@@ -1,68 +1,207 @@
-"""In-memory relations with lazily built hash indexes.
+"""Columnar relations: dictionary-encoded tuples with hash indexes.
 
-A :class:`Relation` stores the extension of one predicate as a set of
-ground argument tuples.  Joins during rule evaluation probe the
-relation with a subset of argument positions bound; the relation builds
-and maintains a hash index per distinct bound-position signature the
-first time it is probed, turning nested-loop joins into index joins.
+A :class:`Relation` stores the extension of one predicate.  Since PR 6
+the primary representation is *columnar over dense term IDs*: every
+stored tuple is encoded as a row of equality-class IDs
+(:func:`repro.terms.term.row_id`), kept three ways at once —
+
+* ``_rowpos`` — a dict mapping each ID row to its position, giving O(1)
+  membership, insertion order, and the row *set* the specialized
+  executors use for semi-join and anti-join membership tests;
+* ``_columns`` — parallel ``list[int]`` arrays, one per argument
+  position (the dictionary-encoded columnar layout; ``column`` and
+  ``id_set`` expose them for scans and per-position statistics);
+* ``_id_indexes`` — per-signature hash indexes in ID space, keyed by a
+  bare ``int`` for 1-position signatures and an int tuple otherwise,
+  with ID-row-set buckets.  Built on first probe, maintained by every
+  later ``add``/``discard``, and preserved by ``copy`` exactly as the
+  term-level indexes always were.
+
+Because ``row_id`` identifies the term *equality class*, ID equality on
+rows coincides with term-tuple equality, so membership and join
+semantics are unchanged from the term-set representation.
+
+The term-level API (iteration, ``lookup``, ``probe_index``) reads a
+parallel *term lane*: the exact argument tuples as added, kept verbatim
+alongside the columns.  Equality-class IDs deliberately collapse
+equal-but-distinct spellings (a quoted string vs the bare symbol), so
+decoding rows back to terms would surface whichever spelling interned
+first process-wide; the verbatim lane keeps answers and printing
+deterministic, exactly as the pre-columnar representation did.
+Term-level hash indexes are still built lazily per signature and
+maintained incrementally.
 
 Single-position signatures — the dominant shape in linear-recursive
-joins — key their index by the bare term instead of a 1-tuple: the
-term's cached hash makes every dict operation on the index one cached
-lookup instead of a tuple allocation plus a fresh tuple hash.
+joins — key both index families by the bare key instead of a 1-tuple:
+an ``int`` key for ID indexes, the term itself (cached hash) for term
+indexes.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator
 
-from repro.terms.term import Term
+from repro.terms.term import Term, _ID_TABLE, row_id
 
 ArgTuple = tuple[Term, ...]
+
+#: A stored tuple in ID space: one equality-class ID per argument.
+IdRow = tuple[int, ...]
+
+
+def encode_args(args: ArgTuple) -> IdRow:
+    """Encode a term tuple as a row of equality-class IDs.
+
+    Already-interned terms (the common case everywhere past the parser)
+    encode with one attribute load each; anything else is interned on
+    the way in, which also canonicalizes the stored representation.
+    """
+    row = []
+    for term in args:
+        rid = term._rid
+        if rid is None:
+            rid = row_id(term)
+        row.append(rid)
+    return tuple(row)
+
+
+def decode_row(row: IdRow) -> ArgTuple:
+    """Materialize the canonical term tuple for an ID row."""
+    table = _ID_TABLE
+    return tuple(table[rid] for rid in row)
 
 
 class Relation:
     """The set of ground argument tuples of one predicate."""
 
-    __slots__ = ("pred", "arity", "_tuples", "_indexes")
+    __slots__ = (
+        "pred",
+        "arity",
+        "_rowpos",
+        "_columns",
+        "_id_indexes",
+        "_indexes",
+        "_decoded",
+    )
 
     def __init__(self, pred: str, arity: int) -> None:
         self.pred = pred
         self.arity = arity
-        self._tuples: set[ArgTuple] = set()
-        # bucket values are sets: ``_tuples`` guarantees uniqueness, so
-        # membership and removal stay O(1) instead of O(bucket).  Keys
-        # are bare terms for 1-position signatures, tuples otherwise.
+        self._rowpos: dict[IdRow, int] = {}
+        self._columns: tuple[list[int], ...] = tuple([] for _ in range(arity))
+        # bucket values are sets: ``_rowpos`` guarantees row uniqueness,
+        # so membership and removal stay O(1) instead of O(bucket).
+        self._id_indexes: dict[tuple[int, ...], dict[object, set[IdRow]]] = {}
         self._indexes: dict[tuple[int, ...], dict[object, set[ArgTuple]]] = {}
+        # the term lane: the exact argument tuples as added, parallel to
+        # ``_columns`` positions.  ID rows carry *equality-class* IDs,
+        # which collapse equal-but-distinct spellings (a quoted string
+        # vs the bare symbol), so decoding a row would surface whichever
+        # spelling interned first process-wide; keeping the added tuples
+        # verbatim makes iteration, answers, and printing deterministic
+        # — exactly the pre-columnar behavior — at one list append per
+        # insert.
+        self._decoded: list[ArgTuple] = []
 
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._rowpos)
 
     def __iter__(self) -> Iterator[ArgTuple]:
-        return iter(self._tuples)
+        return iter(self._decoded)
 
     def __contains__(self, args: ArgTuple) -> bool:
-        return args in self._tuples
+        return encode_args(args) in self._rowpos
+
+    # -- ID-space API (the specialized executors' surface) -----------------
+
+    def id_rows(self):
+        """The set of stored ID rows (a live dict keys view)."""
+        return self._rowpos.keys()
+
+    def contains_id_row(self, row: IdRow) -> bool:
+        return row in self._rowpos
+
+    def column(self, position: int) -> list[int]:
+        """The ID column for one argument position (do not mutate)."""
+        return self._columns[position]
+
+    def id_set(self, position: int) -> set[int]:
+        """Distinct IDs appearing at one position (the dictionary of the
+        dictionary encoding; useful for selectivity estimates)."""
+        return set(self._columns[position])
+
+    def id_index(
+        self, positions: tuple[int, ...]
+    ) -> dict[object, set[IdRow]]:
+        """The ID-space hash index for a non-empty position signature,
+        built on first use and maintained by later adds/discards.  Keys
+        follow the index convention: bare ``int`` for 1-position
+        signatures, int tuple otherwise; buckets are ID-row sets."""
+        index = self._id_indexes.get(positions)
+        if index is None:
+            index = {}
+            if len(positions) == 1:
+                pos = positions[0]
+                for row in self._rowpos:
+                    key = row[pos]
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = {row}
+                    else:
+                        bucket.add(row)
+            else:
+                for row in self._rowpos:
+                    key = tuple(row[i] for i in positions)
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = {row}
+                    else:
+                        bucket.add(row)
+            self._id_indexes[positions] = index
+        return index
+
+    # -- mutation ----------------------------------------------------------
 
     def add(self, args: ArgTuple) -> bool:
         """Insert a tuple; returns True when it is new."""
-        if args in self._tuples:
+        return self.add_row(encode_args(args), args)
+
+    def add_row(self, row: IdRow, args: ArgTuple) -> bool:
+        """Insert a tuple whose ID row the caller already holds (the
+        specialized executor derives facts in ID space); ``row`` must
+        be the encoding of ``args``."""
+        if row in self._rowpos:
             return False
         if len(args) != self.arity:
             raise ValueError(
                 f"{self.pred}: arity {self.arity} but got {len(args)} args"
             )
-        self._tuples.add(args)
-        for positions, index in self._indexes.items():
-            if len(positions) == 1:
-                key = args[positions[0]]
-            else:
-                key = tuple(args[i] for i in positions)
-            bucket = index.get(key)
-            if bucket is None:
-                index[key] = {args}
-            else:
-                bucket.add(args)
+        self._rowpos[row] = len(self._rowpos)
+        for column, rid in zip(self._columns, row):
+            column.append(rid)
+        if self._id_indexes:
+            for positions, index in self._id_indexes.items():
+                if len(positions) == 1:
+                    key = row[positions[0]]
+                else:
+                    key = tuple(row[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = {row}
+                else:
+                    bucket.add(row)
+        self._decoded.append(args)
+        if self._indexes:
+            for positions, index in self._indexes.items():
+                if len(positions) == 1:
+                    key = args[positions[0]]
+                else:
+                    key = tuple(args[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = {args}
+                else:
+                    bucket.add(args)
         return True
 
     def add_all(self, tuples: Iterable[ArgTuple]) -> int:
@@ -72,79 +211,125 @@ class Relation:
     def discard(self, args: ArgTuple) -> bool:
         """Remove a tuple; returns True when it was present.
 
-        Already-built hash indexes are maintained in place, mirroring
-        :meth:`add`, so later probes stay consistent.
+        Already-built indexes — columnar ID indexes and term-level ones
+        alike — are maintained in place, mirroring :meth:`add`, so
+        later probes stay consistent.  Columns compact by swapping the
+        last row into the vacated position (order is not part of the
+        relation contract).
         """
-        if args not in self._tuples:
+        row = encode_args(args)
+        pos = self._rowpos.pop(row, None)
+        if pos is None:
             return False
-        self._tuples.discard(args)
-        for positions, index in self._indexes.items():
+        last = len(self._rowpos)
+        columns = self._columns
+        if pos != last:
+            moved = tuple(column[last] for column in columns)
+            for column, rid in zip(columns, moved):
+                column[pos] = rid
+            self._rowpos[moved] = pos
+        for column in columns:
+            column.pop()
+        decoded = self._decoded
+        stored = decoded[pos]  # the verbatim tuple being removed
+        if pos != last:
+            decoded[pos] = decoded[last]
+        decoded.pop()
+        for positions, index in self._id_indexes.items():
             if len(positions) == 1:
-                key = args[positions[0]]
+                key = row[positions[0]]
             else:
-                key = tuple(args[i] for i in positions)
+                key = tuple(row[i] for i in positions)
             bucket = index.get(key)
             if bucket is not None:
-                bucket.discard(args)
+                bucket.discard(row)
                 if not bucket:
                     del index[key]
+        if self._indexes:
+            # ``stored`` is the tuple the index buckets actually hold;
+            # bucket membership is structural, so its exact spelling
+            # removes it even when ``args`` spelled some argument
+            # differently (quoted vs bare — equal, hence same row).
+            for positions, index in self._indexes.items():
+                if len(positions) == 1:
+                    key = stored[positions[0]]
+                else:
+                    key = tuple(stored[i] for i in positions)
+                bucket = index.get(key)
+                if bucket is not None:
+                    bucket.discard(stored)
+                    if not bucket:
+                        del index[key]
         return True
+
+    # -- term-space API (decoded view) -------------------------------------
 
     def lookup(self, positions: tuple[int, ...], key: ArgTuple) -> Iterable[ArgTuple]:
         """Tuples whose projection on ``positions`` equals ``key``.
 
-        Builds (and thereafter maintains) a hash index for the position
-        signature on first use.  An empty signature scans everything.
+        Builds (and thereafter maintains) a term-level hash index for
+        the position signature on first use.  An empty signature scans
+        everything.
         """
         if not positions:
-            return self._tuples
+            return iter(self)
         index = self.probe_index(positions)
         return index.get(key[0] if len(positions) == 1 else key, ())
 
     def probe_index(
         self, positions: tuple[int, ...]
     ) -> dict[object, set[ArgTuple]]:
-        """The hash index for a non-empty position signature, built on
-        first use.  The batch executor probes this dict directly — one
-        cached-hash ``get`` per binding, no call layers in the join's
-        inner loop.  Keys follow the index convention: bare term for
-        1-position signatures, tuple otherwise.
+        """The term-level hash index for a non-empty position signature,
+        built on first use from the verbatim term lane.  The term-batch
+        executor probes this dict directly — one cached-hash ``get``
+        per binding, no call layers in the join's inner loop.  Keys
+        follow the index convention: bare term for 1-position
+        signatures, tuple otherwise.
         """
         index = self._indexes.get(positions)
         if index is None:
             index = {}
+            rows = self._decoded
             if len(positions) == 1:
                 pos = positions[0]
-                for args in self._tuples:
-                    index_key = args[pos]
+                for targs in rows:
+                    index_key = targs[pos]
                     bucket = index.get(index_key)
                     if bucket is None:
-                        index[index_key] = {args}
+                        index[index_key] = {targs}
                     else:
-                        bucket.add(args)
+                        bucket.add(targs)
             else:
-                for args in self._tuples:
-                    index_key = tuple(args[i] for i in positions)
+                for targs in rows:
+                    index_key = tuple(targs[i] for i in positions)
                     bucket = index.get(index_key)
                     if bucket is None:
-                        index[index_key] = {args}
+                        index[index_key] = {targs}
                     else:
-                        bucket.add(args)
+                        bucket.add(targs)
             self._indexes[positions] = index
         return index
 
     def copy(self) -> "Relation":
-        """An independent clone, *including* already-built hash indexes.
+        """An independent clone, *including* already-built indexes of
+        both families (columnar ID indexes and term-level ones).
 
-        Copies used by incremental and well-founded evaluation probe the
-        same signatures as the original; rebuilding every index on first
-        probe would pay the full O(n) construction again.  Bucket sets
-        are copied so later ``add``s on either side stay independent.
+        Copies used by incremental and well-founded evaluation probe
+        the same signatures as the original; rebuilding every index on
+        first probe would pay the full O(n) construction again.
+        Bucket sets are copied so later ``add``s on either side stay
+        independent.
         """
         clone = Relation(self.pred, self.arity)
-        clone._tuples = set(self._tuples)
+        clone._rowpos = dict(self._rowpos)
+        clone._columns = tuple(list(column) for column in self._columns)
+        clone._id_indexes = {
+            positions: {key: set(bucket) for key, bucket in index.items()}
+            for positions, index in self._id_indexes.items()
+        }
         clone._indexes = {
             positions: {key: set(bucket) for key, bucket in index.items()}
             for positions, index in self._indexes.items()
         }
+        clone._decoded = list(self._decoded)
         return clone

@@ -392,10 +392,11 @@ class MetricsCollector:
     uses ``plan`` (RulePlan compilation), ``match`` (body enumeration +
     head instantiation) and ``grouping`` (the R1 step); ``layers`` holds
     ``(layer, seconds)`` pairs in evaluation order.  ``counters`` holds
-    integer tallies (``plans_built``, ``plan_cache_hits``, and the
+    integer tallies (``plans_built``, ``plan_cache_hits``, the
     batch-executor tallies ``batch_steps``/``batch_bindings``/
-    ``batch_peak``).  ``join_orders`` records the chosen per-rule join
-    order for every plan compiled under this collector.
+    ``batch_peak``, and the intern table's ``id_table_size`` high-water
+    mark).  ``join_orders`` records the chosen per-rule join order for
+    every plan compiled under this collector.
     """
 
     phases: dict[str, float] = field(default_factory=dict)
@@ -459,6 +460,14 @@ class MetricsCollector:
         counters["batch_bindings"] = counters.get("batch_bindings", 0) + size
         if size > counters.get("batch_peak", 0):
             counters["batch_peak"] = size
+
+    def record_id_table(self, size: int) -> None:
+        """Snapshot the dense term-ID table size (distinct interned
+        ground terms process-wide).  The high-water mark is kept: the
+        table only grows between ``clear_intern_table`` calls, so the
+        max over snapshots is the run's dictionary footprint."""
+        if size > self.counters.get("id_table_size", 0):
+            self.counters["id_table_size"] = size
 
     def now(self) -> float:
         return time.perf_counter()

@@ -28,13 +28,17 @@ class Atom:
     serve directly as U-facts.
     """
 
-    __slots__ = ("pred", "args", "_hash", "_ground")
+    __slots__ = ("pred", "args", "_hash", "_ground", "_row")
 
     def __init__(self, pred: str, args: Iterable[Term] = ()) -> None:
         self.pred = pred
         self.args = tuple(args)
         self._hash = None
         self._ground = None
+        # ``_row`` is deliberately left unset: the specialized executor
+        # attaches the argument tuple's dense-ID row so storage can
+        # skip re-encoding (see Database.add); everyone else never
+        # pays for the extra store.
 
     @property
     def arity(self) -> int:

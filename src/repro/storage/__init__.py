@@ -18,11 +18,15 @@ this package makes that state survive process restarts:
 from repro.storage.codec import (
     CODEC_VERSION,
     decode_atom,
+    decode_atom_row,
     decode_term,
     dumps_atom,
+    dumps_id_row,
     encode_atom,
+    encode_id_row,
     encode_term,
     loads_atom,
+    term_fragment,
 )
 from repro.storage.snapshot import Snapshot, load_snapshot, program_fingerprint, write_snapshot
 from repro.storage.store import DurableStore, StoreStats
@@ -36,12 +40,16 @@ __all__ = [
     "WalRecord",
     "WriteAheadLog",
     "decode_atom",
+    "decode_atom_row",
     "decode_term",
     "dumps_atom",
+    "dumps_id_row",
     "encode_atom",
+    "encode_id_row",
     "encode_term",
     "load_snapshot",
     "loads_atom",
     "program_fingerprint",
+    "term_fragment",
     "write_snapshot",
 ]

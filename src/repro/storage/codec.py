@@ -27,7 +27,15 @@ import json
 
 from repro.errors import StorageError
 from repro.program.rule import Atom
-from repro.terms.term import Const, Func, SetVal, Term, intern_term
+from repro.terms.term import (
+    _ID_TABLE,
+    Const,
+    Func,
+    SetVal,
+    Term,
+    intern_term,
+    row_id,
+)
 
 #: Bump when the tag alphabet or layout changes; decoders refuse newer.
 CODEC_VERSION = 1
@@ -111,9 +119,78 @@ def loads(text: str | bytes):
         raise StorageError(f"corrupt JSON payload: {exc}") from exc
 
 
+# Canonical JSON fragment per interned term, keyed by the *faithful*
+# intern ID (``_tid``), never the equality-class ID: the codec must
+# keep the quoted-string / symbol distinction (``["q",...]`` vs
+# ``["s",...]``) that equality-class IDs deliberately collapse.
+# Entries carry the term alongside its text and are validated by
+# identity on every hit, so a cleared-and-refilled intern table (which
+# reuses IDs) can never serve a stale fragment.
+_FRAGMENTS: dict[int, tuple[Term, str]] = {}
+
+
+def term_fragment(term: Term) -> str:
+    """The canonical JSON text of one ground term, memoized per intern
+    ID.  Byte-identical to ``dumps(encode_term(term))`` — term trees
+    contain no JSON objects, so key ordering cannot differ."""
+    tid = term._tid
+    if tid is None:
+        return dumps(encode_term(term))
+    entry = _FRAGMENTS.get(tid)
+    if entry is not None and entry[0] is term:
+        return entry[1]
+    text = dumps(encode_term(term))
+    _FRAGMENTS[tid] = (term, text)
+    return text
+
+
 def dumps_atom(atom: Atom) -> str:
-    """One atom as a canonical JSON line (no trailing newline)."""
-    return dumps(encode_atom(atom))
+    """One atom as a canonical JSON line (no trailing newline).
+
+    Assembled from per-term memoized fragments: a fact whose terms have
+    been serialized before — the overwhelmingly common case in WAL
+    batches and snapshots — costs one dict hit per argument instead of
+    re-walking every term tree.
+    """
+    if not atom.is_ground():
+        raise StorageError(f"cannot persist non-ground atom {atom!r}")
+    frags = ",".join(term_fragment(a) for a in atom.args)
+    return "[" + dumps(atom.pred) + ",[" + frags + "]]"
+
+
+def encode_id_row(pred: str, row: tuple[int, ...]) -> list:
+    """Encode a stored ID row (see :mod:`repro.engine.relation`) as the
+    same tagged tree :func:`encode_atom` produces, without materializing
+    an :class:`Atom`."""
+    table = _ID_TABLE
+    return [pred, [encode_term(table[rid]) for rid in row]]
+
+
+def dumps_id_row(pred: str, row: tuple[int, ...]) -> str:
+    """A predicate's ID row as a canonical atom line — the ID-direct
+    twin of :func:`dumps_atom` (columnar storage hands the codec rows,
+    not atoms)."""
+    table = _ID_TABLE
+    frags = ",".join(term_fragment(table[rid]) for rid in row)
+    return "[" + dumps(pred) + ",[" + frags + "]]"
+
+
+def decode_atom_row(obj) -> tuple[str, tuple[int, ...]]:
+    """Decode ``[pred, [args...]]`` straight to ``(pred, id_row)``.
+
+    Terms are interned bottom-up exactly as :func:`decode_atom` does,
+    then collapsed to their equality-class IDs — the row a
+    :class:`~repro.engine.relation.Relation` stores — so loaders can
+    feed columnar storage without building intermediate atoms.
+    """
+    if (
+        not isinstance(obj, list)
+        or len(obj) != 2
+        or not isinstance(obj[0], str)
+        or not isinstance(obj[1], list)
+    ):
+        raise StorageError(f"malformed atom encoding: {obj!r}")
+    return obj[0], tuple(row_id(decode_term(a)) for a in obj[1])
 
 
 def loads_atom(text: str | bytes) -> Atom:

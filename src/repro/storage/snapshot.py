@@ -97,8 +97,11 @@ def write_snapshot(
         "model": len(model),
     }
     lines = [codec.dumps(header)]
-    lines.extend(codec.dumps(["e", codec.encode_atom(a)]) for a in edb)
-    lines.extend(codec.dumps(["m", codec.encode_atom(a)]) for a in model)
+    # fact lines assemble from the codec's per-term fragment memo:
+    # ['["e",' .. ']'] is byte-identical to dumps(["e", encode_atom(a)])
+    # because the tree is all lists (no key ordering to diverge on).
+    lines.extend('["e",' + codec.dumps_atom(a) + "]" for a in edb)
+    lines.extend('["m",' + codec.dumps_atom(a) + "]" for a in model)
     lines.append(codec.dumps({"end": len(edb) + len(model)}))
     body = ("\n".join(lines) + "\n").encode("utf-8")
 

@@ -139,8 +139,15 @@ class WriteAheadLog:
         if op not in OPS:
             raise StorageError(f"unknown WAL op {op!r}")
         batch = tuple(facts)
-        payload = codec.dumps(
-            {"op": op, "facts": [codec.encode_atom(a) for a in batch]}
+        # assembled from the codec's per-term fragment memo; the literal
+        # layout matches dumps({"facts": [...], "op": op}) byte for byte
+        # ("facts" sorts before "op", canonical separators throughout).
+        payload = (
+            '{"facts":['
+            + ",".join(codec.dumps_atom(a) for a in batch)
+            + '],"op":'
+            + codec.dumps(op)
+            + "}"
         ).encode("utf-8")
         frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._file.write(frame)

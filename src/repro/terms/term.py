@@ -37,11 +37,29 @@ Two hot-path mechanisms live here:
   concurrent decodes (server executor threads) two equal representatives
   can transiently escape, which is benign — identity is only ever a fast
   path over structural equality.  :func:`clear_intern_table` releases
-  the table (e.g. between long-lived server workloads).
+  the table (e.g. between long-lived server workloads);
+* **dense term IDs** — every canonical representative is also assigned
+  a dense ``int`` ID at intern time, with a reverse table mapping IDs
+  back to terms (:func:`term_of_id`).  Two ID notions coexist because
+  ``Const.__eq__`` ignores ``quoted`` while the intern table does not:
+
+  - :func:`term_id` — the *faithful* ID, 1:1 with intern-table entries
+    (a quoted and an unquoted string constant get distinct IDs), used
+    by the storage codec so round-trips preserve printing;
+  - :func:`row_id` — the *equality-class* ID shared by all terms that
+    compare equal (quoted/unquoted collapse to the class's first
+    assigned ID), used by the columnar relation storage and the
+    specialized executors so ID equality coincides exactly with term
+    equality.
+
+  For every term kind except string constants the two IDs agree.  IDs
+  are assigned under a small lock (so the dense sequence has no holes)
+  and are process-local, never persisted as-is.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import EvaluationError, NotInUniverseError
@@ -85,13 +103,15 @@ class Term:
 class Var(Term):
     """A logical variable, identified by name."""
 
-    __slots__ = ("name", "_hash", "_interned")
+    __slots__ = ("name", "_hash", "_interned", "_tid", "_rid")
     _kind_rank = 0
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._hash = None
         self._interned = False
+        self._tid = None
+        self._rid = None
 
     def is_ground(self) -> bool:
         return False
@@ -132,7 +152,7 @@ class Const(Term):
     affects printing.
     """
 
-    __slots__ = ("value", "quoted", "_hash", "_interned")
+    __slots__ = ("value", "quoted", "_hash", "_interned", "_tid", "_rid")
     _kind_rank = 1
 
     def __init__(self, value, quoted: bool = False) -> None:
@@ -142,6 +162,8 @@ class Const(Term):
         self.quoted = quoted and isinstance(value, str)
         self._hash = None
         self._interned = False
+        self._tid = None
+        self._rid = None
 
     def is_ground(self) -> bool:
         return True
@@ -183,7 +205,7 @@ class Const(Term):
 class Func(Term):
     """A compound term ``functor(args...)`` with a fixed arity."""
 
-    __slots__ = ("functor", "args", "_hash", "_interned", "_ground")
+    __slots__ = ("functor", "args", "_hash", "_interned", "_ground", "_tid", "_rid")
     _kind_rank = 2
 
     def __init__(self, functor: str, args: Iterable[Term]) -> None:
@@ -192,6 +214,8 @@ class Func(Term):
         self._hash = None
         self._interned = False
         self._ground = None
+        self._tid = None
+        self._rid = None
         if not self.args:
             raise ValueError(
                 f"zero-arity Func {functor!r}; use Const for plain symbols"
@@ -253,7 +277,7 @@ class Func(Term):
 class SetVal(Term):
     """A ground finite set — an element of F(U) in the LDL1 universe."""
 
-    __slots__ = ("elements", "_hash", "_interned")
+    __slots__ = ("elements", "_hash", "_interned", "_tid", "_rid")
     _kind_rank = 3
 
     def __init__(self, elements: Iterable[Term] = ()) -> None:
@@ -266,6 +290,8 @@ class SetVal(Term):
         self.elements = elems
         self._hash = None
         self._interned = False
+        self._tid = None
+        self._rid = None
 
     @classmethod
     def from_ground(cls, elements: Iterable[Term]) -> "SetVal":
@@ -279,6 +305,8 @@ class SetVal(Term):
         self.elements = frozenset(elements)
         self._hash = None
         self._interned = False
+        self._tid = None
+        self._rid = None
         return self
 
     def is_ground(self) -> bool:
@@ -345,7 +373,7 @@ class SetPattern(Term):
     ``scons(t1, scons(..., rest))``.
     """
 
-    __slots__ = ("items", "rest", "_hash", "_interned")
+    __slots__ = ("items", "rest", "_hash", "_interned", "_tid", "_rid")
     _kind_rank = 4
 
     def __init__(self, items: Iterable[Term], rest: Term | None = None) -> None:
@@ -353,6 +381,8 @@ class SetPattern(Term):
         self.rest = rest
         self._hash = None
         self._interned = False
+        self._tid = None
+        self._rid = None
         if rest is not None and not isinstance(rest, (Var, SetVal, SetPattern, Func)):
             raise TypeError(f"set-pattern rest must be a variable or set: {rest!r}")
 
@@ -429,13 +459,15 @@ class GroupTerm(Term):
     by :mod:`repro.transform`.
     """
 
-    __slots__ = ("inner", "_hash", "_interned")
+    __slots__ = ("inner", "_hash", "_interned", "_tid", "_rid")
     _kind_rank = 5
 
     def __init__(self, inner: Term) -> None:
         self.inner = inner
         self._hash = None
         self._interned = False
+        self._tid = None
+        self._rid = None
 
     def is_ground(self) -> bool:
         return False
@@ -477,6 +509,59 @@ class GroupTerm(Term):
 #: long-lived servers can release it with :func:`clear_intern_table`.
 _INTERN_TABLE: dict = {}
 
+#: Reverse table: dense ID → canonical term.  Index ``tid`` holds the
+#: term whose faithful ID is ``tid``; for an equality-class ID (``rid``)
+#: the slot holds the class representative that columnar relations
+#: materialize — for string classes always the *unquoted* spelling
+#: (``_assign_ids`` registers it eagerly), so decoded output never
+#: depends on intern order.  Mutated in place only (``append``/
+#: ``clear``) so closures may capture the list object.
+_ID_TABLE: list[Term] = []
+
+#: Equality-class IDs for string-valued constants: the only term kind
+#: where the intern table holds several entries per equality class
+#: (quoted vs unquoted).  Maps the string payload to the class's ID.
+_EQ_IDS: dict[str, int] = {}
+
+#: Guards dense-ID assignment so the ID sequence stays gap-free and a
+#: term's ``_tid``/``_rid`` pair is published atomically.
+_ID_LOCK = threading.Lock()
+
+
+def _assign_ids(term: Term) -> None:
+    """Give a canonical representative its dense IDs (idempotent)."""
+    with _ID_LOCK:
+        if term._tid is not None:
+            return
+        if (
+            isinstance(term, Const)
+            and isinstance(term.value, str)
+            and term.quoted
+            and term.value not in _EQ_IDS
+        ):
+            # The class representative — what everything materializing
+            # out of ID space (columnar decode, specialized bindings,
+            # derived heads) spells a value as — must not depend on
+            # which variant a process interned first.  Register the
+            # unquoted twin now so it always claims the class ID.
+            plain_key = (Const, str, term.value, False)
+            plain = _INTERN_TABLE.get(plain_key)
+            if plain is None:
+                plain = _INTERN_TABLE.setdefault(plain_key, Const(term.value))
+            if plain._tid is None:
+                ptid = len(_ID_TABLE)
+                _ID_TABLE.append(plain)
+                plain._rid = _EQ_IDS.setdefault(plain.value, ptid)
+                plain._tid = ptid
+                plain._interned = True
+        tid = len(_ID_TABLE)
+        _ID_TABLE.append(term)
+        if isinstance(term, Const) and isinstance(term.value, str):
+            term._rid = _EQ_IDS.setdefault(term.value, tid)
+        else:
+            term._rid = tid
+        term._tid = tid
+
 
 def _intern_key(term: Term):
     """Table key for ``term``.
@@ -512,6 +597,8 @@ def intern_term(term: Term) -> Term:
     if interned is not None:
         return interned
     winner = _INTERN_TABLE.setdefault(key, term)
+    if winner._tid is None:
+        _assign_ids(winner)
     winner._interned = True
     return winner
 
@@ -529,6 +616,8 @@ def intern_const(value, quoted: bool = False) -> Const:
         return interned
     term = Const(value, quoted)
     winner = _INTERN_TABLE.setdefault(key, term)
+    if winner._tid is None:
+        _assign_ids(winner)
     winner._interned = True
     return winner
 
@@ -538,14 +627,71 @@ def intern_table_size() -> int:
     return len(_INTERN_TABLE)
 
 
+def term_id(term: Term) -> int:
+    """The faithful dense ID of ``term``, interning it first if needed.
+
+    1:1 with intern-table entries: quoted and unquoted string constants
+    get *distinct* IDs, so ``term_of_id(term_id(t)) == t`` preserves
+    the printing distinction the storage codec depends on.  The caller
+    supplies a ground term (the interning contract).
+    """
+    tid = term._tid
+    if tid is not None:
+        return tid
+    term = intern_term(term)
+    if term._tid is None:  # raced the _interned flag; settle under the lock
+        _assign_ids(term)
+    return term._tid
+
+
+def row_id(term: Term) -> int:
+    """The equality-class dense ID of ``term``, interning if needed.
+
+    All terms that compare equal share one row ID (quoted/unquoted
+    string constants collapse), so ID equality over row IDs coincides
+    exactly with term equality — the invariant the columnar relations
+    and the specialized executors are built on.
+    """
+    rid = term._rid
+    if rid is not None:
+        return rid
+    term = intern_term(term)
+    if term._rid is None:
+        _assign_ids(term)
+    return term._rid
+
+
+def term_of_id(tid: int) -> Term:
+    """The canonical term for a dense ID (inverse of :func:`term_id`).
+
+    For an equality-class ID this is the class's first-interned
+    representative.  Raises :class:`IndexError` for IDs never assigned
+    by this process (or assigned before a :func:`clear_intern_table`).
+    """
+    return _ID_TABLE[tid]
+
+
+def id_table_size() -> int:
+    """Number of dense IDs assigned so far (the reverse-table length)."""
+    return len(_ID_TABLE)
+
+
 def clear_intern_table() -> None:
     """Release every interned representative (the shared constants below
     are re-seeded).  Existing terms stay valid and keep their
     ``_interned`` flag — they remain canonical for themselves; only
-    identity sharing with terms interned later is lost."""
+    identity sharing with terms interned later is lost.  The dense ID
+    tables reset with the intern table: relations populated before a
+    clear must not outlive it (their row IDs would dangle), which holds
+    for the intended use between independent server workloads."""
     _INTERN_TABLE.clear()
+    _ID_TABLE.clear()
+    _EQ_IDS.clear()
     for term in (EMPTY_SET, BOTTOM):
         _INTERN_TABLE.setdefault(_intern_key(term), term)
+        term._tid = None
+        term._rid = None
+        _assign_ids(term)
 
 
 #: The empty set constant ``{}`` — interpreted as the empty SetVal.

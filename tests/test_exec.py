@@ -23,6 +23,8 @@ from repro.engine.exec import (
     run_plan_batch,
     run_plan_tuple,
     set_default_executor,
+    set_specialization,
+    specialization,
 )
 from repro.engine.grouping import apply_grouping_rule
 from repro.engine.plan import compile_rule
@@ -283,3 +285,55 @@ class TestFixedProgramDifferentials:
         assert facts_of(run(src, executor="batch"), "isolated") == facts_of(
             run(src, executor="tuple"), "isolated"
         ) == {"isolated(3)"}
+
+
+class TestSpecializationToggle:
+    """Plan specialization is an optimization layer over the batch
+    executor: toggling it must never change an answer set."""
+
+    def test_default_respects_env(self):
+        expected = os.environ.get("REPRO_SPECIALIZE", "on")
+        assert specialization() == expected
+
+    def test_set_round_trip(self):
+        previous = specialization()
+        try:
+            set_specialization("off")
+            assert specialization() == "off"
+        finally:
+            set_specialization(previous)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="specialization"):
+            set_specialization("maybe")
+
+    def _answers(self, src, pred):
+        previous = specialization()
+        try:
+            set_specialization("on")
+            on = facts_of(run(src, executor="batch"), pred)
+            set_specialization("off")
+            off = facts_of(run(src, executor="batch"), pred)
+        finally:
+            set_specialization(previous)
+        assert on == off
+        return on
+
+    def test_transitive_closure_equivalent(self):
+        assert self._answers(TestFixedProgramDifferentials.TC, "t")
+
+    def test_builtins_equivalent(self):
+        src = """
+        e(1, 2). e(2, 3). e(3, 1).
+        p(X, S) <- e(X, Y), e(Y, Z), X != Z, S = X + Z.
+        """
+        assert self._answers(src, "p") == {"p(1, 4)", "p(2, 3)", "p(3, 5)"}
+
+    def test_negation_equivalent(self):
+        src = """
+        node(1). node(2). node(3). edge(1, 2).
+        linked(X) <- edge(X, Y).
+        linked(Y) <- edge(X, Y).
+        isolated(X) <- node(X), ~linked(X).
+        """
+        assert self._answers(src, "isolated") == {"isolated(3)"}

@@ -16,8 +16,12 @@ from repro.terms.term import (
     SetPattern,
     SetVal,
     evaluate_ground,
+    id_table_size,
     intern_const,
     intern_term,
+    row_id,
+    term_id,
+    term_of_id,
 )
 
 
@@ -94,3 +98,61 @@ def test_intern_const_matches_intern_term():
     assert intern_const("a", quoted=True) is intern_term(
         Const("a", quoted=True)
     )
+
+
+def test_term_id_is_stable_and_reversible():
+    term = Func("f", (Const(1), SetVal((Const("a"),))))
+    tid = term_id(term)
+    assert term_id(term) == tid  # idempotent
+    assert term_id(intern_term(term)) == tid  # same equality class
+    assert term_of_id(tid) is intern_term(term)
+    assert 0 <= tid < id_table_size()
+
+
+def test_term_id_distinguishes_quoted_but_row_id_collapses():
+    plain = intern_term(Const("qdense"))
+    quoted = intern_term(Const("qdense", quoted=True))
+    # faithful IDs keep the codec-visible distinction apart ...
+    assert term_id(plain) != term_id(quoted)
+    # ... while equality-class IDs agree exactly when the terms do
+    assert row_id(plain) == row_id(quoted)
+    assert term_of_id(row_id(quoted)) == quoted
+
+
+def test_class_representative_is_unquoted_regardless_of_order():
+    # intern the QUOTED spelling first: the class representative (what
+    # ID rows decode to) must still be the unquoted variant, so output
+    # spelling never depends on process-wide intern order.
+    quoted = intern_term(Const("rep_order_probe", quoted=True))
+    rep = term_of_id(row_id(quoted))
+    assert rep == quoted and not rep.quoted
+    assert rep is intern_term(Const("rep_order_probe"))
+
+
+def test_row_id_equality_coincides_with_term_equality():
+    a = Func("g", (Const(1), Const(2)))
+    b = Func("g", (Const(1), Const(2)))
+    c = Func("g", (Const(1), Const(3)))
+    assert row_id(a) == row_id(b)
+    assert row_id(a) != row_id(c)
+
+
+def test_id_table_grows_monotonically():
+    before = id_table_size()
+    term_id(Func("dense_id_growth_probe", (Const(1),)))
+    after = id_table_size()
+    assert after > before
+    # re-interning the same term allocates nothing new
+    term_id(Func("dense_id_growth_probe", (Const(1),)))
+    assert id_table_size() == after
+
+
+def test_id_assignment_covers_subterms():
+    nested = intern_term(Func("outer", (SetVal((Const(11), Const(12))),)))
+    # every subterm gets an ID reversible to its canonical
+    # representative (the composite keeps its original children, so
+    # identity is with the interned twin, not the embedded object)
+    assert term_of_id(term_id(nested.args[0])) is intern_term(nested.args[0])
+    for element in nested.args[0]:
+        assert term_of_id(term_id(element)) is intern_term(element)
+        assert term_of_id(term_id(element)) == element

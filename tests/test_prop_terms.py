@@ -3,9 +3,21 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.engine.relation import decode_row, encode_args
 from repro.parser import parse_term
+from repro.program.rule import Atom
+from repro.storage import codec
 from repro.terms.pretty import format_term
-from repro.terms.term import Const, SetVal, evaluate_ground
+from repro.terms.term import (
+    Const,
+    Func,
+    SetVal,
+    evaluate_ground,
+    intern_term,
+    row_id,
+    term_id,
+    term_of_id,
+)
 from repro.terms.universe import in_universe, set_depth
 
 from tests.strategies import ground_terms, pattern_terms
@@ -88,3 +100,81 @@ def test_setval_union_via_frozenset(a_items, b_items):
     assert all(x in union for x in a)
     assert all(x in union for x in b)
     assert len(union) <= len(a) + len(b)
+
+
+# -- dense term IDs and codec bytes ------------------------------------------
+#
+# The columnar storage layer rests on two bridges out of term space:
+# dense intern IDs (term <-> int) and the codec (term <-> canonical
+# bytes).  The strategy widens ``ground_terms`` with quoted string
+# constants — the one universe corner where faithful IDs, equality-class
+# IDs, and codec bytes all behave differently — nested under functors
+# and sets like any other constant.
+
+_quoted_consts = st.sampled_from(["a", "b", "it's"]).map(
+    lambda s: Const(s, quoted=True)
+)
+codec_ground_terms = st.recursive(
+    st.one_of(
+        st.integers(min_value=-20, max_value=20).map(Const),
+        st.sampled_from(["a", "b", "c"]).map(Const),
+        _quoted_consts,
+    ),
+    lambda children: st.one_of(
+        st.builds(
+            lambda name, args: Func(name, args),
+            st.sampled_from(["f", "g"]),
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        st.builds(lambda items: SetVal(items), st.lists(children, max_size=4)),
+    ),
+    max_leaves=10,
+)
+
+
+@given(codec_ground_terms)
+def test_term_to_dense_id_round_trip(term):
+    canonical = intern_term(term)
+    assert term_of_id(term_id(term)) is canonical
+    # the equality-class representative is equal, though possibly a
+    # different object (quoted/unquoted strings share one class)
+    assert term_of_id(row_id(term)) == term
+
+
+@given(codec_ground_terms)
+def test_dense_id_to_codec_bytes_round_trip(term):
+    canonical = intern_term(term)
+    fragment = codec.term_fragment(canonical)
+    # memoized fragment is byte-identical to the unmemoized encoding
+    assert fragment == codec.dumps(codec.encode_term(canonical))
+    # and decodes back to the same interned object
+    assert codec.decode_term(codec.loads(fragment)) is canonical
+
+
+@given(st.lists(codec_ground_terms, min_size=1, max_size=4))
+def test_atom_row_codec_round_trip(args):
+    atom = Atom("p", tuple(intern_term(a) for a in args))
+    row = encode_args(atom.args)
+    # atom bytes and ID-row bytes agree on the equality-class view
+    decoded = Atom("p", decode_row(row))
+    assert codec.dumps_id_row("p", row) == codec.dumps_atom(decoded)
+    assert decoded == atom
+    # the full cycle: atom -> bytes -> (pred, row) -> terms
+    pred, parsed_row = codec.decode_atom_row(
+        codec.loads(codec.dumps_atom(atom))
+    )
+    assert pred == "p" and parsed_row == row
+    assert Atom(pred, decode_row(parsed_row)) == atom
+
+
+@given(codec_ground_terms)
+def test_faithful_id_keeps_codec_distinctions(term):
+    # distinct faithful IDs can disagree on bytes; equal row IDs mean
+    # the decoded representatives are equal terms even when the bytes
+    # differ (quoted vs unquoted spelling of one equality class).
+    canonical = intern_term(term)
+    rep = term_of_id(row_id(term))
+    assert rep == canonical
+    assert codec.decode_term(
+        codec.loads(codec.term_fragment(rep))
+    ) == canonical

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.database import Database
-from repro.engine.relation import Relation
+from repro.engine.relation import Relation, decode_row, encode_args
 from repro.parser import parse_atom
 from repro.terms.term import Const
 
@@ -76,6 +76,84 @@ class TestRelation:
         rel.add(t(1, 7))
         assert set(clone.lookup((0,), t(1))) == {t(1, 2), t(1, 9)}
         assert set(rel.lookup((0,), t(1))) == {t(1, 2), t(1, 7)}
+
+
+class TestColumnarStorage:
+    """ID-row layer invariants: both index families survive copy and
+    stay consistent across discard's swap-remove compaction."""
+
+    def _encoded(self, *values):
+        return encode_args(t(*values))
+
+    def test_id_rows_match_term_view(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(1, 3), t(2, 4)])
+        assert {decode_row(row) for row in rel.id_rows()} == set(rel)
+        assert len(rel.column(0)) == 3
+
+    def test_copy_preserves_id_indexes(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(1, 3), t(2, 4)])
+        rel.id_index((0,))  # build the columnar position-0 index
+        rel.lookup((0,), t(1))  # and the term-level one
+        clone = rel.copy()
+        assert (0,) in clone._id_indexes and (0,) in clone._indexes
+        key = self._encoded(1)[0]  # bare int key for 1-position sigs
+        assert clone.id_index((0,))[key] == {
+            self._encoded(1, 2), self._encoded(1, 3)
+        }
+
+    def test_copied_id_indexes_are_independent(self):
+        rel = Relation("p", 2)
+        rel.add(t(1, 2))
+        rel.id_index((0,))
+        clone = rel.copy()
+        clone.add(t(1, 9))
+        rel.add(t(1, 7))
+        key = self._encoded(1)[0]
+        assert clone.id_index((0,))[key] == {
+            self._encoded(1, 2), self._encoded(1, 9)
+        }
+        assert rel.id_index((0,))[key] == {
+            self._encoded(1, 2), self._encoded(1, 7)
+        }
+
+    def test_discard_maintains_both_index_families(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(1, 3), t(2, 4)])
+        rel.id_index((0,))
+        rel.lookup((0,), t(1))
+        assert rel.discard(t(1, 2))
+        key = self._encoded(1)[0]
+        assert rel.id_index((0,))[key] == {self._encoded(1, 3)}
+        assert set(rel.lookup((0,), t(1))) == {t(1, 3)}
+        # swap-remove must leave columns parallel to the row set
+        assert {decode_row(row) for row in rel.id_rows()} == set(rel)
+        for pos in range(rel.arity):
+            assert len(rel.column(pos)) == len(rel)
+
+    def test_discard_after_copy_leaves_original_intact(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(1, 3)])
+        rel.id_index((0,))
+        rel.lookup((0,), t(1))
+        clone = rel.copy()
+        assert clone.discard(t(1, 2))
+        assert not clone.discard(t(9, 9))
+        assert set(clone) == {t(1, 3)}
+        assert set(rel) == {t(1, 2), t(1, 3)}
+        key = self._encoded(1)[0]
+        assert rel.id_index((0,))[key] == {
+            self._encoded(1, 2), self._encoded(1, 3)
+        }
+        assert set(rel.lookup((0,), t(1))) == {t(1, 2), t(1, 3)}
+
+    def test_empty_bucket_dropped_on_discard(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(2, 4)])
+        rel.id_index((0,))
+        rel.discard(t(2, 4))
+        assert self._encoded(2)[0] not in rel.id_index((0,))
 
 
 class TestDatabase:
