@@ -1,0 +1,20 @@
+"""Experiment E22: differential maintenance vs cone recompute
+
+pytest-benchmark wrapper around the shared cases in ``common.py``;
+see ``benchmarks/harness.py`` for the table-printing runner and
+DESIGN.md for the experiment index.
+"""
+
+import pytest
+
+from common import EXPERIMENTS
+
+CASES = EXPERIMENTS["E22"]()
+IDS = [f"{c['workload']}::{c['strategy']}" for c in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_e22_maintenance(benchmark, case):
+    result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
+    benchmark.extra_info["ops"] = case["metric"](result)
+    benchmark.extra_info["strategy"] = case["strategy"]

@@ -110,6 +110,7 @@ class LDL:
         fsync: str = "always",
         compact_every: int = 1024,
         metrics: MetricsCollector | None = None,
+        maintain: str | None = None,
     ) -> None:
         self._lock = threading.RLock()
         self._program = Program()
@@ -124,6 +125,10 @@ class LDL:
         self._fsync = fsync
         self._compact_every = compact_every
         self._metrics = metrics
+        # how the durable session's model absorbs updates: "delta"
+        # (differential maintenance) or "recompute" (cone recompute);
+        # None defers to the process default (REPRO_MAINTAIN).
+        self._maintain = maintain
         self._store = None  # DurableStore, opened lazily
         if source:
             self.load(source)
@@ -158,6 +163,7 @@ class LDL:
             compact_every=self._compact_every,
             hooks=self._hooks,
             metrics=self._metrics,
+            maintain=self._maintain,
         ).open()
         if buffered:
             self._store.add_facts(buffered)

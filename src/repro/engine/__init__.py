@@ -27,7 +27,17 @@ from repro.engine.exec import (
 )
 from repro.engine.explain import Derivation, explain
 from repro.engine.grouping import apply_grouping_rule, apply_grouping_rules
-from repro.engine.incremental import IncrementalModel, UpdateStats
+from repro.engine.incremental import (
+    IncrementalModel,
+    MaintenanceTotals,
+    UpdateStats,
+)
+from repro.engine.maintain import (
+    MAINTAIN_MODES,
+    DeltaBatch,
+    maintain_mode,
+    set_maintain_mode,
+)
 from repro.engine.match import Binding, ground_atom, match_atom, match_term
 from repro.engine.plan import (
     HeadTemplate,
@@ -61,7 +71,12 @@ __all__ = [
     "enumerate_bindings",
     "set_default_executor",
     "IncrementalModel",
+    "MaintenanceTotals",
     "UpdateStats",
+    "MAINTAIN_MODES",
+    "DeltaBatch",
+    "maintain_mode",
+    "set_maintain_mode",
     "explain",
     "EvaluationResult",
     "FixpointStats",

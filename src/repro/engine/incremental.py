@@ -8,20 +8,28 @@ updates without full recomputation:
   transitively depend on a changed predicate (dependency-graph
   ancestors); everything outside the cone keeps its extension —
   stratification guarantees it cannot change;
-* pure insertions whose cone is internally monotone (no grouping head
-  and no negation *on cone predicates* among the cone's rules)
-  continue the semi-naive fixpoint with the new facts as the delta;
-* anything else (deletions, or cones crossing grouping/negation)
-  clears the cone's derived predicates and re-runs the layered
+* under the default ``"delta"`` maintenance mode, every update routes
+  through the differential engine in :mod:`repro.engine.maintain`:
+  support counting for non-recursive SCCs, DRed for recursive ones,
+  touched-group regrouping for grouping heads — cost proportional to
+  the change, and a net :class:`~repro.engine.maintain.DeltaBatch`
+  published per update;
+* under ``"recompute"`` (the differential oracle, selectable via the
+  ``REPRO_MAINTAIN`` environment variable or the ``maintain=``
+  constructor argument) the original paths run instead: pure
+  insertions whose cone is internally monotone (no grouping head and
+  no negation *on cone predicates* among the cone's rules) continue
+  the semi-naive fixpoint with the new facts as the delta; anything
+  else clears the cone's derived predicates and re-runs the layered
   evaluation restricted to cone rules, over the untouched context.
 
-Both paths produce exactly the model a from-scratch evaluation would
-(property-tested).
+All paths produce exactly the model a from-scratch evaluation would
+(property-tested against each other).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 import networkx as nx
@@ -33,8 +41,9 @@ from repro.engine.fixpoint import (
     FixpointStats,
     seminaive_rounds,
 )
+from repro.engine.maintain import MAINTAIN_MODES, DeltaBatch, maintain_mode
 from repro.errors import EvaluationError
-from repro.observe import EngineHooks
+from repro.observe import EngineHooks, MetricsCollector, emit_event
 from repro.program.dependency import dependency_graph, scc_schedule
 from repro.program.rule import Atom, Program, canonical_atom
 from repro.program.stratify import Layering, stratify
@@ -43,16 +52,66 @@ from repro.program.wellformed import check_program
 
 @dataclass
 class UpdateStats:
-    """What one update cost."""
+    """What one update cost.
 
-    mode: str = "none"  # "delta" | "recompute" | "restore" | "none"
+    ``mode`` is ``"maintain"`` for differentially maintained updates,
+    ``"delta"``/``"recompute"`` for the legacy semi-naive-continuation
+    and cone-recompute paths, ``"restore"`` for snapshot adoption and
+    ``"none"`` for no-ops.  The ``overdeleted``/``rederived``/
+    ``count_adjusted`` counters are only nonzero under ``"maintain"``;
+    ``lsn`` is stamped when the update came through the durable store.
+    """
+
+    mode: str = "none"
     affected_predicates: int = 0
     facts_removed: int = 0
-    fixpoint: FixpointStats = None  # type: ignore[assignment]
+    overdeleted: int = 0
+    rederived: int = 0
+    count_adjusted: int = 0
+    lsn: int | None = None
+    fixpoint: FixpointStats = field(default_factory=FixpointStats)
 
-    def __post_init__(self) -> None:
-        if self.fixpoint is None:
-            self.fixpoint = FixpointStats()
+
+@dataclass
+class MaintenanceTotals:
+    """Lifetime maintenance counters of one model (the server's
+    ``stats`` op surfaces :meth:`report`)."""
+
+    updates: int = 0
+    delta_updates: int = 0
+    recompute_updates: int = 0
+    facts_removed: int = 0
+    overdeleted: int = 0
+    rederived: int = 0
+    count_adjusted: int = 0
+    last_lsn: int | None = None
+
+    def record(self, stats: UpdateStats) -> None:
+        if stats.mode == "none":
+            return
+        self.updates += 1
+        if stats.mode == "maintain":
+            self.delta_updates += 1
+        elif stats.mode in ("delta", "recompute"):
+            self.recompute_updates += 1
+        self.facts_removed += stats.facts_removed
+        self.overdeleted += stats.overdeleted
+        self.rederived += stats.rederived
+        self.count_adjusted += stats.count_adjusted
+        if stats.lsn is not None:
+            self.last_lsn = stats.lsn
+
+    def report(self) -> dict:
+        return {
+            "updates": self.updates,
+            "delta_updates": self.delta_updates,
+            "recompute_updates": self.recompute_updates,
+            "facts_removed": self.facts_removed,
+            "overdeleted": self.overdeleted,
+            "rederived": self.rederived,
+            "count_adjusted": self.count_adjusted,
+            "last_lsn": self.last_lsn,
+        }
 
 
 class IncrementalModel:
@@ -65,10 +124,20 @@ class IncrementalModel:
         check: bool = True,
         hooks: EngineHooks | None = None,
         materialized: Database | None = None,
+        metrics: MetricsCollector | None = None,
+        maintain: str | None = None,
     ) -> None:
         if check:
             check_program(program)
+        if maintain is not None and maintain not in MAINTAIN_MODES:
+            raise ValueError(
+                f"unknown maintenance mode {maintain!r}; "
+                f"expected one of {MAINTAIN_MODES}"
+            )
         self.program = program
+        # None defers to repro.engine.maintain.maintain_mode() at each
+        # update, so set_maintain_mode affects existing models too.
+        self.maintain = maintain
         self.layering: Layering = stratify(program)
         self._graph = dependency_graph(program)
         # SCC schedule computed once for the model's lifetime: every
@@ -80,8 +149,14 @@ class IncrementalModel:
         self.database = materialized if materialized is not None else Database()
         # one context for the model's lifetime: rule plans compiled for
         # the first update are reused by every later delta/recompute.
-        self._context = EvalContext(self.database, hooks=hooks)
+        self._context = EvalContext(self.database, hooks=hooks, metrics=metrics)
         self.last_update = UpdateStats()
+        # differential maintenance state, created on the first
+        # maintained update and dropped whenever a non-differential
+        # path (recompute, legacy delta) mutates the model behind it.
+        self._maintainer = None
+        self.last_delta: DeltaBatch | None = None
+        self.maintenance = MaintenanceTotals()
         self._install_program_facts()
         if materialized is not None:
             # restore path (snapshot of this exact program): adopt the
@@ -108,12 +183,14 @@ class IncrementalModel:
         """The current base facts (program facts included)."""
         return frozenset(self._edb_facts)
 
-    def add_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
+    def add_facts(
+        self, atoms: Iterable[Atom], lsn: int | None = None
+    ) -> UpdateStats:
         """Insert base facts and repair the model."""
         new = [self._canonical(a) for a in atoms]
         new = [a for a in new if a not in self._edb_facts]
         if not new:
-            self.last_update = UpdateStats(mode="none")
+            self.last_update = UpdateStats(mode="none", lsn=lsn)
             return self.last_update
         for atom in new:
             if atom.pred in self._idb:
@@ -121,6 +198,9 @@ class IncrementalModel:
                     f"cannot insert into derived predicate {atom.pred!r}"
                 )
             self._edb_facts.add(atom)
+        if self._maintain_mode() == "delta":
+            return self._apply_delta(new, (), lsn)
+        self._maintainer = None
         changed = {a.pred for a in new}
         cone = self._affected_cone(changed)
         if self._delta_safe(cone):
@@ -135,23 +215,33 @@ class IncrementalModel:
             self.last_update = UpdateStats(
                 mode="delta",
                 affected_predicates=len(cone),
+                lsn=lsn,
                 fixpoint=stats,
             )
         else:
             self.last_update = self._recompute(cone)
+            self.last_update.lsn = lsn
+        self.maintenance.record(self.last_update)
         return self.last_update
 
-    def remove_facts(self, atoms: Iterable[Atom]) -> UpdateStats:
+    def remove_facts(
+        self, atoms: Iterable[Atom], lsn: int | None = None
+    ) -> UpdateStats:
         """Delete base facts and repair the model."""
         victims = [self._canonical(a) for a in atoms]
         victims = [a for a in victims if a in self._edb_facts]
         if not victims:
-            self.last_update = UpdateStats(mode="none")
+            self.last_update = UpdateStats(mode="none", lsn=lsn)
             return self.last_update
         for atom in victims:
             self._edb_facts.discard(atom)
+        if self._maintain_mode() == "delta":
+            return self._apply_delta((), victims, lsn)
+        self._maintainer = None
         changed = {a.pred for a in victims}
         self.last_update = self._recompute(self._affected_cone(changed))
+        self.last_update.lsn = lsn
+        self.maintenance.record(self.last_update)
         return self.last_update
 
     def as_set(self) -> frozenset[Atom]:
@@ -161,6 +251,44 @@ class IncrementalModel:
 
     def _canonical(self, atom: Atom) -> Atom:
         return canonical_atom(atom)
+
+    def _maintain_mode(self) -> str:
+        return self.maintain if self.maintain is not None else maintain_mode()
+
+    def _apply_delta(
+        self,
+        added: Iterable[Atom],
+        removed: Iterable[Atom],
+        lsn: int | None,
+    ) -> UpdateStats:
+        """Route one update through the differential maintenance engine."""
+        # imported here: the maintainer imports UpdateStats from this
+        # module, so a top-level import would be circular.
+        from repro.engine.maintain.maintainer import DeltaMaintainer
+
+        if self._maintainer is None:
+            self._maintainer = DeltaMaintainer(self)
+        stats, batch = self._maintainer.apply(added, removed, lsn=lsn)
+        self.last_update = stats
+        self.last_delta = batch
+        self.maintenance.record(stats)
+        ctx = self._context
+        if ctx.observing:
+            emit_event(
+                ctx.hooks, "on_delta_batch",
+                lsn=lsn, mode=batch.mode,
+                inserted=batch.inserted_count, deleted=batch.deleted_count,
+            )
+        if ctx.timing:
+            metrics = ctx.metrics
+            metrics.incr("maint_updates")
+            if stats.overdeleted:
+                metrics.incr("maint_overdeleted", stats.overdeleted)
+            if stats.rederived:
+                metrics.incr("maint_rederived", stats.rederived)
+            if stats.count_adjusted:
+                metrics.incr("maint_count_adjusted", stats.count_adjusted)
+        return stats
 
     def _install_program_facts(self) -> None:
         for rule in self.program.facts():
@@ -196,6 +324,10 @@ class IncrementalModel:
 
     def _recompute(self, cone: set[str]) -> UpdateStats:
         """Rebuild the cone's derived predicates over the fixed context."""
+        # a recompute rebuilds the cone behind the maintainer's back;
+        # its support counts are stale afterwards, so drop it and let
+        # the next maintained update re-snapshot.
+        self._maintainer = None
         stats = UpdateStats(mode="recompute", affected_predicates=len(cone))
         # keep everything outside the cone; rebuild the inside.
         fresh = Database()

@@ -1,0 +1,98 @@
+"""Maintenance package: the mode knob and the delta-batch surface.
+
+Two ways to repair a materialized model after an EDB update sit behind
+:class:`~repro.engine.incremental.IncrementalModel`:
+
+* ``"delta"`` (default) — the differential engine in
+  :mod:`repro.engine.maintain.maintainer`: per-derived-fact support
+  counting for non-recursive SCCs, DRed (delete–rederive) for
+  recursive ones, and multiset-backed regrouping for grouping heads,
+  all riding the same ``enumerate_bindings``/``derive_facts`` entry
+  point as evaluation itself;
+* ``"recompute"`` — the original cone-clearing paths (semi-naive
+  continuation for monotone insertions, layered re-evaluation for
+  everything else), kept as the differential oracle.
+
+The process-wide default comes from the ``REPRO_MAINTAIN`` environment
+variable (CI runs a leg under ``REPRO_MAINTAIN=recompute`` so the
+oracle cannot rot) and can be changed with :func:`set_maintain_mode`
+(the benchmark harness ``--maintain`` knob); a single model can pin its
+own mode via ``IncrementalModel(maintain=...)``.
+
+Every maintained update also publishes a :class:`DeltaBatch` — the net
+per-predicate fact changes of the whole model, stamped with the WAL LSN
+of the producing mutation when the update came through the durable
+store — so downstream consumers (replicas, answer caches) can apply
+view deltas instead of re-deriving.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.program.rule import Atom
+
+MAINTAIN_MODES = ("delta", "recompute")
+
+
+def _validated(name: str) -> str:
+    if name not in MAINTAIN_MODES:
+        raise ValueError(
+            f"unknown maintenance mode {name!r}; "
+            f"expected one of {MAINTAIN_MODES}"
+        )
+    return name
+
+
+_maintain = _validated(os.environ.get("REPRO_MAINTAIN", "delta"))
+
+
+def maintain_mode() -> str:
+    """The process-wide maintenance mode used when none is requested."""
+    return _maintain
+
+
+def set_maintain_mode(name: str) -> None:
+    """Change the process-wide default (harness ``--maintain`` knob)."""
+    global _maintain
+    _maintain = _validated(name)
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """The net fact changes one maintained update made to the model.
+
+    ``inserted``/``deleted`` map predicate names to the ground atoms
+    that entered/left the model (EDB changes included) — *net* changes:
+    a fact overdeleted and then rederived in the same update appears in
+    neither.  ``lsn`` is the WAL LSN of the mutation that produced the
+    batch (the log offset one past the producing record) when the
+    update came through :class:`repro.storage.DurableStore`, else None.
+    """
+
+    lsn: int | None = None
+    mode: str = "delta"
+    inserted: Mapping[str, tuple["Atom", ...]] = field(default_factory=dict)
+    deleted: Mapping[str, tuple["Atom", ...]] = field(default_factory=dict)
+
+    @property
+    def inserted_count(self) -> int:
+        return sum(len(atoms) for atoms in self.inserted.values())
+
+    @property
+    def deleted_count(self) -> int:
+        return sum(len(atoms) for atoms in self.deleted.values())
+
+    def __len__(self) -> int:
+        return self.inserted_count + self.deleted_count
+
+
+__all__ = [
+    "MAINTAIN_MODES",
+    "DeltaBatch",
+    "maintain_mode",
+    "set_maintain_mode",
+]

@@ -90,8 +90,21 @@ SCC_EVENTS = (
     "on_scc_end",
 )
 
+#: Differential-maintenance observation points
+#: (:mod:`repro.engine.maintain`).  Dispatched tolerantly like storage
+#: events, so hook implementations written before delta maintenance
+#: keep working:
+#:
+#: * ``on_delta_batch(lsn=..., mode=..., inserted=..., deleted=...)`` —
+#:   one maintained update published its net model delta; ``lsn`` is
+#:   the WAL LSN of the producing mutation (None outside the durable
+#:   store), ``inserted``/``deleted`` are net fact counts.
+MAINTENANCE_EVENTS = (
+    "on_delta_batch",
+)
+
 #: Events dispatched via :func:`emit_event` (tolerant getattr dispatch).
-OPTIONAL_EVENTS = STORAGE_EVENTS + SCC_EVENTS
+OPTIONAL_EVENTS = STORAGE_EVENTS + SCC_EVENTS + MAINTENANCE_EVENTS
 
 
 def emit_event(hooks, name: str, **payload) -> None:
@@ -146,6 +159,9 @@ class NullHooks:
         pass
 
     def on_scc_end(self, layer, preds, new_facts, seconds) -> None:
+        pass
+
+    def on_delta_batch(self, lsn, mode, inserted, deleted) -> None:
         pass
 
 
@@ -330,6 +346,21 @@ class TraceRecorder:
                     "preds": preds,
                     "new_facts": new_facts,
                     "seconds": seconds,
+                },
+            )
+        )
+
+    # -- maintenance events (see MAINTENANCE_EVENTS) ------------------------
+
+    def on_delta_batch(self, lsn, mode, inserted, deleted) -> None:
+        self.events.append(
+            TraceEvent(
+                "delta_batch",
+                {
+                    "lsn": lsn,
+                    "mode": mode,
+                    "inserted": inserted,
+                    "deleted": deleted,
                 },
             )
         )

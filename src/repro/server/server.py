@@ -282,6 +282,7 @@ class LDLServer:
                 "wal_records_replayed": store.stats.wal_records_replayed,
                 "compactions": store.stats.compactions,
             }
+            out["session"]["maintenance"] = store.model.maintenance.report()
         return out
 
 

@@ -72,6 +72,7 @@ class DurableStore:
         check: bool = True,
         hooks: EngineHooks | None = None,
         metrics: MetricsCollector | None = None,
+        maintain: str | None = None,
     ) -> None:
         self.program = program
         self.path = os.fspath(path)
@@ -80,6 +81,7 @@ class DurableStore:
         self.check = check
         self.hooks = hooks
         self.metrics = metrics
+        self.maintain = maintain
         self.model: IncrementalModel | None = None
         self.wal: WriteAheadLog | None = None
         self.stats = StoreStats()
@@ -112,6 +114,7 @@ class DurableStore:
                 check=self.check,
                 hooks=self.hooks,
                 materialized=Database(snapshot.model_atoms),
+                maintain=self.maintain,
             )
             stats.restore_mode = "snapshot"
         elif snapshot is not None:
@@ -122,11 +125,13 @@ class DurableStore:
                 edb=snapshot.edb_facts,
                 check=self.check,
                 hooks=self.hooks,
+                maintain=self.maintain,
             )
             stats.restore_mode = "rebuild"
         else:
             self.model = IncrementalModel(
-                self.program, check=self.check, hooks=self.hooks
+                self.program, check=self.check, hooks=self.hooks,
+                maintain=self.maintain,
             )
             stats.restore_mode = "cold"
         if snapshot is not None:
@@ -151,10 +156,12 @@ class DurableStore:
         )
         stats.wal_truncated_bytes = self.wal.truncated_bytes
         for record in self.wal.replay():
+            # replayed updates carry the same LSN (the log offset one
+            # past the record) the original mutation was stamped with.
             if record.op == "add":
-                self.model.add_facts(record.facts)
+                self.model.add_facts(record.facts, lsn=record.end_offset)
             else:
-                self.model.remove_facts(record.facts)
+                self.model.remove_facts(record.facts, lsn=record.end_offset)
             stats.wal_records_replayed += 1
             stats.wal_facts_replayed += len(record.facts)
         if self.metrics is not None:
@@ -213,13 +220,16 @@ class DurableStore:
         if not batch:
             return UpdateStats(mode="none")
         start = time.perf_counter()
-        self.wal.append(op, batch)
+        record = self.wal.append(op, batch)
         if self.metrics is not None:
             self.metrics.add_time("wal_append", time.perf_counter() - start)
+        # the WAL LSN (offset one past the record) stamps the update and
+        # its delta batch, so downstream consumers can order view deltas
+        # against the log.
         if op == "add":
-            stats = self.model.add_facts(batch)
+            stats = self.model.add_facts(batch, lsn=record.end_offset)
         else:
-            stats = self.model.remove_facts(batch)
+            stats = self.model.remove_facts(batch, lsn=record.end_offset)
         if self.compact_every and self.wal.record_count >= self.compact_every:
             self.checkpoint()
         return stats

@@ -88,3 +88,43 @@ generated_programs = st.builds(
     ),
     st.integers(min_value=0, max_value=100_000),
 )
+
+
+@st.composite
+def update_scripts(draw, max_ops: int = 6):
+    """A generated program plus an interleaved insert/delete script.
+
+    Returns ``(generated, initial, ops)`` where ``initial`` is the
+    subset of the generated EDB the model starts from and ``ops`` is a
+    list of ``("add" | "remove", [atoms...])`` steps drawn from the
+    same fact pool.  Removals are drawn twice as often as insertions so
+    deletion paths (overdelete/rederive, negation flips, group
+    shrinkage) dominate; atoms repeat across steps on purpose, so
+    no-op inserts and deletes of absent facts occur too.
+    """
+    generated = draw(st.builds(
+        lambda seed: random_program(
+            seed,
+            GeneratorConfig(
+                negation_probability=0.4, grouping_probability=0.35
+            ),
+        ),
+        st.integers(min_value=0, max_value=100_000),
+    ))
+    pool = list(dict.fromkeys(generated.edb))
+    initial = pool[: draw(st.integers(min_value=0, max_value=len(pool)))]
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "remove", "remove"]),
+                st.lists(
+                    st.sampled_from(pool),
+                    min_size=1,
+                    max_size=4,
+                    unique=True,
+                ),
+            ),
+            max_size=max_ops,
+        )
+    )
+    return generated, initial, ops

@@ -45,15 +45,38 @@ class TestInsertions:
         model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
         assert parse_atom("anc(a, b)") in model.database
 
-    def test_monotone_insert_uses_delta(self):
-        model = IncrementalModel(ANCESTOR, atoms("parent(a, b)"))
+    def test_insert_is_maintained_differentially(self):
+        model = IncrementalModel(
+            ANCESTOR, atoms("parent(a, b)"), maintain="delta"
+        )
+        stats = model.add_facts(atoms("parent(b, c)"))
+        assert stats.mode == "maintain"
+        assert parse_atom("anc(a, c)") in model.database
+        assert fresh_model_equals(model)
+
+    def test_monotone_insert_uses_delta_under_recompute_mode(self):
+        model = IncrementalModel(
+            ANCESTOR, atoms("parent(a, b)"), maintain="recompute"
+        )
         stats = model.add_facts(atoms("parent(b, c)"))
         assert stats.mode == "delta"
         assert parse_atom("anc(a, c)") in model.database
         assert fresh_model_equals(model)
 
-    def test_insert_through_negation_recomputes(self):
-        model = IncrementalModel(STRATIFIED, atoms("parent(a, b)"))
+    def test_insert_through_negation(self):
+        model = IncrementalModel(
+            STRATIFIED, atoms("parent(a, b)"), maintain="delta"
+        )
+        assert parse_atom("childless(b)") in model.database
+        stats = model.add_facts(atoms("parent(b, c)"))
+        assert stats.mode == "maintain"
+        assert parse_atom("childless(b)") not in model.database
+        assert fresh_model_equals(model)
+
+    def test_insert_through_negation_recomputes_under_recompute_mode(self):
+        model = IncrementalModel(
+            STRATIFIED, atoms("parent(a, b)"), maintain="recompute"
+        )
         assert parse_atom("childless(b)") in model.database
         stats = model.add_facts(atoms("parent(b, c)"))
         assert stats.mode == "recompute"
@@ -83,13 +106,25 @@ class TestInsertions:
 class TestDeletions:
     def test_delete_retracts_derivations(self):
         model = IncrementalModel(
-            ANCESTOR, atoms("parent(a, b)", "parent(b, c)")
+            ANCESTOR, atoms("parent(a, b)", "parent(b, c)"),
+            maintain="delta",
         )
         assert parse_atom("anc(a, c)") in model.database
         stats = model.remove_facts(atoms("parent(b, c)"))
-        assert stats.mode == "recompute"
+        assert stats.mode == "maintain"
+        assert stats.overdeleted >= 1
         assert parse_atom("anc(a, c)") not in model.database
         assert parse_atom("anc(a, b)") in model.database
+        assert fresh_model_equals(model)
+
+    def test_delete_recomputes_under_recompute_mode(self):
+        model = IncrementalModel(
+            ANCESTOR, atoms("parent(a, b)", "parent(b, c)"),
+            maintain="recompute",
+        )
+        stats = model.remove_facts(atoms("parent(b, c)"))
+        assert stats.mode == "recompute"
+        assert parse_atom("anc(a, c)") not in model.database
         assert fresh_model_equals(model)
 
     def test_delete_keeps_alternative_derivations(self):

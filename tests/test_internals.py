@@ -81,7 +81,10 @@ class TestIncrementalBookkeeping:
             anc(X, Y) <- parent(X, Z), anc(Z, Y).
             """
         )
-        model = IncrementalModel(program, [parse_atom("parent(a, b)")])
+        # the legacy update paths, pinned via maintain="recompute"
+        model = IncrementalModel(
+            program, [parse_atom("parent(a, b)")], maintain="recompute"
+        )
         delta = model.add_facts([parse_atom("parent(b, c)")])
         assert delta.mode == "delta"
         assert delta.fixpoint.facts_derived >= 2
@@ -89,9 +92,35 @@ class TestIncrementalBookkeeping:
         assert removal.mode == "recompute"
         assert removal.facts_removed >= 1
 
+    def test_maintained_update_stats(self):
+        program = parse_rules(
+            """
+            anc(X, Y) <- parent(X, Y).
+            anc(X, Y) <- parent(X, Z), anc(Z, Y).
+            """
+        )
+        model = IncrementalModel(
+            program, [parse_atom("parent(a, b)")], maintain="delta"
+        )
+        delta = model.add_facts([parse_atom("parent(b, c)")])
+        assert delta.mode == "maintain"
+        assert delta.fixpoint.facts_derived >= 2
+        removal = model.remove_facts([parse_atom("parent(b, c)")])
+        assert removal.mode == "maintain"
+        assert removal.overdeleted >= 2
+        assert removal.facts_removed >= 1
+        totals = model.maintenance
+        assert totals.updates == 2
+        assert totals.delta_updates == 2
+        assert totals.recompute_updates == 0
+
     def test_recompute_counts_only_idb_facts(self):
         program = parse_rules("q(X) <- p(X).")
-        model = IncrementalModel(program, [parse_atom("p(1)"), parse_atom("p(2)")])
+        model = IncrementalModel(
+            program,
+            [parse_atom("p(1)"), parse_atom("p(2)")],
+            maintain="recompute",
+        )
         stats = model.remove_facts([parse_atom("p(2)")])
         # removed: q(1), q(2) rebuilt; p facts reinstated, not counted
         assert stats.facts_removed == 2
