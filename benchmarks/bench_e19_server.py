@@ -4,9 +4,16 @@ Times the TCP server (``repro.server``) from the client side: 1, 4,
 and 8 concurrent clients issuing bound magic queries (read-only) or a
 1:2 update:query mix against one shared session.  Updates serialize
 through the server's writer lock while queries overlap, so the two
-strategies bound the cost of coordination.  pytest-benchmark wrapper
-around the shared cases in ``common.py``; see ``benchmarks/harness.py``
-for the table-printing runner and DESIGN.md for the experiment index.
+strategies bound the cost of coordination.
+
+The ``hot set`` cases stress the answer cache with 100 concurrent
+clients over eight bound queries — cached vs per-request bypass, and
+cached with concurrent writes on an unrelated predicate (precise
+invalidation keeps the hit rate high).  Those cases report
+``p50_ms``/``p99_ms`` client-side latency and ``hit_rate`` in
+``extra_info``.  pytest-benchmark wrapper around the shared cases in
+``common.py``; see ``benchmarks/harness.py`` for the table-printing
+runner and DESIGN.md for the experiment index.
 """
 
 import pytest
@@ -22,3 +29,6 @@ def test_e19_server(benchmark, case):
     result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
     benchmark.extra_info["requests"] = case["metric"](result)
     benchmark.extra_info["strategy"] = case["strategy"]
+    if isinstance(result, dict):
+        for key, value in result.items():
+            benchmark.extra_info[key] = value

@@ -847,6 +847,117 @@ def e19_server() -> list[dict]:
                 lambda requests: requests,
             )
         )
+
+    # -- hot-query answer cache under heavy fan-in ------------------------
+    # 100+ clients hammer a small set of bound queries; the cached leg
+    # serves them from the answer cache (hit rate reported), the
+    # uncached leg bypasses it per request ("cache": false).  The third
+    # leg adds writers on a predicate the hot queries don't depend on:
+    # precise invalidation means the hit rate should stay high.
+    import time
+
+    hot_clients = 100
+    hot_requests = 10
+    hot_queries = [f"? anc(p{i}, X)." for i in range(8)]
+
+    def percentile(ordered, q):
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, round(q * (len(ordered) - 1)))]
+
+    def hot_worker(seed: int, use_cache: bool, latencies: list) -> int:
+        local = []
+        with Client("127.0.0.1", port) as client:
+            for i in range(hot_requests):
+                text = hot_queries[(seed + i) % len(hot_queries)]
+                t0 = time.perf_counter()
+                client.query(
+                    text, strategy="magic", cache=None if use_cache else False
+                )
+                local.append(time.perf_counter() - t0)
+        latencies.extend(local)
+        return hot_requests
+
+    def unrelated_writer(seed: int) -> int:
+        """Writes on a predicate outside the hot queries' support set."""
+        with Client("127.0.0.1", port) as client:
+            added = []
+            for i in range(hot_requests):
+                row = (f"u{seed}_{i}", i)
+                client.add_facts("unrelated", [row])
+                added.append(row)
+            client.remove_facts("unrelated", added)
+        return 2 * hot_requests
+
+    def run_hot(count: int, use_cache: bool, writers: int = 0) -> dict:
+        before = server.cache.report() if server.cache is not None else None
+        latencies: list = []
+        totals = []
+        errors = []
+
+        def target(worker, *args):
+            try:
+                totals.append(worker(*args))
+            except Exception as exc:  # noqa: BLE001 - fail the benchmark
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=target, args=(hot_worker, i, use_cache, latencies))
+            for i in range(count)
+        ] + [
+            threading.Thread(target=target, args=(unrelated_writer, i))
+            for i in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        ordered = sorted(latencies)
+        out = {
+            "requests": sum(totals),
+            "p50_ms": percentile(ordered, 0.50) * 1000,
+            "p99_ms": percentile(ordered, 0.99) * 1000,
+        }
+        if use_cache and before is not None:
+            after = server.cache.report()
+            lookups = (after["hits"] + after["misses"]) - (
+                before["hits"] + before["misses"]
+            )
+            out["hit_rate"] = (
+                (after["hits"] - before["hits"]) / lookups if lookups else 0.0
+            )
+            out["entries_invalidated"] = (
+                after["entries_invalidated"] - before["entries_invalidated"]
+            )
+        return out
+
+    if server.cache is not None:  # REPRO_ANSWER_CACHE=off drops these legs
+        cases.append(
+            case(
+                f"hot set, {hot_clients} clients",
+                "cached",
+                lambda: run_hot(hot_clients, True),
+                lambda r: r["requests"],
+            )
+        )
+        cases.append(
+            case(
+                f"hot set, {hot_clients} clients",
+                "uncached",
+                lambda: run_hot(hot_clients, False),
+                lambda r: r["requests"],
+            )
+        )
+        cases.append(
+            case(
+                f"hot set + unrelated writes, {hot_clients} clients",
+                "cached",
+                lambda: run_hot(hot_clients, True, writers=4),
+                lambda r: r["requests"],
+            )
+        )
     return cases
 
 

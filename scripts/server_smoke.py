@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """End-to-end smoke test for ``repro serve`` (used by CI).
 
-Starts the server as a real subprocess on a temp durable store, runs a
-scripted client session (updates, queries under every strategy, an
-explain, stats), SIGTERMs it, and then restarts to assert the graceful
+Starts the server as a real subprocess on a temp durable store — line
+protocol plus HTTP gateway (``--http 0``) — runs a scripted client
+session (updates, queries under every strategy, an explain, stats),
+drives the answer cache through a full hit/invalidate/hit cycle over
+both protocols, SIGTERMs it, and then restarts to assert the graceful
 shutdown checkpointed: the second start must restore from the snapshot
 with zero WAL records replayed and still answer the same queries.
 
@@ -14,6 +16,8 @@ Run:  PYTHONPATH=src python scripts/server_smoke.py
 
 from __future__ import annotations
 
+import http.client
+import json
 import os
 import re
 import shutil
@@ -36,16 +40,21 @@ t(X, Y) <- e(X, Z), t(Z, Y).
 """
 
 
-def start_server(program: Path, db: Path) -> tuple[subprocess.Popen, int]:
+def start_server(
+    program: Path, db: Path, http_port: bool = False
+) -> tuple[subprocess.Popen, int, int | None]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get(
         "PYTHONPATH", ""
     )
+    argv = [
+        sys.executable, "-m", "repro", "serve", str(program),
+        "--port", "0", "--db", str(db),
+    ]
+    if http_port:
+        argv += ["--http", "0"]
     proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve", str(program),
-            "--port", "0", "--db", str(db),
-        ],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -53,6 +62,7 @@ def start_server(program: Path, db: Path) -> tuple[subprocess.Popen, int]:
         cwd=str(ROOT),
     )
     banner: list[str] = []
+    port = None
     deadline = time.time() + 30
     while time.time() < deadline:
         line = proc.stdout.readline()
@@ -61,7 +71,13 @@ def start_server(program: Path, db: Path) -> tuple[subprocess.Popen, int]:
         banner.append(line)
         match = re.search(r"% serving on [^:]+:(\d+)", line)
         if match:
-            return proc, int(match.group(1))
+            port = int(match.group(1))
+            if not http_port:
+                return proc, port, None
+            continue
+        match = re.search(r"% http gateway on [^:]+:(\d+)", line)
+        if match and port is not None:
+            return proc, port, int(match.group(1))
     proc.kill()
     raise SystemExit(f"FAIL: server did not start:\n{''.join(banner)}")
 
@@ -80,6 +96,18 @@ def check(label: str, condition: bool) -> None:
     print(f"ok: {label}")
 
 
+def http_call(port: int, method: str, path: str, body: dict | None = None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
 def main() -> None:
     workdir = Path(tempfile.mkdtemp(prefix="ldl1-server-smoke-"))
     try:
@@ -87,7 +115,7 @@ def main() -> None:
         program.write_text(PROGRAM)
         db = workdir / "db"
 
-        proc, port = start_server(program, db)
+        proc, port, http_port = start_server(program, db, http_port=True)
         try:
             with Client("127.0.0.1", port) as client:
                 check("ping", client.ping())
@@ -116,6 +144,47 @@ def main() -> None:
                     stats["server"]["errors_total"] == 0
                     and stats["session"]["durable"],
                 )
+
+                # HTTP gateway: same session over HTTP/1.1
+                status, body = http_call(http_port, "GET", "/v1/ping")
+                check("http ping", status == 200 and body["ok"])
+                status, body = http_call(
+                    http_port, "POST", "/v1/query", {"q": "? t(1, X)."}
+                )
+                check("http query", status == 200 and body["count"] == 2)
+                status, body = http_call(http_port, "GET", "/v1/nope")
+                check("http 404", status == 404 and not body["ok"])
+
+                # answer cache: hit, precise invalidate, hit again
+                ask = {"q": "? t(1, X)."}
+                first = client.call("query", **ask)["cache"]
+                second = client.call("query", **ask)["cache"]
+                check(
+                    "cache hit cycle",
+                    first in ("miss", "hit") and second == "hit",
+                )
+                client.add_facts("e", [(3, 4)])
+                status, body = http_call(
+                    http_port, "POST", "/v1/query", ask
+                )
+                check(
+                    "cache invalidated by write",
+                    status == 200
+                    and body["cache"] == "miss"
+                    and body["count"] == 3,
+                )
+                check(
+                    "cache refill hit over http",
+                    http_call(http_port, "POST", "/v1/query", ask)[1]["cache"]
+                    == "hit",
+                )
+                client.remove_facts("e", [(3, 4)])
+                cache_stats = client.stats()["answer_cache"]
+                check(
+                    "cache stats",
+                    cache_stats["hits"] >= 2
+                    and cache_stats["entries_invalidated"] >= 1,
+                )
         finally:
             out = stop_server(proc)
         check(
@@ -124,7 +193,7 @@ def main() -> None:
         )
 
         # restart: must come back from the snapshot, no WAL replay
-        proc, port = start_server(program, db)
+        proc, port, _ = start_server(program, db)
         try:
             with Client("127.0.0.1", port) as client:
                 check(

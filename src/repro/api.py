@@ -48,6 +48,7 @@ from typing import Iterable, Literal as TypingLiteral, Sequence
 
 from repro.engine.database import Database
 from repro.engine.evaluator import EvaluationResult, evaluate
+from repro.engine.maintain import Invalidation
 from repro.errors import EvaluationError
 from repro.magic.evaluate import MagicResult, evaluate_magic
 from repro.observe import EngineHooks, MetricsCollector, TraceRecorder, compose_hooks
@@ -129,6 +130,10 @@ class LDL:
         # (differential maintenance) or "recompute" (cone recompute);
         # None defers to the process default (REPRO_MAINTAIN).
         self._maintain = maintain
+        # invalidation listeners: registered on the durable model (and
+        # re-registered whenever rules force it to reopen), notified
+        # directly for in-memory updates and rule loads.
+        self._delta_listeners: list = []
         self._store = None  # DurableStore, opened lazily
         if source:
             self.load(source)
@@ -165,6 +170,8 @@ class LDL:
             metrics=self._metrics,
             maintain=self._maintain,
         ).open()
+        for listener in self._delta_listeners:
+            self._store.model.add_delta_listener(listener)
         if buffered:
             self._store.add_facts(buffered)
 
@@ -211,6 +218,9 @@ class LDL:
             self._invalidate()
             if self._store is not None and len(parsed.program):
                 self._reopen_store()
+            if len(parsed.program):
+                # rules changed: every cached answer is suspect
+                self._notify_delta(Invalidation(preds=None, precise=False))
         return self
 
     def fact(self, pred: str, *values) -> "LDL":
@@ -229,11 +239,17 @@ class LDL:
         In a durable session the batch is WAL-logged before the model
         is repaired, so it survives a crash as one atomic unit.
         """
+        atoms = list(atoms)
         with self._lock:
             if self._store is not None:
                 self._store.add_facts(atoms)
             else:
                 self._edb.extend(atoms)
+                self._notify_delta(
+                    Invalidation(
+                        preds=frozenset(a.pred for a in atoms), precise=False
+                    )
+                )
             self._invalidate()
         return self
 
@@ -243,6 +259,7 @@ class LDL:
 
     def remove_atoms(self, atoms: Iterable[Atom]) -> "LDL":
         """Delete base facts; unknown facts are ignored."""
+        atoms = list(atoms)
         with self._lock:
             if self._store is not None:
                 self._store.remove_facts(atoms)
@@ -251,6 +268,11 @@ class LDL:
                 self._edb = [
                     a for a in self._edb if canonical_atom(a) not in victims
                 ]
+                self._notify_delta(
+                    Invalidation(
+                        preds=frozenset(a.pred for a in atoms), precise=False
+                    )
+                )
             self._invalidate()
         return self
 
@@ -338,6 +360,42 @@ class LDL:
         return evaluate_magic(
             self.program, query, edb=self._edb_atoms(), hooks=self._hooks
         )
+
+    def on_demand_rows(self, text: str | Query) -> tuple[tuple, ...]:
+        """Answer rows for a query, computed on demand via magic sets.
+
+        The population path of the server's
+        :class:`~repro.server.cache.AnswerCache`: returns the sorted
+        ground argument rows of the matching answer atoms instead of
+        variable bindings (see
+        :func:`repro.magic.evaluate.on_demand_rows`).
+        """
+        from repro.magic.evaluate import on_demand_rows
+
+        query = text if isinstance(text, Query) else parse_query(text)
+        return on_demand_rows(
+            self.program, query, edb=self._edb_atoms(), hooks=self._hooks
+        )
+
+    def add_delta_listener(self, listener) -> None:
+        """Register ``listener(invalidation)`` for every state change.
+
+        The listener receives an
+        :class:`~repro.engine.maintain.Invalidation` after every
+        completed update: precise LSN-stamped predicate sets from the
+        durable model's delta maintenance, conservative predicate sets
+        for in-memory updates, and a wholesale event (``preds=None``)
+        when :meth:`load` changes the rules.  Registration survives the
+        store reopening on rule changes.
+        """
+        with self._lock:
+            self._delta_listeners.append(listener)
+            if self._store is not None:
+                self._store.model.add_delta_listener(listener)
+
+    def _notify_delta(self, invalidation: Invalidation) -> None:
+        for listener in self._delta_listeners:
+            listener(invalidation)
 
     def run_pending_queries(self, strategy: Strategy = "seminaive"):
         """Answer every query that arrived via :meth:`load`, in order."""

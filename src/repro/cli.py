@@ -337,6 +337,45 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="per-request processing budget (default: 30)",
     )
     parser.add_argument(
+        "--http",
+        type=int,
+        nargs="?",
+        const=0,
+        default=None,
+        metavar="PORT",
+        help="also serve an HTTP/JSON gateway on PORT (no PORT picks "
+        "an ephemeral one, printed on start)",
+    )
+    parser.add_argument(
+        "--http-max-connections",
+        type=int,
+        default=128,
+        metavar="N",
+        help="gateway connection limit; over-limit connections get one "
+        "503 and are closed (default: 128)",
+    )
+    parser.add_argument(
+        "--http-max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="gateway admission limit on dispatched requests; the rest "
+        "get 503 + Retry-After (default: 64)",
+    )
+    parser.add_argument(
+        "--cache",
+        choices=("on", "off"),
+        default=None,
+        help="answer caching (default: on unless REPRO_ANSWER_CACHE=off)",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=256,
+        metavar="N",
+        help="answer-cache entry budget, evicted LRU (default: 256)",
+    )
+    parser.add_argument(
         "--max-request-bytes",
         type=int,
         default=MAX_REQUEST_BYTES,
@@ -350,6 +389,8 @@ def run_serve(argv: list[str], echo) -> int:
     """The ``serve`` subcommand: run the TCP server until a signal."""
     import asyncio
 
+    from repro.server.cache import AnswerCache, cache_enabled
+    from repro.server.gateway import HttpGateway
     from repro.server.server import LDLServer
 
     args = build_serve_parser().parse_args(argv)
@@ -370,18 +411,38 @@ def run_serve(argv: list[str], echo) -> int:
                 f"% durable store {args.db}: {stats.restore_mode} start, "
                 f"{stats.wal_records_replayed} WAL records replayed"
             )
+        if args.cache is None:
+            caching = cache_enabled()
+        else:
+            caching = args.cache == "on"
         server = LDLServer(
             session,
             host=args.host,
             port=args.port,
             request_timeout=args.request_timeout,
             max_request_bytes=args.max_request_bytes,
+            cache=AnswerCache(args.cache_capacity) if caching else None,
         )
 
         async def main() -> None:
             await server.start()
             echo(f"% serving on {server.host}:{server.port} (pid {os.getpid()})")
-            await server.serve()
+            gateway = None
+            if args.http is not None:
+                gateway = HttpGateway(
+                    server,
+                    host=args.host,
+                    port=args.http,
+                    max_connections=args.http_max_connections,
+                    max_inflight=args.http_max_inflight,
+                )
+                await gateway.start()
+                echo(f"% http gateway on {gateway.host}:{gateway.port}")
+            try:
+                await server.serve()
+            finally:
+                if gateway is not None:
+                    await gateway.stop()
 
         asyncio.run(main())
         if args.db:

@@ -41,7 +41,13 @@ from repro.engine.fixpoint import (
     FixpointStats,
     seminaive_rounds,
 )
-from repro.engine.maintain import MAINTAIN_MODES, DeltaBatch, maintain_mode
+from repro.engine.maintain import (
+    MAINTAIN_MODES,
+    DeltaBatch,
+    Invalidation,
+    invalidation_of,
+    maintain_mode,
+)
 from repro.errors import EvaluationError
 from repro.observe import EngineHooks, MetricsCollector, emit_event
 from repro.program.dependency import dependency_graph, scc_schedule
@@ -157,6 +163,9 @@ class IncrementalModel:
         self._maintainer = None
         self.last_delta: DeltaBatch | None = None
         self.maintenance = MaintenanceTotals()
+        # delta listeners: called with an Invalidation after every
+        # completed (non-no-op) update, inside the updating thread.
+        self._delta_listeners: list = []
         self._install_program_facts()
         if materialized is not None:
             # restore path (snapshot of this exact program): adopt the
@@ -182,6 +191,18 @@ class IncrementalModel:
     def edb_facts(self) -> frozenset[Atom]:
         """The current base facts (program facts included)."""
         return frozenset(self._edb_facts)
+
+    def add_delta_listener(self, listener) -> None:
+        """Register ``listener(invalidation)``, called after every
+        completed update with the
+        :class:`~repro.engine.maintain.Invalidation` it implies —
+        precise (the delta batch's net-changed predicates) under
+        differential maintenance, a conservative cone otherwise."""
+        self._delta_listeners.append(listener)
+
+    def _notify_delta(self, invalidation: Invalidation) -> None:
+        for listener in self._delta_listeners:
+            listener(invalidation)
 
     def add_facts(
         self, atoms: Iterable[Atom], lsn: int | None = None
@@ -222,6 +243,9 @@ class IncrementalModel:
             self.last_update = self._recompute(cone)
             self.last_update.lsn = lsn
         self.maintenance.record(self.last_update)
+        self._notify_delta(
+            Invalidation(lsn=lsn, preds=frozenset(cone), precise=False)
+        )
         return self.last_update
 
     def remove_facts(
@@ -239,9 +263,13 @@ class IncrementalModel:
             return self._apply_delta((), victims, lsn)
         self._maintainer = None
         changed = {a.pred for a in victims}
-        self.last_update = self._recompute(self._affected_cone(changed))
+        cone = self._affected_cone(changed)
+        self.last_update = self._recompute(cone)
         self.last_update.lsn = lsn
         self.maintenance.record(self.last_update)
+        self._notify_delta(
+            Invalidation(lsn=lsn, preds=frozenset(cone), precise=False)
+        )
         return self.last_update
 
     def as_set(self) -> frozenset[Atom]:
@@ -288,6 +316,7 @@ class IncrementalModel:
                 metrics.incr("maint_rederived", stats.rederived)
             if stats.count_adjusted:
                 metrics.incr("maint_count_adjusted", stats.count_adjusted)
+        self._notify_delta(invalidation_of(batch))
         return stats
 
     def _install_program_facts(self) -> None:

@@ -90,9 +90,43 @@ class DeltaBatch:
         return self.inserted_count + self.deleted_count
 
 
+def changed_predicates(batch: DeltaBatch) -> frozenset[str]:
+    """The predicates whose extensions ``batch`` touched (either way)."""
+    return frozenset(batch.inserted) | frozenset(batch.deleted)
+
+
+@dataclass(frozen=True)
+class Invalidation:
+    """What one completed update means for downstream answer caches.
+
+    ``preds`` names the predicates whose extensions may now differ —
+    ``None`` means *everything* (the program itself changed).  When the
+    signal came from a :class:`DeltaBatch`, ``precise`` is True and
+    ``preds`` are exactly the net-changed predicates; the recompute
+    paths and in-memory sessions publish a conservative superset
+    (``precise`` False).  ``lsn`` is the WAL LSN of the producing
+    mutation when there is one: a cache entry stamped at or after it
+    already reflects the update and survives.
+    """
+
+    lsn: int | None = None
+    preds: frozenset[str] | None = None
+    precise: bool = True
+
+
+def invalidation_of(batch: DeltaBatch) -> Invalidation:
+    """The precise invalidation a maintained update's delta implies."""
+    return Invalidation(
+        lsn=batch.lsn, preds=changed_predicates(batch), precise=True
+    )
+
+
 __all__ = [
     "MAINTAIN_MODES",
     "DeltaBatch",
+    "Invalidation",
+    "changed_predicates",
+    "invalidation_of",
     "maintain_mode",
     "set_maintain_mode",
 ]

@@ -176,3 +176,23 @@ def evaluate_magic(
             )
 
     return MagicResult(db, mp, stats)
+
+
+def on_demand_rows(
+    program: Program,
+    query: Query,
+    edb: Iterable[Atom] = (),
+    hooks: EngineHooks | None = None,
+) -> tuple[tuple, ...]:
+    """Ground argument rows answering ``query``, computed on demand.
+
+    The magic pipeline as a demand-driven *row* producer: evaluate the
+    rewritten program (so only facts relevant to the query's bound
+    arguments are derived) and return the full argument tuples of the
+    matching answer atoms, sorted.  This is the population entry point
+    of the server's answer cache — rows for a relaxed pattern can
+    answer any more-bound query later by re-matching, which variable
+    bindings cannot.
+    """
+    result = evaluate_magic(program, query, edb=edb, hooks=hooks)
+    return tuple(atom.args for atom in result.answer_atoms())

@@ -556,8 +556,23 @@ class ServerMetrics:
         self._bucket_counts = [0] * (len(self.buckets) + 1)
         self._latency_sum = 0.0
         self._latency_count = 0
+        # answer-cache outcomes ("hit"/"hit-subsumed"/"miss"/
+        # "invalidation_events"/"invalidated") and gateway admission
+        # rejections ("connections"/"admission"/"body"), by kind.
+        self.cache_events: dict[str, int] = {}
+        self.rejections: dict[str, int] = {}
 
     # -- recording ---------------------------------------------------------
+
+    def record_cache(self, kind: str, n: int = 1) -> None:
+        """Count ``n`` answer-cache outcomes of ``kind``."""
+        with self._mutex:
+            self.cache_events[kind] = self.cache_events.get(kind, 0) + n
+
+    def record_rejection(self, reason: str) -> None:
+        """Count one admission-control rejection (gateway 503/413)."""
+        with self._mutex:
+            self.rejections[reason] = self.rejections.get(reason, 0) + 1
 
     def connection_opened(self) -> None:
         with self._mutex:
@@ -612,6 +627,8 @@ class ServerMetrics:
                 "peak_in_flight": self.peak_in_flight,
                 "connections_opened": self.connections_opened,
                 "connections_closed": self.connections_closed,
+                "cache": dict(self.cache_events),
+                "rejections": dict(self.rejections),
                 "latency": {
                     "count": self._latency_count,
                     "sum_seconds": self._latency_sum,

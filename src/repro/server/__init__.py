@@ -17,9 +17,17 @@ client used by the tests, the benchmarks, and the CLI smoke scripts.
     with Client("127.0.0.1", server.port) as client:
         client.add_facts("parent", [("ann", "bob")])
         client.query("? anc(ann, X).")   # [{'X': 'bob'}]
+
+Queries are answered through a subsumption-aware, LSN-invalidated
+:class:`AnswerCache` by default (``REPRO_ANSWER_CACHE=off`` disables
+it), and :class:`HttpGateway` puts an HTTP/JSON facade — with
+connection limits, admission control, and backpressure — in front of
+the same server core (``repro serve --http``).
 """
 
+from repro.server.cache import AnswerCache, cache_enabled
 from repro.server.client import Client
+from repro.server.gateway import HttpGateway
 from repro.server.protocol import (
     DEFAULT_PORT,
     MAX_REQUEST_BYTES,
@@ -30,11 +38,14 @@ from repro.server.rwlock import ReadWriteLock
 from repro.server.server import LDLServer, serve
 
 __all__ = [
+    "AnswerCache",
     "Client",
     "DEFAULT_PORT",
+    "HttpGateway",
     "LDLServer",
     "MAX_REQUEST_BYTES",
     "ReadWriteLock",
+    "cache_enabled",
     "decode_request",
     "encode_message",
     "serve",

@@ -35,30 +35,63 @@ class Client:
     ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
+        self._poisoned = False
 
     # -- plumbing ----------------------------------------------------------
+
+    def _poison(self) -> None:
+        """Mark the connection unusable and close it.
+
+        Once a request times out (or a response id mismatches), the
+        stream may still carry the late reply — reading on would match
+        it against the *next* request.  There is no way to resync a
+        one-at-a-time connection, so it is closed and every later call
+        fails fast.
+        """
+        self._poisoned = True
+        self.close()
 
     def call(self, op: str, **payload) -> dict:
         """Issue one request and return the decoded success response.
 
         Raises :class:`ServerError` when the server reports a failure
-        and :class:`ProtocolError` on a malformed exchange.
+        and :class:`ProtocolError` on a malformed exchange.  A socket
+        timeout poisons the connection (see :meth:`_poison`) and raises
+        :class:`ProtocolError`; open a new client to continue.
         """
+        if self._poisoned:
+            raise ProtocolError(
+                "connection was poisoned by an earlier timeout or "
+                "desync; open a new Client"
+            )
         self._next_id += 1
         request = {"op": op, "id": self._next_id, **payload}
-        self._file.write(protocol.encode_message(request))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(protocol.encode_message(request))
+            self._file.flush()
+            line = self._file.readline()
+        except socket.timeout as exc:
+            self._poison()
+            raise ProtocolError(
+                f"{op} timed out after {self.timeout}s waiting for the "
+                "server; connection closed (a late reply cannot be told "
+                "apart from the next response)"
+            ) from exc
         if not line:
             raise ProtocolError("server closed the connection mid-request")
         response = protocol.decode_message(line)
-        if response.get("id") not in (None, self._next_id):
+        # strict id match: an id-less response here means the server
+        # answered something other than the request we just sent (e.g.
+        # a line it could not parse) — the stream is not trustworthy.
+        if response.get("id") != self._next_id:
+            self._poison()
             raise ProtocolError(
                 f"response id {response.get('id')!r} does not match "
-                f"request id {self._next_id}"
+                f"request id {self._next_id}; connection closed"
             )
         if not response.get("ok"):
             raise ServerError(
@@ -72,11 +105,22 @@ class Client:
     def ping(self) -> bool:
         return bool(self.call("ping").get("pong"))
 
-    def query(self, text: str, strategy: str | None = None) -> list[dict]:
-        """Answer a query; one dict of Python values per answer."""
+    def query(
+        self,
+        text: str,
+        strategy: str | None = None,
+        cache: bool | None = None,
+    ) -> list[dict]:
+        """Answer a query; one dict of Python values per answer.
+
+        ``cache=False`` asks the server to bypass its answer cache for
+        this one query (useful for differential testing).
+        """
         payload = {"q": text}
         if strategy is not None:
             payload["strategy"] = strategy
+        if cache is not None:
+            payload["cache"] = cache
         response = self.call("query", **payload)
         return [
             {

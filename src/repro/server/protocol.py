@@ -26,6 +26,13 @@ are ``[{variable: tagged-term}]`` — decode with
 ``add_facts``/``remove_facts`` accept either ``pred`` + ``rows`` (rows
 of tagged terms for one predicate) or ``facts`` (full tagged atoms,
 mixed predicates).
+
+``query`` additionally accepts ``"cache": false`` to bypass the
+server's answer cache for that one request; query responses carry a
+``cache`` field reporting how they were served (``hit``,
+``hit-subsumed``, ``miss``, ``unsatisfiable``, or ``off``).  The same
+requests travel verbatim as JSON bodies of the HTTP gateway
+(:mod:`repro.server.gateway`).
 """
 
 from __future__ import annotations

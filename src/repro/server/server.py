@@ -14,13 +14,28 @@ serves the newline-delimited JSON protocol of
   produced, never a half-applied batch;
 * each request is bounded by ``request_timeout`` seconds and
   ``max_request_bytes`` on the wire; violations produce an error
-  response (and, for oversized lines, a closed connection);
+  response (and, for oversized lines, a closed connection).  For a
+  *write* the budget covers waiting for the write lock only: once the
+  blocking mutation has been handed to an executor thread it cannot be
+  cancelled, so the lock is held until the thread actually finishes and
+  the response reports the true outcome — a late write is a slow
+  success, never a "timed out but maybe applied" lie, and no reader can
+  observe the half-applied batch a cancelled-but-still-running mutation
+  would otherwise expose;
 * SIGTERM/SIGINT trigger graceful shutdown: stop accepting, drain
-  in-flight requests, and checkpoint a durable session so the next
-  start restores from the snapshot instead of replaying the WAL.
+  in-flight requests (tracked from first byte dispatched to last byte
+  drained), and checkpoint a durable session so the next start restores
+  from the snapshot instead of replaying the WAL.
 
 Request failures are *responses*, not connection teardowns: a parse
 error in one query leaves the connection serving the next.
+
+Queries are served through the session's :class:`AnswerCache` when one
+is attached (the default; disable with ``REPRO_ANSWER_CACHE=off`` or
+``cache=None``): hot queries hit cached answer rows, misses populate
+the cache via on-demand magic evaluation, and every write invalidates
+exactly the entries whose support intersects the predicates the
+update's :class:`~repro.engine.maintain.DeltaBatch` actually changed.
 """
 
 from __future__ import annotations
@@ -28,12 +43,14 @@ from __future__ import annotations
 import asyncio
 import signal
 import time
+from contextlib import contextmanager
 from functools import partial
 
 from repro.api import LDL
 from repro.errors import ProtocolError
 from repro.observe import ServerMetrics
 from repro.server import protocol
+from repro.server.cache import AnswerCache, cache_enabled
 from repro.server.rwlock import ReadWriteLock
 
 #: Ops that only read the model (shared lock) vs. mutate it (exclusive).
@@ -53,6 +70,7 @@ class LDLServer:
         max_request_bytes: int = protocol.MAX_REQUEST_BYTES,
         metrics: ServerMetrics | None = None,
         shutdown_grace: float = 5.0,
+        cache: AnswerCache | None | str = "auto",
     ) -> None:
         self.session = session
         self.host = host
@@ -61,6 +79,12 @@ class LDLServer:
         self.max_request_bytes = max_request_bytes
         self.metrics = metrics if metrics is not None else ServerMetrics()
         self.shutdown_grace = shutdown_grace
+        if cache == "auto":
+            cache = AnswerCache() if cache_enabled() else None
+        self.cache = cache
+        if self.cache is not None:
+            self.cache.bind_session(session, register=False)
+            session.add_delta_listener(self._on_invalidation)
         self._lock = ReadWriteLock()
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -161,9 +185,13 @@ class LDLServer:
                     break
                 if not line.strip():
                     continue
-                response = await self._handle_line(line)
-                writer.write(protocol.encode_message(response))
-                await writer.drain()
+                # the request counts as in flight until its response is
+                # drained, so graceful shutdown never closes a writer
+                # between computing an answer and delivering it.
+                with self.track_request():
+                    response = await self._handle_line(line)
+                    writer.write(protocol.encode_message(response))
+                    await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished mid-conversation; nothing to answer
         finally:
@@ -177,18 +205,33 @@ class LDLServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    @contextmanager
+    def track_request(self):
+        """Count one request as in flight for graceful-drain purposes.
+
+        Callers (the line protocol and the HTTP gateway) hold this from
+        dispatch until the response bytes are drained to the socket.
+        """
+        self._active_requests += 1
+        try:
+            yield
+        finally:
+            self._active_requests -= 1
+
     async def _handle_line(self, line: bytes) -> dict:
         try:
             request = protocol.decode_request(line)
         except ProtocolError as exc:
             return protocol.error_response(None, exc)
+        return await self.handle_request(request)
+
+    async def handle_request(self, request: dict) -> dict:
+        """Dispatch one decoded request; shared by every transport."""
         op = request["op"]
         self.metrics.request_started(op)
         start = time.perf_counter()
         try:
-            response = await asyncio.wait_for(
-                self._dispatch(op, request), self.request_timeout
-            )
+            response = await self._dispatch(op, request)
         except asyncio.TimeoutError:
             response = protocol.error_response(
                 request,
@@ -205,14 +248,73 @@ class LDLServer:
 
     async def _dispatch(self, op: str, request: dict) -> dict:
         if op in WRITE_OPS:
-            async with self._lock.write():
-                return await self._run_op(op, request)
+            return await self._dispatch_write(op, request)
+        # reads are side-effect free: cancelling one mid-executor merely
+        # abandons a thread whose result is discarded, so the whole
+        # read — lock wait included — runs under the request budget.
+        return await asyncio.wait_for(
+            self._dispatch_read(op, request), self.request_timeout
+        )
+
+    async def _dispatch_read(self, op: str, request: dict) -> dict:
         async with self._lock.read():
             return await self._run_op(op, request)
 
+    async def _dispatch_write(self, op: str, request: dict) -> dict:
+        """Run a mutation with torn-state-free timeout semantics.
+
+        The request budget bounds *waiting for the write lock*.  Once
+        the blocking session call is handed to an executor thread,
+        cancellation cannot stop it — the thread would keep mutating
+        after the lock was released, and readers could observe a
+        half-applied batch while the client was told the write timed
+        out.  So past that point the lock is simply held until the
+        mutation finishes, and the response reports what actually
+        happened (see the regression tests in tests/test_server.py).
+        """
+        try:
+            await asyncio.wait_for(
+                self._lock.acquire_write(), self.request_timeout
+            )
+        except asyncio.TimeoutError:
+            raise TimeoutError(
+                f"{op} waited longer than the {self.request_timeout}s "
+                "request timeout for the write lock; nothing was applied"
+            ) from None
+        mutation = asyncio.ensure_future(self._run_op(op, request))
+        try:
+            return await asyncio.shield(mutation)
+        except asyncio.CancelledError:
+            # this request's coroutine was cancelled (connection
+            # teardown): the mutation is already running and must still
+            # complete before the lock can be released.
+            mutation.add_done_callback(
+                lambda t: t.cancelled() or t.exception()
+            )
+            if not mutation.done():
+                await asyncio.wait([mutation])
+            raise
+        finally:
+            await self._lock.release_write()
+
     async def _run_op(self, op: str, request: dict) -> dict:
         loop = asyncio.get_running_loop()
-        run = partial(loop.run_in_executor, None)
+
+        def run(func, *args):
+            fut = loop.run_in_executor(None, partial(func, *args))
+
+            async def wait():
+                try:
+                    return await fut
+                except asyncio.CancelledError:
+                    # a timed-out read abandons its executor thread;
+                    # consume the eventual result so its exception is
+                    # never logged as unretrieved.
+                    fut.add_done_callback(lambda f: f.exception())
+                    raise
+
+            return wait()
+
         if op == "ping":
             return protocol.ok_response(request, pong=True)
         if op == "query":
@@ -220,13 +322,15 @@ class LDLServer:
             if not isinstance(text, str):
                 raise ProtocolError("query needs a 'q' string")
             strategy = request.get("strategy", "seminaive")
-            bindings = await run(
-                partial(self._query_terms, text, strategy)
+            use_cache = bool(request.get("cache", True))
+            bindings, served_by = await run(
+                self._query_terms, text, strategy, use_cache
             )
             return protocol.ok_response(
                 request,
                 answers=[protocol.encode_binding(b) for b in bindings],
                 count=len(bindings),
+                cache=served_by,
             )
         if op == "explain":
             fact = request.get("fact")
@@ -254,20 +358,40 @@ class LDLServer:
 
     # -- blocking helpers (run in executor threads) ------------------------
 
-    def _query_terms(self, text: str, strategy: str) -> list[dict]:
-        """Answer a query as term-valued bindings (wire-encodable)."""
+    def _on_invalidation(self, invalidation) -> None:
+        """Session delta listener: invalidate the cache, count it."""
+        dropped = self.cache.apply_invalidation(invalidation)
+        self.metrics.record_cache("invalidation_events")
+        if dropped:
+            self.metrics.record_cache("invalidated", dropped)
+
+    def _query_terms(
+        self, text: str, strategy: str, use_cache: bool = True
+    ) -> tuple[list[dict], str]:
+        """Answer a query as term-valued bindings (wire-encodable).
+
+        Returns ``(bindings, how)`` where ``how`` reports the cache
+        outcome (``hit``/``hit-subsumed``/``miss``/``unsatisfiable``)
+        or ``"off"`` when the cache was absent or bypassed — cached or
+        not, the bindings are identical (property-tested).
+        """
         from repro.parser.parser import parse_query
 
         query = parse_query(text)
+        if self.cache is not None and use_cache:
+            bindings, served = self.cache.answers(query)
+            self.metrics.record_cache(served)
+            return bindings, served
         if strategy == "magic":
-            return self.session.query_magic(query).answers()
-        return self.session.model(strategy).answers(query)
+            return self.session.query_magic(query).answers(), "off"
+        return self.session.model(strategy).answers(query), "off"
 
     def _stats(self) -> dict:
         session = self.session
         store = session.store
         out = {
             "server": self.metrics.report(),
+            "answer_cache": None if self.cache is None else self.cache.report(),
             "session": {
                 "rules": len(session.program),
                 "edb_facts": session.edb_size,

@@ -315,6 +315,153 @@ class TestConcurrency:
         assert stats["server"]["errors_total"] == 0
 
 
+class SlowReadSession(LDL):
+    """A session whose model access stalls — a deliberately slow query."""
+
+    read_delay = 0.6
+
+    def model(self, strategy="seminaive"):
+        time.sleep(self.read_delay)
+        return super().model(strategy)
+
+
+class SlowWriteSession(LDL):
+    """A session that applies a multi-atom batch with a stall inside,
+    so a cancelled-but-still-running mutation has a wide window in
+    which readers could observe the half-applied batch."""
+
+    write_delay = 0.8
+
+    def add_atoms(self, atoms):
+        atoms = list(atoms)
+        for i, atom in enumerate(atoms):
+            if i:
+                time.sleep(self.write_delay)
+            super().add_atoms([atom])
+        return self
+
+
+class TestConsistencyBugfixes:
+    """Regression tests for the drain/timeout consistency bugs.
+
+    Each of these fails on the pre-fix server: the drain loop polled a
+    counter nothing incremented, a write timeout released the lock
+    while the mutation kept running in its executor thread, and a
+    client-side socket timeout left the connection desynchronized.
+    """
+
+    def test_graceful_drain_completes_inflight_query(self):
+        """request_stop() must not close a connection mid-request."""
+        session = SlowReadSession(TC_PROGRAM)
+        session.facts("e", [(1, 2)])
+        answers = []
+        failures = []
+
+        with ServerThread(session, cache=None, shutdown_grace=10.0) as st:
+            def slow_query():
+                try:
+                    with st.client() as client:
+                        answers.append(client.query("? t(1, X)."))
+                except Exception as exc:  # noqa: BLE001 - asserted below
+                    failures.append(exc)
+
+            t = threading.Thread(target=slow_query)
+            t.start()
+            time.sleep(0.2)  # the query is now in flight
+            st.server.request_stop()
+            t.join(10)
+        assert not failures, failures
+        assert answers == [[{"X": 2}]]
+
+    def test_write_timeout_never_exposes_half_applied_batch(self):
+        """A write outliving the request budget still applies atomically.
+
+        The budget bounds waiting for the write lock; once the mutation
+        runs, the lock is held to completion and the response reports
+        the true outcome.  Readers must only ever observe 0 or 2 of the
+        2-row batch — 1 means the timeout released the lock under a
+        live mutation.
+        """
+        session = SlowWriteSession(TC_PROGRAM)
+        observed = set()
+        write_response = {}
+        reader_failures = []
+
+        with ServerThread(
+            session, cache=None, request_timeout=0.25
+        ) as st:
+            def writer():
+                with st.client(timeout=30) as client:
+                    write_response["count"] = client.add_facts(
+                        "e", [(1, 2), (2, 3)]
+                    )
+
+            def reader():
+                try:
+                    with st.client(timeout=30) as client:
+                        deadline = time.time() + 3
+                        while time.time() < deadline:
+                            try:
+                                rows = client.query("? e(X, Y).")
+                            except ServerError as exc:
+                                # blocked behind the held write lock
+                                # past the read budget: retry
+                                assert exc.etype == "TimeoutError"
+                                continue
+                            observed.add(len(rows))
+                            if len(rows) == 2:
+                                return
+                            time.sleep(0.01)
+                except Exception as exc:  # noqa: BLE001
+                    reader_failures.append(exc)
+
+            threads = [
+                threading.Thread(target=writer),
+                threading.Thread(target=reader),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+        assert not reader_failures, reader_failures
+        # the true outcome, not a "timed out but maybe applied" lie
+        assert write_response == {"count": 2}
+        assert 1 not in observed, f"reader saw a torn batch: {observed}"
+        assert 2 in observed
+
+    def test_client_timeout_poisons_connection(self):
+        """A timed-out client call raises ProtocolError and the
+        connection refuses further use instead of desyncing."""
+        session = SlowReadSession(TC_PROGRAM)
+        session.facts("e", [(1, 2)])
+        with ServerThread(session, cache=None) as st:
+            client = st.client(timeout=0.2)
+            try:
+                with pytest.raises(ProtocolError) as exc_info:
+                    client.query("? t(1, X).")
+                assert "timed out" in str(exc_info.value)
+                # the late response is unreadable: the connection is
+                # poisoned, not silently reused
+                with pytest.raises(ProtocolError) as exc_info:
+                    client.ping()
+                assert "poisoned" in str(exc_info.value)
+            finally:
+                client.close()
+
+    def test_client_rejects_idless_response(self):
+        """An id-less response never matches a pending request."""
+        with ServerThread(LDL(TC_PROGRAM)) as st:
+            with st.client() as client:
+                # desync the stream: the server answers this garbage
+                # line with an id-less error response
+                client._file.write(b"not json\n")
+                client._file.flush()
+                with pytest.raises(ProtocolError):
+                    client.ping()  # reads the id-less error
+                with pytest.raises(ProtocolError):
+                    client.ping()  # and the connection is now poisoned
+
+
 def start_serve(tmp_path, *extra, fsync="always"):
     """Launch ``repro serve`` as a subprocess; returns (proc, port)."""
     program = tmp_path / "prog.ldl"
