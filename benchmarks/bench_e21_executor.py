@@ -1,4 +1,4 @@
-"""Experiment E21: executor ablation batch vs tuple
+"""Experiment E21: executor ablation tuple / batch / specialized / vector
 
 pytest-benchmark wrapper around the shared cases in ``common.py``;
 see ``benchmarks/harness.py`` for the table-printing runner and
@@ -18,3 +18,10 @@ def test_e21_executor(benchmark, case):
     result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
     benchmark.extra_info["facts"] = case["metric"](result)
     benchmark.extra_info["strategy"] = case["strategy"]
+    collector = getattr(result, "metrics", None)
+    if collector is not None:
+        counters = collector.report().get("counters", {})
+        if "rows_per_dispatch" in counters:
+            benchmark.extra_info["rows_per_dispatch"] = counters[
+                "rows_per_dispatch"
+            ]

@@ -965,45 +965,81 @@ EXPERIMENTS["E19"] = e19_server
 EXPERIMENT_TITLES["E19"] = "server throughput: concurrent clients, read-only vs mixed"
 
 
-# -- E21: executor ablation — set-at-a-time batch vs tuple-at-a-time ----------
+# -- E21: executor ablation — tuple / batch / specialized / vector ------------
+
+#: The executor stack, one ablation layer at a time: ``tuple`` is the
+#: one-binding-at-a-time recursion; ``batch`` the set-at-a-time
+#: term-lane operators with specialization AND vector kernels off;
+#: ``specialized`` the compiled ID-row closures with vector kernels
+#: off (the PR 6 configuration); ``vector`` everything on — rows-mode
+#: emission plus whole-column kernels.
+E21_MODES = ("tuple", "batch", "specialized", "vector")
+
+
+def _ablation_case(workload, program, edb, mode):
+    def run():
+        from repro.engine.exec import (
+            set_specialization,
+            set_vectorization,
+            specialization,
+            vectorization,
+        )
+        from repro.observe import MetricsCollector
+
+        if mode == "tuple":
+            return evaluate(program, edb=edb, executor="tuple")
+        prev_spec = specialization()
+        prev_vec = vectorization()
+        set_specialization("off" if mode == "batch" else "on")
+        set_vectorization("on" if mode == "vector" else "off")
+        try:
+            return evaluate(
+                program, edb=edb, executor="batch",
+                metrics=MetricsCollector(),
+            )
+        finally:
+            set_specialization(prev_spec)
+            set_vectorization(prev_vec)
+
+    return case(workload, mode, run, lambda r: r.total_facts)
+
 
 def e20_executor() -> list[dict]:
+    from repro.terms.term import Const
+
     cases = []
     anc = parse_rules(ANCESTOR_RULES)
     for n in (200, 400):
         edb = chain_family(n)
-        workload = f"anc chain n={n}"
-        for executor in ("tuple", "batch"):
-            cases.append(
-                case(
-                    workload,
-                    f"{executor}-executor",
-                    lambda p=anc, f=edb, ex=executor: evaluate(
-                        p, edb=f, executor=ex
-                    ),
-                    lambda r: r.total_facts,
-                )
-            )
+        for mode in E21_MODES:
+            cases.append(_ablation_case(f"anc chain n={n}", anc, edb, mode))
     # same-generation stresses the probe path: wide deltas joined twice
     # per round against the parent relation.
     sg = parse_rules(SG_RULES)
     edb = generation_family(8, 14)
-    for executor in ("tuple", "batch"):
-        cases.append(
-            case(
-                "sg 8x14",
-                f"{executor}-executor",
-                lambda p=sg, f=edb, ex=executor: evaluate(
-                    p, edb=f, executor=ex
-                ),
-                lambda r: r.total_facts,
-            )
-        )
+    for mode in E21_MODES:
+        cases.append(_ablation_case("sg 8x14", sg, edb, mode))
+    # wide-relation high-fan-out join: 40 keys, 60x60 rows per key —
+    # 144,000 output tuples from one non-recursive rule.  This is the
+    # shape the bulk probe and fused last-step emission exist for: huge
+    # buckets, no recursion, throughput limited purely by per-row
+    # dispatch (watch rows_per_dispatch climb in the vector leg).
+    wide = parse_rules("j(X, Y) <- r(K, X), s(K, Y).")
+    wide_edb = []
+    for k in range(40):
+        key = Const(f"k{k}")
+        for i in range(60):
+            wide_edb.append(Atom("r", (key, Const(f"x{k}_{i}"))))
+            wide_edb.append(Atom("s", (key, Const(f"y{k}_{i}"))))
+    for mode in E21_MODES:
+        cases.append(_ablation_case("wide join 40keys 60x60", wide, wide_edb, mode))
     return cases
 
 
 EXPERIMENTS["E21"] = e20_executor
-EXPERIMENT_TITLES["E21"] = "executor ablation: set-at-a-time batch vs tuple-at-a-time"
+EXPERIMENT_TITLES["E21"] = (
+    "executor ablation: tuple / batch / specialized / vector"
+)
 
 
 # -- E22: differential maintenance vs cone recompute --------------------------

@@ -14,6 +14,7 @@ Run:  python benchmarks/harness.py                 # all experiments
       python benchmarks/harness.py --quick E1 E6 --out benchmarks/BENCH_PR4.json
       python benchmarks/harness.py --quick E1 E6 --check benchmarks/BENCH_PR5.json
       python benchmarks/harness.py --executor tuple E1   # force an executor
+      python benchmarks/harness.py --vector off E1       # disable vector kernels
       python benchmarks/harness.py --maintain recompute E22  # force a maintenance mode
 
 ``--out`` writes the regression-tracking payload (per-case wall time
@@ -125,15 +126,27 @@ def _format_phases(report: dict) -> str:
             + "]"
         )
     counters = report.get("counters", {})
-    for name in (
+    # Preferred ordering for the counter families we know about; any
+    # family a run reports beyond these (e.g. kernel_calls /
+    # rows_per_dispatch from the vectorized lane) is appended sorted, so
+    # new counters show up without harness edits and absent families
+    # never raise.
+    known = (
         "plans_built",
         "plan_cache_hits",
         "batch_steps",
         "batch_bindings",
         "batch_peak",
+        "kernel_calls",
+        "kernel_rows",
+        "rows_per_dispatch",
         "id_table_size",
-    ):
+    )
+    for name in known:
         if name in counters:
+            parts.append(f"{name}={counters[name]}")
+    for name in sorted(counters):
+        if name not in known:
             parts.append(f"{name}={counters[name]}")
     join_orders = report.get("join_orders", [])
     if join_orders:
@@ -278,6 +291,13 @@ def main(argv: list[str]) -> None:
         from repro.engine.exec import set_specialization
 
         set_specialization(specialize)
+    argv, vector = _take_flag_with_value(argv, "--vector")
+    if vector is not None:
+        # ablation knob: "off" disables the whole-column kernel layer
+        # (same as REPRO_VECTOR=off) so its contribution is measurable.
+        from repro.engine.exec import set_vectorization
+
+        set_vectorization(vector)
     argv, maintain = _take_flag_with_value(argv, "--maintain")
     if maintain is not None:
         # process-wide maintenance mode for every model the experiments

@@ -123,6 +123,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="print evaluation statistics",
     )
     parser.add_argument(
+        "--vector",
+        choices=("on", "off"),
+        help="vector-kernel layer (default: on unless REPRO_VECTOR=off)",
+    )
+    parser.add_argument(
         "--trace",
         action="store_true",
         help="record engine events and print a per-layer trace summary",
@@ -164,6 +169,10 @@ def run(argv: list[str] | None = None, out=None, stdin=None) -> int:
         return run_serve(argv[1:], echo)
 
     args = build_arg_parser().parse_args(argv)
+    if args.vector:
+        from repro.engine.exec import set_vectorization
+
+        set_vectorization(args.vector)
     try:
         source = Path(args.file).read_text()
     except OSError as exc:

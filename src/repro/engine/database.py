@@ -38,6 +38,10 @@ class Database:
     def has_relation(self, pred: str) -> bool:
         return pred in self._relations
 
+    def get_relation(self, pred: str) -> Relation | None:
+        """The relation for ``pred``, or None when unknown (no create)."""
+        return self._relations.get(pred)
+
     def add(self, atom: Atom) -> bool:
         """Insert a ground atom; returns True when new."""
         if not atom.is_ground():
@@ -55,6 +59,15 @@ class Database:
 
     def add_tuple(self, pred: str, args: ArgTuple) -> bool:
         return self.relation(pred, len(args)).add(args)
+
+    def add_rows(self, pred: str, arity: int, rows, decode):
+        """Bulk-insert derived ID rows for one predicate; returns the
+        (row, args) pairs that were new.  See :meth:`Relation.add_rows`
+        — this is the vectorized fixpoint's scatter entry point."""
+        rel = self._relations.get(pred)
+        if rel is None:
+            rel = self.relation(pred, arity)
+        return rel.add_rows(rows, decode)
 
     def discard(self, atom: Atom) -> bool:
         """Remove a ground atom; returns True when it was present.

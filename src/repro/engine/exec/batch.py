@@ -36,6 +36,7 @@ from typing import Iterable, Mapping
 
 from repro.engine.binding import ChainBinding, as_chain
 from repro.engine.database import Database
+from repro.engine.exec import kernels
 from repro.engine.exec.runtime import (
     builtin_step,
     match_residuals,
@@ -69,13 +70,13 @@ def run_plan_batch(
         if kind == "relation":
             source = overrides.get(step.index) if overrides else None
             if source is None:
-                batch = _join_step(db, step, batch)
+                batch = _join_step(db, step, batch, metrics)
             else:
                 batch = _source_join_step(step, batch, source)
         elif kind == "builtin":
             batch = _builtin_step(step, batch)
         else:
-            batch = _antijoin_step(negative_source, step, batch)
+            batch = _antijoin_step(negative_source, step, batch, metrics)
         if metrics is not None:
             metrics.record_batch(len(batch))
     return batch
@@ -134,13 +135,16 @@ def _extend_general(
 
 
 def _join_step(
-    db: Database, step: LiteralStep, batch: list[ChainBinding]
+    db: Database, step: LiteralStep, batch: list[ChainBinding], metrics=None
 ) -> list[ChainBinding]:
     """Indexed hash join of the batch against a stored relation.
 
     Probed steps fetch the relation's hash index once and probe it
     directly: the inner loop is one cached-hash dict get per binding,
-    with no lookup call layers and no intermediate grouping."""
+    with no lookup call layers and no intermediate grouping.  With the
+    vector kernels on, the probe itself runs as one bulk
+    :func:`~repro.engine.exec.kernels.probe_buckets` pass over the
+    whole key column."""
     pred = step.literal.atom.pred
     out: list[ChainBinding] = []
     probes = step.probes
@@ -151,6 +155,32 @@ def _join_step(
         single = len(step.probe_positions) == 1
         fully_bound = step.fully_bound
         simple = step.simple_residuals
+        if kernels.enabled() and len(batch) > 1:
+            # gather the key column, probe it in one map pass, then
+            # extend per non-empty bucket.  A failed key evaluates to
+            # None, which no index ever stores, so it probes to a None
+            # bucket and drops out exactly like the per-row path.
+            if single:
+                keys = [
+                    None if (k := probe_key(probes, current, False)) is None
+                    else k[0]
+                    for current in batch
+                ]
+            else:
+                keys = [probe_key(probes, current, False) for current in batch]
+            buckets = kernels.probe_buckets(index.get, keys)
+            if metrics is not None:
+                metrics.record_kernel(len(batch))
+            for current, bucket in zip(batch, buckets):
+                if not bucket:
+                    continue
+                if fully_bound:
+                    out.append(current)
+                elif simple is not None:
+                    _extend_simple(current, bucket, simple, out)
+                else:
+                    _extend_general(step, current, bucket, out)
+            return out
         for current in batch:
             key = probe_key(probes, current, False)
             if key is None:
@@ -239,12 +269,16 @@ def _builtin_step(
 
 
 def _antijoin_step(
-    negation_db: Database, step: LiteralStep, batch: list[ChainBinding]
+    negation_db: Database, step: LiteralStep, batch: list[ChainBinding],
+    metrics=None,
 ) -> list[ChainBinding]:
     """Anti-join: keep the bindings whose negated atom is absent.
 
     Distinct argument tuples are memoized per step, so a batch probing
-    the same ground atom many times hits the database once."""
+    the same ground atom many times hits the database once.  With the
+    vector kernels on, the whole batch's argument column is gathered
+    first, distinct tuples probe the relation once each, and the keep
+    pass is a single comprehension over the verdict column."""
     if step.neg_args is None:
         # negated built-in: a closed per-binding test, no relation to
         # anti-join against.
@@ -254,6 +288,29 @@ def _antijoin_step(
             if negated_builtin_holds(step, current)
         ]
     pred = step.literal.atom.pred
+    if kernels.enabled() and len(batch) > 1:
+        args_col = [negation_args(step, current) for current in batch]
+        rel = negation_db.get_relation(pred)
+        if metrics is not None:
+            metrics.record_kernel(len(batch))
+        if rel is None:
+            # unknown predicate: every evaluable tuple is absent
+            return [
+                current
+                for current, args in zip(batch, args_col)
+                if args is not None
+            ]
+        contains = rel.__contains__
+        verdicts = {
+            args: contains(args)
+            for args in dict.fromkeys(args_col)
+            if args is not None
+        }
+        return [
+            current
+            for current, args in zip(batch, args_col)
+            if args is not None and not verdicts[args]
+        ]
     out: list[ChainBinding] = []
     verdicts: dict[tuple[Term, ...], bool] = {}
     for current in batch:

@@ -14,7 +14,7 @@ subscripts into local ints.  Terms materialize from the ID table only
 at the boundaries: builtin calls, general residual matching, and the
 emitted facts/bindings.
 
-Two modes share one generator:
+Three modes share one generator:
 
 * ``"atoms"`` — the :func:`~repro.engine.exec.derive_facts` shape:
   emits ground head :class:`~repro.program.rule.Atom` facts directly
@@ -22,7 +22,23 @@ Two modes share one generator:
   :func:`~repro.engine.match.ground_atom` per row);
 * ``"bindings"`` — the :func:`~repro.engine.exec.enumerate_bindings`
   shape: emits :class:`~repro.engine.binding.ChainBinding` objects
-  (consumers call ``.materialize()``), one root dict per row.
+  (consumers call ``.materialize()``), one root dict per row;
+* ``"rows"`` — the vectorized :func:`~repro.engine.exec.derive_rows`
+  shape: emits raw head ID rows (int tuples, no Atom per candidate —
+  the fixpoint bulk-inserts them via ``Database.add_rows`` and only
+  genuinely new facts ever materialize terms).  Rows mode also turns
+  on the vector-kernel codegen (:mod:`repro.engine.exec.kernels`):
+  the last relation step fuses emission into one whole-column list
+  comprehension, arithmetic and comparisons read the interner's
+  numeric lane directly, bound-parts ``partition`` runs as the
+  memoized ID-space union kernel, and remaining known-handler builtin
+  calls memoize on their input row IDs.  Requires an empty seed, a
+  fast head template whose variables the body binds, and — because
+  the emitted multiset of rows must equal the atoms mode's facts
+  one-for-one — falls back for every shape atoms mode would.  The
+  ``atoms``/``bindings`` generators are byte-identical with the knob
+  on or off, so ``REPRO_VECTOR=off`` differential legs compare
+  against exactly the PR 6 code paths.
 
 Semantics are *identical by construction* to the term-level batch
 executor — same binding multisets, same failure semantics (lenient
@@ -48,6 +64,7 @@ from repro.engine.binding import (
     materialize,
 )
 from repro.engine.database import Database
+from repro.engine.exec.kernels import number_rid, union_rid
 from repro.engine.exec.runtime import (
     builtin_step,
     fold_arith,
@@ -60,7 +77,14 @@ from repro.engine.plan import ARITH, CONST, VAR, LiteralStep, RulePlan, SourceOv
 from repro.engine.relation import decode_row, encode_args
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.program.rule import Atom
-from repro.terms.term import Term, _ID_TABLE, evaluate_ground, row_id
+from repro.terms.term import (
+    Const,
+    Term,
+    _ID_TABLE,
+    _NUM_TABLE,
+    evaluate_ground,
+    row_id,
+)
 
 #: Sentinel: the specialized path declined (before consuming any
 #: override source); the caller must run the term-level batch lane.
@@ -75,7 +99,14 @@ class _Unsupported(Exception):
 
 
 def _encode_rows(source) -> list[tuple[int, ...]]:
-    """Materialize an override source once, as ID rows."""
+    """Materialize an override source once, as ID rows.
+
+    A :class:`~repro.engine.exec.kernels.RowBatch` source (the
+    vectorized fixpoint's delta) already carries its ID rows — zero
+    re-encoding on later semi-naive rounds."""
+    rows = getattr(source, "rows", None)
+    if rows is not None:
+        return rows
     return [encode_args(args) for args in source]
 
 
@@ -83,6 +114,9 @@ def _encode_rows_exact(source, arity: int) -> list[tuple[int, ...]]:
     """Like :func:`_encode_rows` but dropping wrong-arity rows — the
     probe-only override semantics (each binding passes once per row *of
     the right arity*)."""
+    rows = getattr(source, "rows", None)
+    if rows is not None:
+        return rows if source.arity == arity else []
     return [encode_args(args) for args in source if len(args) == arity]
 
 
@@ -274,6 +308,18 @@ class _Codegen:
     def __init__(self, plan: RulePlan, mode: str) -> None:
         self.plan = plan
         self.mode = mode
+        # rows mode doubles as the vector-kernel switch: the extra
+        # codegen below (numeric-lane arithmetic, the partition union
+        # kernel, builtin memos, fused emission) is emitted only when
+        # ``vector`` — atoms/bindings sources stay byte-identical to
+        # the non-vectorized generator, so the ``REPRO_VECTOR=off``
+        # differential leg compares against exactly the old code.
+        self.vector = mode == "rows"
+        if self.vector and plan.initially_bound:
+            # rows mode only serves the seedless fixpoint shape; a
+            # seeded call could not decode initially-bound head
+            # variables back to the caller's verbatim spellings.
+            raise _Unsupported("rows mode requires an empty seed")
         self.env: dict = {
             "_T": _ID_TABLE,
             "_CB": ChainBinding,
@@ -289,11 +335,16 @@ class _Codegen:
             "_ONE": (0,),
             "_ES": frozenset(),
         }
+        if self.vector:
+            self.env["_NT"] = _NUM_TABLE
+            self.env["_nr"] = number_rid
+            self.env["_un"] = union_rid
         self.locals: dict[str, str] = {}  # variable name -> local name
         self.assigned: set[str] = set()
         self.pro: list[str] = []  # prologue lines (one indent level)
         self.body: list[str] = []  # loop-nest lines (absolute indent)
         self.depth = 2  # inside the function and the _ONE loop
+        self.fused = False  # rows mode: last step emitted its own output
 
     # -- small emission helpers --------------------------------------------
 
@@ -328,7 +379,7 @@ class _Codegen:
 
     # -- per-step emission -------------------------------------------------
 
-    def relation_step(self, k: int, step: LiteralStep) -> None:
+    def relation_step(self, k: int, step: LiteralStep, fuse: bool = False) -> None:
         atom = step.literal.atom
         pred = atom.pred
         arity = len(atom.args)
@@ -407,6 +458,22 @@ class _Codegen:
                 self.assigned.update(out_names)
             emit(f"_c{k} += 1")
             return
+        if fuse:
+            # rows mode, last step: fuse iteration and emission into one
+            # whole-column gather — a single list comprehension builds
+            # every output ID row of this dispatch (this step's fresh
+            # variables substitute as direct row subscripts), and one
+            # C-level ``extend`` scatters the batch onto the output.
+            sub = {}
+            if step.residuals:
+                for pos, name in step.simple_residuals:
+                    sub[name] = f"_x{k}[{pos}]"
+            row_expr = self.head_row_expr(sub)
+            emit(f"_t{k} = [{row_expr} for _x{k} in {rows}]")
+            emit(f"_xt(_t{k})")
+            emit(f"_c{k} += len(_t{k})")
+            self.fused = True
+            return
         emit(f"for _x{k} in {rows}:")
         self.depth += 1
         if not step.residuals:
@@ -484,10 +551,30 @@ class _Codegen:
                 self.assigned.update(out_names)
             emit(f"_c{k} += 1")
             return
+        if self.vector:
+            if self._vector_compare(k, step, in_names, out_names):
+                return
+            if self._vector_partition(k, step, out_names):
+                return
         # known handler: inline the argument materialization (the
         # builtin_call_args descriptor walk resolves at generation
         # time — a VAR argument is statically bound or not) and call
         # the compiled handler directly with a minimal root binding
+        memo = self.vector
+        if memo:
+            # rows mode: the handler is a pure function of its bound
+            # inputs, so the whole extension list memoizes on the input
+            # row IDs — repeat bindings (the measured common case for
+            # divide-and-conquer set builtins) replay cached rid tuples
+            # instead of re-materializing terms and re-running the
+            # solver.  Errors propagate uncached: the store happens
+            # after the handler loop completes.
+            self.env[f"_M{k}"] = {}
+            emit(f"_key{k} = {self.ins_expr(in_names)}")
+            emit(f"_z{k} = _M{k}.get(_key{k})")
+            emit(f"if _z{k} is None:")
+            self.depth += 1
+            emit(f"_z{k} = []")
         for name in in_names:
             self.bound_local(name)
         if in_names:
@@ -527,6 +614,29 @@ class _Codegen:
         self.env[hname] = handler
         emit(f"for _x{k} in {hname}(({', '.join(arg_exprs)}{comma}), {bnd}):")
         self.depth += 1
+        if memo:
+            rid_exprs = []
+            for j2, name in enumerate(out_names):
+                emit(f"_o{k}_{j2} = _x{k}[{name!r}]")
+                emit(f"_or{k}_{j2} = _o{k}_{j2}._rid")
+                emit(f"if _or{k}_{j2} is None:")
+                emit(f"    _or{k}_{j2} = _rid(_o{k}_{j2})")
+                rid_exprs.append(f"_or{k}_{j2}")
+            comma2 = "," if len(rid_exprs) == 1 else ""
+            emit(f"_z{k}.append(({', '.join(rid_exprs)}{comma2}))")
+            self.depth -= 1  # close the handler loop
+            emit(f"if len(_M{k}) < 65536:")
+            emit(f"    _M{k}[_key{k}] = _z{k}")
+            self.depth -= 1  # close the memo-miss branch
+            emit(f"for _y{k} in _z{k}:")
+            self.depth += 1
+            if out_names:
+                targets = ", ".join(self.local_for(n) for n in out_names)
+                comma3 = "," if len(out_names) == 1 else ""
+                emit(f"{targets}{comma3} = _y{k}")
+                self.assigned.update(out_names)
+            emit(f"_c{k} += 1")
+            return
         for name in out_names:
             loc = self.local_for(name)
             emit(f"_o{k} = _x{k}[{name!r}]")
@@ -550,6 +660,152 @@ class _Codegen:
         self.env[f"_af{k}"] = payload[0]
         self.env[f"_ag{k}"] = payload[1]
         self.emit(f"_w{k} = _fold(_af{k}, _ag{k}, {{{entries}}})")
+
+    #: Arithmetic functors safe to inline over the numeric lane: total
+    #: over numbers, so the raw-value result matches the fold exactly.
+    #: ``/`` and ``mod`` can raise (zero divisors) — the fold path owns
+    #: that error semantics and they stay excluded.
+    _SAFE_ARITH = frozenset({"+", "-", "*", "min", "max", "abs"})
+
+    def _arith_numeric(self, k: int, arg):
+        """The rows-mode numeric fast lane for one ARITH argument:
+        ``(guard_expr, rid_expr)``, or None when ineligible.
+
+        Emits one ``_NT`` (numeric-lane) load per variable operand at
+        the current depth; ``guard_expr`` is true when every operand is
+        numeric, and ``rid_expr`` then computes the result's row ID via
+        raw Python arithmetic plus the memoized number→rid kernel —
+        identical to ``fold_arith`` + intern for these functors, with
+        no Const materialization.  Non-numeric rows take the caller's
+        exact fold/slow chain."""
+        _kinda, payload, _term = arg
+        functor, operands = payload
+        if functor not in self._SAFE_ARITH:
+            return None
+        n = len(operands)
+        if functor in ("+", "*") and n != 2:
+            return None
+        if functor == "-" and n not in (1, 2):
+            return None
+        if functor == "abs" and n != 1:
+            return None
+        if functor in ("min", "max") and not operands:
+            return None
+        for kv, value in operands:
+            if kv != VAR and not isinstance(value, (int, float)):
+                return None
+        emit = self.emit
+        exprs = []
+        checks = []
+        for j, (kv, value) in enumerate(operands):
+            if kv == VAR:
+                loc = f"_na{k}_{j}"
+                emit(f"{loc} = _NT[{self.bound_local(value)}]")
+                exprs.append(loc)
+                checks.append(f"{loc} is not None")
+            else:
+                exprs.append(repr(value))
+        if functor in ("+", "-", "*"):
+            if len(exprs) == 1:
+                expr = f"-{exprs[0]}"
+            else:
+                expr = f"{exprs[0]} {functor} {exprs[1]}"
+        elif functor == "abs":
+            expr = f"abs({exprs[0]})"
+        else:
+            expr = f"{functor}({', '.join(exprs)})"
+        guard = " and ".join(checks) if checks else "True"
+        return guard, f"_nr({expr})"
+
+    def _vector_compare(self, k: int, step, in_names, out_names) -> bool:
+        """Rows-mode comparison over the numeric lane: when both sides
+        are bound variables or numeric constants, ``<``/``<=``/``>``/
+        ``>=`` compare raw lane values directly; rows where either side
+        is non-numeric route through the exact slow path (which owns
+        the raise semantics for strings and mixed types).  Returns True
+        when the step was emitted."""
+        pred = step.literal.atom.pred
+        if (
+            pred not in ("<", "<=", ">", ">=")
+            or out_names
+            or len(step.builtin_args) != 2
+        ):
+            return False
+        bound = step.bound_before
+        sides = []
+        for kinda, payload, _term in step.builtin_args:
+            if kinda == VAR and payload in bound:
+                sides.append((VAR, payload))
+            elif (
+                kinda == CONST
+                and type(payload) is Const
+                and isinstance(payload.value, (int, float))
+            ):
+                sides.append((CONST, payload.value))
+            else:
+                return False
+        emit = self.emit
+        exprs = []
+        none_checks = []
+        for j, (kindv, value) in enumerate(sides):
+            if kindv == VAR:
+                loc = f"_fa{k}_{j}"
+                emit(f"{loc} = _NT[{self.bound_local(value)}]")
+                exprs.append(loc)
+                none_checks.append(f"{loc} is None")
+            else:
+                exprs.append(repr(value))
+        ins = self.ins_expr(in_names)
+        hname = f"_uf{k}"
+        self.env[hname] = _filter_holds(step, in_names)
+        if none_checks:
+            emit(f"if {' or '.join(none_checks)}:")
+            emit(f"    if not {hname}({ins}):")
+            emit("        continue")
+            emit(f"elif not ({exprs[0]} {pred} {exprs[1]}):")
+            emit("    continue")
+        else:
+            emit(f"if not ({exprs[0]} {pred} {exprs[1]}):")
+            emit("    continue")
+        emit(f"_c{k} += 1")
+        return True
+
+    def _vector_partition(self, k: int, step, out_names) -> bool:
+        """Rows-mode ``partition(Whole, P1, P2)`` with both parts bound
+        and the whole a fresh variable: one call to the memoized
+        ID-space union kernel replaces status checks, set allocation,
+        and binding construction per row (-1 means the built-in is
+        false: overlapping parts or a non-set operand).  Returns True
+        when the step was emitted."""
+        atom = step.literal.atom
+        if atom.pred != "partition" or len(step.builtin_args) != 3:
+            return False
+        bound = step.bound_before
+        whole, left, right = step.builtin_args
+        kw, pw, _tw = whole
+        if kw != VAR or pw in bound or out_names != (pw,):
+            return False
+
+        def ground_rid(arg):
+            kinda, payload, _term = arg
+            if kinda == CONST:
+                return str(row_id(payload))
+            if kinda == VAR and payload in bound:
+                return self.bound_local(payload)
+            return None
+
+        gl, gr = ground_rid(left), ground_rid(right)
+        if gl is None or gr is None:
+            return False
+        emit = self.emit
+        emit(f"_y{k} = _un({gl}, {gr})")
+        emit(f"if _y{k} < 0:")
+        emit("    continue")
+        loc = self.local_for(pw)
+        emit(f"{loc} = _y{k}")
+        self.assigned.add(pw)
+        emit(f"_c{k} += 1")
+        return True
 
     def _builtin_eq_ne(self, k: int, step, in_names, out_names) -> bool:
         """Inline the ``=``/``!=`` shapes that resolve in ID space —
@@ -599,16 +855,32 @@ class _Codegen:
                 emit(f"_c{k} += 1")
                 return True
             if arith_ok(other):
-                self._emit_fold(k, other)
                 ins = self.ins_expr(in_names)
                 hname = f"_uq{k}"
                 self.env[hname] = _single_out_rid(step, in_names, payload)
-                emit(f"if _w{k} is None:")
-                emit(f"    _y{k} = {hname}({ins})")
-                emit("else:")
-                emit(f"    _y{k} = _w{k}._rid")
-                emit(f"    if _y{k} is None:")
-                emit(f"        _y{k} = _rid(_w{k})")
+                parts = self._arith_numeric(k, other) if self.vector else None
+                if parts is not None:
+                    guard, rid_expr = parts
+                    emit(f"if {guard}:")
+                    emit(f"    _y{k} = {rid_expr}")
+                    emit("else:")
+                    self.depth += 1
+                    self._emit_fold(k, other)
+                    emit(f"if _w{k} is None:")
+                    emit(f"    _y{k} = {hname}({ins})")
+                    emit("else:")
+                    emit(f"    _y{k} = _w{k}._rid")
+                    emit(f"    if _y{k} is None:")
+                    emit(f"        _y{k} = _rid(_w{k})")
+                    self.depth -= 1
+                else:
+                    self._emit_fold(k, other)
+                    emit(f"if _w{k} is None:")
+                    emit(f"    _y{k} = {hname}({ins})")
+                    emit("else:")
+                    emit(f"    _y{k} = _w{k}._rid")
+                    emit(f"    if _y{k} is None:")
+                    emit(f"        _y{k} = _rid(_w{k})")
                 emit(f"if _y{k} < 0:")
                 emit("    continue")
                 loc = self.local_for(payload)
@@ -619,24 +891,71 @@ class _Codegen:
             return False
         for gthis, other in ((ga, b), (gb, a)):
             if gthis is not None and arith_ok(other):
-                self._emit_fold(k, other)
                 ins = self.ins_expr(in_names)
                 hname = f"_uf{k}"
                 self.env[hname] = _filter_holds(step, in_names)
-                emit(f"if _w{k} is None:")
-                emit(f"    if not {hname}({ins}):")
-                emit("        continue")
-                emit("else:")
-                emit(f"    _y{k} = _w{k}._rid")
-                emit(f"    if _y{k} is None:")
-                emit(f"        _y{k} = _rid(_w{k})")
-                emit(f"    if _y{k} != {gthis}:")
-                emit("        continue")
+                parts = self._arith_numeric(k, other) if self.vector else None
+                if parts is not None:
+                    guard, rid_expr = parts
+                    emit(f"if {guard}:")
+                    emit(f"    if {rid_expr} != {gthis}:")
+                    emit("        continue")
+                    emit("else:")
+                    self.depth += 1
+                    self._emit_fold(k, other)
+                    emit(f"if _w{k} is None:")
+                    emit(f"    if not {hname}({ins}):")
+                    emit("        continue")
+                    emit("else:")
+                    emit(f"    _y{k} = _w{k}._rid")
+                    emit(f"    if _y{k} is None:")
+                    emit(f"        _y{k} = _rid(_w{k})")
+                    emit(f"    if _y{k} != {gthis}:")
+                    emit("        continue")
+                    self.depth -= 1
+                else:
+                    self._emit_fold(k, other)
+                    emit(f"if _w{k} is None:")
+                    emit(f"    if not {hname}({ins}):")
+                    emit("        continue")
+                    emit("else:")
+                    emit(f"    _y{k} = _w{k}._rid")
+                    emit(f"    if _y{k} is None:")
+                    emit(f"        _y{k} = _rid(_w{k})")
+                    emit(f"    if _y{k} != {gthis}:")
+                    emit("        continue")
                 emit(f"_c{k} += 1")
                 return True
         return False
 
     # -- emission epilogue (innermost loop body) ---------------------------
+
+    def head_row_expr(self, sub: dict[str, str]) -> str:
+        """The head ID-row tuple expression for rows mode.  ``sub``
+        overrides the expression for variables bound by a fused last
+        step (direct row subscripts); everything else must already be
+        assigned a local.  Constants bake as row-ID literals."""
+        head = self.plan.head
+        if head is None:
+            raise _Unsupported("body-only plan has no head template")
+        if not head.fast:
+            raise _Unsupported("rows mode needs a fast head template")
+        rids = []
+        for kindh, payload in head.parts:
+            if kindh == VAR:
+                expr = sub.get(payload)
+                if expr is None:
+                    if payload not in self.assigned:
+                        # head variable the body never binds: atoms mode
+                        # handles it via per-row ground_atom; rows mode
+                        # cannot (a U-drop would break count parity)
+                        raise _Unsupported("head variable never bound")
+                    expr = self.locals[payload]
+                rids.append(expr)
+            else:
+                rids.append(str(row_id(payload)))
+        comma = "," if len(rids) == 1 else ""
+        return f"({', '.join(rids)}{comma})"
 
     def binding_dict_expr(self) -> str:
         """A dict literal of the full output binding: seed variables
@@ -653,6 +972,9 @@ class _Codegen:
         return "{" + ", ".join(entries) + "}"
 
     def emit_result(self) -> None:
+        if self.mode == "rows":
+            self.emit(f"_ap({self.head_row_expr({})})")
+            return
         if self.mode == "bindings":
             self.emit(f"_ap(_CB(root={self.binding_dict_expr()}))")
             return
@@ -701,20 +1023,32 @@ class _Codegen:
 
     def build(self) -> tuple[str, dict]:
         steps = self.plan.steps
+        last = len(steps) - 1
         for k, step in enumerate(steps):
             self.pro.append(f"_c{k} = 0")
             if step.kind == "relation":
-                self.relation_step(k, step)
+                # rows mode fuses the last relation step with emission
+                # (whole-column comprehension) unless it needs the
+                # general residual matcher
+                fuse = (
+                    self.vector
+                    and k == last
+                    and not (step.residuals and step.simple_residuals is None)
+                )
+                self.relation_step(k, step, fuse=fuse)
             elif step.kind == "negation":
                 self.negation_step(k, step)
             elif step.kind == "builtin":
                 self.builtin_step(k, step)
             else:
                 raise _Unsupported(f"unknown step kind {step.kind!r}")
-        self.emit_result()
+        if not self.fused:
+            self.emit_result()
         lines = ["def _specialized(db, overrides, seed, base, negdb, metrics):"]
         lines.append("    out = []")
         lines.append("    _ap = out.append")
+        if self.vector:
+            lines.append("    _xt = out.extend")
         lines.extend("    " + line for line in self.pro)
         lines.append("    for _root in _ONE:")
         lines.extend(self.body)
@@ -729,6 +1063,12 @@ class _Codegen:
                 lines.append(f"{indent}if _c{k - 1}:")
                 indent += "    "
                 lines.append(f"{indent}_rb(_c{k})")
+            if self.vector:
+                # one vector dispatch produced this whole output batch
+                lines.append("        metrics.record_kernel(len(out))")
+        elif self.vector:
+            lines.append("    if metrics is not None:")
+            lines.append("        metrics.record_kernel(len(out))")
         lines.append("    return out")
         return "\n".join(lines) + "\n", self.env
 
@@ -757,11 +1097,42 @@ class SpecializedPlan:
     Each mode compiles at most once; an unsupported shape caches False
     so the term-level fallback is not re-attempted per call."""
 
-    __slots__ = ("plan", "_fns")
+    __slots__ = ("plan", "_fns", "_decode")
 
     def __init__(self, plan: RulePlan) -> None:
         self.plan = plan
         self._fns: dict[str, object] = {}
+        self._decode = None
+
+    def decoder(self):
+        """The rows→args materializer for this plan's head: variable
+        positions decode through the ID table, constant positions reuse
+        the rule's evaluated constant verbatim (preserving the exact
+        spelling atoms mode emits — equality-class IDs would surface
+        whichever equal spelling interned first)."""
+        fn = self._decode
+        if fn is None:
+            parts = self.plan.head.parts
+            table = _ID_TABLE
+            if all(kindh == VAR for kindh, _ in parts):
+
+                def fn(row, _table=table):
+                    return tuple([_table[rid] for rid in row])
+
+            else:
+                slots = tuple(
+                    payload if kindh != VAR else None
+                    for kindh, payload in parts
+                )
+
+                def fn(row, _table=table, _slots=slots):
+                    return tuple(
+                        _table[rid] if term is None else term
+                        for rid, term in zip(row, _slots)
+                    )
+
+            self._decode = fn
+        return fn
 
     def _function(self, mode: str):
         fn = self._fns.get(mode)

@@ -22,7 +22,8 @@ from typing import Sequence
 
 from repro.engine.context import EvalContext, ensure_context
 from repro.engine.database import Database
-from repro.engine.exec import derive_facts
+from repro.engine.exec import RowBatch, derive_facts, derive_rows
+from repro.engine.relation import encode_args
 from repro.names import is_builtin_predicate
 from repro.program.rule import Atom, Rule
 
@@ -48,24 +49,81 @@ class FixpointStats:
         self.facts_derived += other.facts_derived
 
 
-def _derive(
-    ctx: EvalContext, db: Database, rule: Rule, plan, overrides=None
-) -> list[Atom]:
-    """One rule application: run the executor, time it, fire hooks."""
+def _derive_any(ctx: EvalContext, db: Database, rule: Rule, plan, overrides=None):
+    """One rule application, preferring the vectorized rows shape.
+
+    Returns ``(dr, facts)`` — exactly one is non-None.  ``dr`` (a
+    :class:`~repro.engine.exec.DerivedRows`) carries the emitted head
+    ID rows for bulk insertion; ``facts`` is the per-Atom fallback.
+    ``on_rule_fired`` counts are identical either way: the rows mode
+    emits one row per would-be fact (it requires a fast head, which
+    never drops bindings).
+    """
     if ctx.timing:
         start = ctx.metrics.now()
-        derived = derive_facts(
+        dr = derive_rows(
             db, plan, overrides=overrides, executor=ctx.executor,
             metrics=ctx.metrics,
         )
+        facts = None
+        if dr is None:
+            facts = derive_facts(
+                db, plan, overrides=overrides, executor=ctx.executor,
+                metrics=ctx.metrics,
+            )
         ctx.metrics.add_time("match", ctx.metrics.now() - start)
     else:
-        derived = derive_facts(
-            db, plan, overrides=overrides, executor=ctx.executor
-        )
+        dr = derive_rows(db, plan, overrides=overrides, executor=ctx.executor)
+        facts = None
+        if dr is None:
+            facts = derive_facts(
+                db, plan, overrides=overrides, executor=ctx.executor
+            )
     if ctx.observing:
-        ctx.hooks.on_rule_fired(rule, len(derived))
-    return derived
+        count = len(dr.rows) if dr is not None else len(facts)
+        ctx.hooks.on_rule_fired(rule, count)
+    return dr, facts
+
+
+def _derived_atom(pred: str, row, args) -> Atom:
+    """A ground Atom for hooks/listeners, carrying its ID row so any
+    later ``Database.add`` skips re-encoding."""
+    fact = Atom(pred, args)
+    fact._ground = True
+    fact._row = row
+    return fact
+
+
+def _delta_extend_pairs(delta: dict, pred: str, arity: int, pairs) -> None:
+    """Record bulk-inserted (row, args) pairs in a semi-naive delta.
+
+    Vectorized entries are :class:`RowBatch`es (both lanes at once, so
+    the next round's override source never re-encodes); an entry that
+    already holds a plain args list (fallback-path facts) stays one.
+    """
+    entry = delta.get(pred)
+    if entry is None:
+        entry = RowBatch(pred, arity)
+        delta[pred] = entry
+    if type(entry) is RowBatch:
+        entry.extend_pairs(pairs)
+    else:
+        entry.extend([args for _, args in pairs])
+
+
+def _delta_append_fact(delta: dict, fact: Atom) -> None:
+    """Record one fallback-path fact in a semi-naive delta, encoding it
+    when the entry is a :class:`RowBatch` from an earlier bulk insert."""
+    entry = delta.get(fact.pred)
+    if entry is None:
+        delta[fact.pred] = [fact.args]
+    elif type(entry) is RowBatch:
+        row = getattr(fact, "_row", None)
+        if row is None:
+            row = encode_args(fact.args)
+        entry.add(row, fact.args)
+    else:
+        entry.append(fact.args)
 
 
 def single_pass(
@@ -88,14 +146,24 @@ def single_pass(
         ctx.refresh_sizes()
     round_new = 0
     for rule in rules:
-        derived = _derive(ctx, db, rule, ctx.plan_for(rule))
+        dr, facts = _derive_any(ctx, db, rule, ctx.plan_for(rule))
         stats.rule_firings += 1
-        for fact in derived:
-            if db.add(fact):
-                stats.facts_derived += 1
-                round_new += 1
-                if ctx.observing:
-                    ctx.hooks.on_fact_derived(fact, rule)
+        if dr is not None:
+            pairs = db.add_rows(dr.pred, dr.arity, dr.rows, dr.decode)
+            stats.facts_derived += len(pairs)
+            round_new += len(pairs)
+            if ctx.observing:
+                for row, args in pairs:
+                    ctx.hooks.on_fact_derived(
+                        _derived_atom(dr.pred, row, args), rule
+                    )
+        else:
+            for fact in facts:
+                if db.add(fact):
+                    stats.facts_derived += 1
+                    round_new += 1
+                    if ctx.observing:
+                        ctx.hooks.on_fact_derived(fact, rule)
     if ctx.observing:
         ctx.hooks.on_iteration(stats.iterations, round_new)
     return stats
@@ -122,26 +190,28 @@ def naive_fixpoint(
         # derivations (with their deriving rule when hooks need it)
         # and add afterwards.
         new = 0
-        if ctx.observing:
-            batch: list[tuple[Rule, Atom]] = []
-            for rule in rules:
-                derived = _derive(ctx, db, rule, ctx.plan_for(rule))
-                stats.rule_firings += 1
-                batch.extend((rule, fact) for fact in derived)
-            for rule, fact in batch:
-                if db.add(fact):
-                    new += 1
-                    ctx.hooks.on_fact_derived(fact, rule)
-        else:
-            facts: list[Atom] = []
-            for rule in rules:
-                derived = _derive(ctx, db, rule, ctx.plan_for(rule))
-                stats.rule_firings += 1
-                facts.extend(derived)
-            add = db.add
-            for fact in facts:
-                if add(fact):
-                    new += 1
+        pending = []
+        for rule in rules:
+            dr, facts = _derive_any(ctx, db, rule, ctx.plan_for(rule))
+            stats.rule_firings += 1
+            pending.append((rule, dr, facts))
+        observing = ctx.observing
+        add = db.add
+        for rule, dr, facts in pending:
+            if dr is not None:
+                pairs = db.add_rows(dr.pred, dr.arity, dr.rows, dr.decode)
+                new += len(pairs)
+                if observing:
+                    for row, args in pairs:
+                        ctx.hooks.on_fact_derived(
+                            _derived_atom(dr.pred, row, args), rule
+                        )
+            else:
+                for fact in facts:
+                    if add(fact):
+                        new += 1
+                        if observing:
+                            ctx.hooks.on_fact_derived(fact, rule)
         stats.facts_derived += new
         if ctx.observing:
             ctx.hooks.on_iteration(stats.iterations, new)
@@ -168,18 +238,30 @@ def seminaive_fixpoint(
     stats.iterations += 1
     if ctx.sized:
         ctx.refresh_sizes()
-    delta: dict[str, list[tuple]] = {}
+    delta: dict[str, object] = {}
     round_new = 0
     for rule in rules:
-        derived = _derive(ctx, db, rule, ctx.plan_for(rule))
+        dr, facts = _derive_any(ctx, db, rule, ctx.plan_for(rule))
         stats.rule_firings += 1
-        for fact in derived:
-            if db.add(fact):
-                stats.facts_derived += 1
-                round_new += 1
+        if dr is not None:
+            pairs = db.add_rows(dr.pred, dr.arity, dr.rows, dr.decode)
+            if pairs:
+                stats.facts_derived += len(pairs)
+                round_new += len(pairs)
+                _delta_extend_pairs(delta, dr.pred, dr.arity, pairs)
                 if ctx.observing:
-                    ctx.hooks.on_fact_derived(fact, rule)
-                delta.setdefault(fact.pred, []).append(fact.args)
+                    for row, args in pairs:
+                        ctx.hooks.on_fact_derived(
+                            _derived_atom(dr.pred, row, args), rule
+                        )
+        else:
+            for fact in facts:
+                if db.add(fact):
+                    stats.facts_derived += 1
+                    round_new += 1
+                    if ctx.observing:
+                        ctx.hooks.on_fact_derived(fact, rule)
+                    _delta_append_fact(delta, fact)
     if ctx.observing:
         ctx.hooks.on_iteration(stats.iterations, round_new)
 
@@ -190,7 +272,7 @@ def seminaive_fixpoint(
 def seminaive_rounds(
     db: Database,
     rules: Sequence[Rule],
-    delta: dict[str, list[tuple]],
+    delta: dict[str, object],
     planner: str = "sized-once",
     context: EvalContext | None = None,
 ) -> FixpointStats:
@@ -198,7 +280,11 @@ def seminaive_rounds(
 
     ``db`` must already contain the delta's facts; only derivations
     using at least one delta fact are explored — the entry point for
-    incremental insertion (:mod:`repro.engine.incremental`).
+    incremental insertion (:mod:`repro.engine.incremental`).  Delta
+    values are plain argument-tuple lists or (from the vectorized
+    round-0 path) :class:`RowBatch`es; both iterate as argument tuples
+    for every executor, and the specialized lane reads a batch's ID
+    rows directly.
     """
     ctx = ensure_context(context, db, planner)
     stats = FixpointStats()
@@ -212,7 +298,7 @@ def seminaive_rounds(
         stats.iterations += 1
         if ctx.sized:
             ctx.refresh_sizes()
-        next_delta: dict[str, list[tuple]] = {}
+        next_delta: dict[str, object] = {}
         round_new = 0
         for rule, occurrence in occurrence_index:
             pred = rule.body[occurrence].atom.pred
@@ -220,17 +306,29 @@ def seminaive_rounds(
             if not changed:
                 continue
             plan = ctx.plan_for(rule, first=occurrence)
-            derived = _derive(
+            dr, facts = _derive_any(
                 ctx, db, rule, plan, overrides={occurrence: changed}
             )
             stats.rule_firings += 1
-            for fact in derived:
-                if db.add(fact):
-                    stats.facts_derived += 1
-                    round_new += 1
+            if dr is not None:
+                pairs = db.add_rows(dr.pred, dr.arity, dr.rows, dr.decode)
+                if pairs:
+                    stats.facts_derived += len(pairs)
+                    round_new += len(pairs)
+                    _delta_extend_pairs(next_delta, dr.pred, dr.arity, pairs)
                     if ctx.observing:
-                        ctx.hooks.on_fact_derived(fact, rule)
-                    next_delta.setdefault(fact.pred, []).append(fact.args)
+                        for row, args in pairs:
+                            ctx.hooks.on_fact_derived(
+                                _derived_atom(dr.pred, row, args), rule
+                            )
+            else:
+                for fact in facts:
+                    if db.add(fact):
+                        stats.facts_derived += 1
+                        round_new += 1
+                        if ctx.observing:
+                            ctx.hooks.on_fact_derived(fact, rule)
+                        _delta_append_fact(next_delta, fact)
         if ctx.observing:
             ctx.hooks.on_iteration(stats.iterations, round_new)
         delta = next_delta

@@ -8,9 +8,11 @@ stored tuple is encoded as a row of equality-class IDs
 * ``_rowpos`` — a dict mapping each ID row to its position, giving O(1)
   membership, insertion order, and the row *set* the specialized
   executors use for semi-join and anti-join membership tests;
-* ``_columns`` — parallel ``list[int]`` arrays, one per argument
+* ``_columns`` — parallel ``array('q')`` int lanes, one per argument
   position (the dictionary-encoded columnar layout; ``column`` and
-  ``id_set`` expose them for scans and per-position statistics);
+  ``id_set`` expose them for scans and per-position statistics, and
+  ``lane`` hands out a zero-copy ``memoryview`` slice for the vector
+  kernels);
 * ``_id_indexes`` — per-signature hash indexes in ID space, keyed by a
   bare ``int`` for 1-position signatures and an int tuple otherwise,
   with ID-row-set buckets.  Built on first probe, maintained by every
@@ -35,11 +37,20 @@ Single-position signatures — the dominant shape in linear-recursive
 joins — key both index families by the bare key instead of a 1-tuple:
 an ``int`` key for ID indexes, the term itself (cached hash) for term
 indexes.
+
+``copy`` is copy-on-write: the clone shares every container with the
+original until either side mutates, at which point the mutating side
+takes private copies (``_unshare``).  Fixpoint delta bookkeeping and
+magic evaluation copy relations that are usually never (or barely)
+written afterwards; deep-copying the int lanes on every copy would eat
+the vectorization win.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from array import array
+from itertools import filterfalse
+from typing import Callable, Iterable, Iterator
 
 from repro.terms.term import Term, _ID_TABLE, row_id
 
@@ -82,13 +93,16 @@ class Relation:
         "_id_indexes",
         "_indexes",
         "_decoded",
+        "_cow",
     )
 
     def __init__(self, pred: str, arity: int) -> None:
         self.pred = pred
         self.arity = arity
         self._rowpos: dict[IdRow, int] = {}
-        self._columns: tuple[list[int], ...] = tuple([] for _ in range(arity))
+        self._columns: tuple[array, ...] = tuple(
+            array("q") for _ in range(arity)
+        )
         # bucket values are sets: ``_rowpos`` guarantees row uniqueness,
         # so membership and removal stay O(1) instead of O(bucket).
         self._id_indexes: dict[tuple[int, ...], dict[object, set[IdRow]]] = {}
@@ -102,6 +116,10 @@ class Relation:
         # — exactly the pre-columnar behavior — at one list append per
         # insert.
         self._decoded: list[ArgTuple] = []
+        # True while this relation's containers are shared with a
+        # copy-on-write clone; the first mutation on either side calls
+        # ``_unshare`` to take private copies.
+        self._cow = False
 
     def __len__(self) -> int:
         return len(self._rowpos)
@@ -121,9 +139,21 @@ class Relation:
     def contains_id_row(self, row: IdRow) -> bool:
         return row in self._rowpos
 
-    def column(self, position: int) -> list[int]:
+    def column(self, position: int) -> array:
         """The ID column for one argument position (do not mutate)."""
         return self._columns[position]
+
+    def lane(self, position: int) -> memoryview:
+        """A zero-copy ``memoryview`` slice of one ID column.
+
+        The view reads the live ``array('q')`` buffer — no copy, valid
+        int lane for the vector kernels.  It pins the buffer against
+        resizing (``BufferError`` on ``add`` while a view is alive), so
+        callers must release it — or simply let it fall out of scope —
+        before mutating the relation.  Kernel call sites hold lanes
+        only for the duration of one whole-column pass.
+        """
+        return memoryview(self._columns[position])
 
     def id_set(self, position: int) -> set[int]:
         """Distinct IDs appearing at one position (the dictionary of the
@@ -176,9 +206,22 @@ class Relation:
             raise ValueError(
                 f"{self.pred}: arity {self.arity} but got {len(args)} args"
             )
+        if self._cow:
+            self._unshare()
+        # columns first, with rollback: an exported lane pins its
+        # buffer, and the BufferError must not leave the row half
+        # registered (rowpos without lane entries).
+        columns = self._columns
+        done = 0
+        try:
+            for column, rid in zip(columns, row):
+                column.append(rid)
+                done += 1
+        except BufferError:
+            for column in columns[:done]:
+                column.pop()
+            raise
         self._rowpos[row] = len(self._rowpos)
-        for column, rid in zip(self._columns, row):
-            column.append(rid)
         if self._id_indexes:
             for positions, index in self._id_indexes.items():
                 if len(positions) == 1:
@@ -208,6 +251,74 @@ class Relation:
         """Insert many tuples; returns how many were new."""
         return sum(1 for t in tuples if self.add(t))
 
+    def add_rows(
+        self,
+        rows: Iterable[IdRow],
+        decode: Callable[[IdRow], ArgTuple],
+    ) -> list[tuple[IdRow, ArgTuple]]:
+        """Bulk-insert derived ID rows; returns the (row, args) pairs
+        that were actually new, in derivation order.
+
+        This is the vectorized fixpoint's scatter: the duplicate
+        candidates a naive round re-derives by the hundreds of
+        thousands are eliminated at C speed (``dict.fromkeys`` dedupe +
+        ``filterfalse`` against the row→position dict), columns extend
+        in one bulk gather/append per lane, and only the genuinely new
+        rows pay Python-level work (one ``decode`` call each for the
+        verbatim term lane, plus index maintenance when indexes exist).
+        """
+        fresh = list(filterfalse(self._rowpos.__contains__, dict.fromkeys(rows)))
+        if not fresh:
+            return []
+        if self._cow:
+            self._unshare()
+        rowpos = self._rowpos
+        base = len(rowpos)
+        # columns first, with rollback (see add_row): a pinned lane must
+        # not leave some columns extended and others not.
+        done = 0
+        try:
+            for i, column in enumerate(self._columns):
+                column.extend([row[i] for row in fresh])
+                done += 1
+        except BufferError:
+            for column in self._columns[:done]:
+                del column[base:]
+            raise
+        pos = base
+        for row in fresh:
+            rowpos[row] = pos
+            pos += 1
+        pairs = [(row, decode(row)) for row in fresh]
+        self._decoded.extend([args for _, args in pairs])
+        if self._id_indexes:
+            for positions, index in self._id_indexes.items():
+                single = len(positions) == 1
+                first = positions[0]
+                for row in fresh:
+                    key = row[first] if single else tuple(
+                        row[i] for i in positions
+                    )
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = {row}
+                    else:
+                        bucket.add(row)
+        if self._indexes:
+            for positions, index in self._indexes.items():
+                single = len(positions) == 1
+                first = positions[0]
+                for _, args in pairs:
+                    key = args[first] if single else tuple(
+                        args[i] for i in positions
+                    )
+                    bucket = index.get(key)
+                    if bucket is None:
+                        index[key] = {args}
+                    else:
+                        bucket.add(args)
+        return pairs
+
     def discard(self, args: ArgTuple) -> bool:
         """Remove a tuple; returns True when it was present.
 
@@ -218,9 +329,11 @@ class Relation:
         relation contract).
         """
         row = encode_args(args)
-        pos = self._rowpos.pop(row, None)
-        if pos is None:
+        if row not in self._rowpos:
             return False
+        if self._cow:
+            self._unshare()
+        pos = self._rowpos.pop(row)
         last = len(self._rowpos)
         columns = self._columns
         if pos != last:
@@ -311,25 +424,51 @@ class Relation:
         return index
 
     def copy(self) -> "Relation":
-        """An independent clone, *including* already-built indexes of
-        both families (columnar ID indexes and term-level ones).
+        """A logically independent clone, *including* already-built
+        indexes of both families (columnar ID indexes and term-level
+        ones) — copies probe the same signatures as the original, and
+        rebuilding every index on first probe would pay the full O(n)
+        construction again.
 
-        Copies used by incremental and well-founded evaluation probe
-        the same signatures as the original; rebuilding every index on
-        first probe would pay the full O(n) construction again.
-        Bucket sets are copied so later ``add``s on either side stay
-        independent.
+        The clone is copy-on-write: it *shares* the row dict, int
+        lanes, index dicts, and term lane with the original until
+        either side first mutates, at which point the mutating side
+        takes private copies (:meth:`_unshare`).  Fixpoint delta
+        bookkeeping and magic/well-founded evaluation copy relations
+        that often never get written afterwards, so the O(n) lane copy
+        is deferred until a write proves it necessary.  Lazily building
+        a *new* index signature into a shared index dict is benign:
+        both sides hold identical rows while shared, so the built index
+        is correct for whichever side triggered it and a free warm
+        start for the other.
         """
         clone = Relation(self.pred, self.arity)
-        clone._rowpos = dict(self._rowpos)
-        clone._columns = tuple(list(column) for column in self._columns)
-        clone._id_indexes = {
+        clone._rowpos = self._rowpos
+        clone._columns = self._columns
+        clone._id_indexes = self._id_indexes
+        clone._indexes = self._indexes
+        clone._decoded = self._decoded
+        clone._cow = True
+        self._cow = True
+        return clone
+
+    def _unshare(self) -> None:
+        """Take private copies of every shared container (first write
+        after a copy-on-write :meth:`copy`).
+
+        The lanes are copied as fresh ``array('q')`` buffers, so
+        ``memoryview`` slices previously exported from the *other*
+        side keep reading their original, still-valid buffer.
+        """
+        self._rowpos = dict(self._rowpos)
+        self._columns = tuple(array("q", column) for column in self._columns)
+        self._id_indexes = {
             positions: {key: set(bucket) for key, bucket in index.items()}
             for positions, index in self._id_indexes.items()
         }
-        clone._indexes = {
+        self._indexes = {
             positions: {key: set(bucket) for key, bucket in index.items()}
             for positions, index in self._indexes.items()
         }
-        clone._decoded = list(self._decoded)
-        return clone
+        self._decoded = list(self._decoded)
+        self._cow = False

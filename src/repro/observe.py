@@ -425,9 +425,11 @@ class MetricsCollector:
     ``(layer, seconds)`` pairs in evaluation order.  ``counters`` holds
     integer tallies (``plans_built``, ``plan_cache_hits``, the
     batch-executor tallies ``batch_steps``/``batch_bindings``/
-    ``batch_peak``, and the intern table's ``id_table_size`` high-water
-    mark).  ``join_orders`` records the chosen per-rule join order for
-    every plan compiled under this collector.
+    ``batch_peak``, the vector-kernel tallies ``kernel_calls``/
+    ``kernel_rows`` — with ``rows_per_dispatch`` derived in
+    :meth:`report` — and the intern table's ``id_table_size``
+    high-water mark).  ``join_orders`` records the chosen per-rule join
+    order for every plan compiled under this collector.
     """
 
     phases: dict[str, float] = field(default_factory=dict)
@@ -492,6 +494,16 @@ class MetricsCollector:
         if size > counters.get("batch_peak", 0):
             counters["batch_peak"] = size
 
+    def record_kernel(self, rows: int, calls: int = 1) -> None:
+        """Vector-kernel dispatches: ``calls`` whole-column kernel
+        invocations processed ``rows`` rows in total.  The derived
+        ``rows_per_dispatch`` in :meth:`report` quantifies how much
+        interpreter dispatch the vectorized lane amortizes — higher is
+        better (one Python-level call covering more rows)."""
+        counters = self.counters
+        counters["kernel_calls"] = counters.get("kernel_calls", 0) + calls
+        counters["kernel_rows"] = counters.get("kernel_rows", 0) + rows
+
     def record_id_table(self, size: int) -> None:
         """Snapshot the dense term-ID table size (distinct interned
         ground terms process-wide).  The high-water mark is kept: the
@@ -505,9 +517,15 @@ class MetricsCollector:
 
     def report(self) -> dict:
         """A JSON-friendly snapshot for benchmark output."""
+        counters = dict(self.counters)
+        calls = counters.get("kernel_calls", 0)
+        if calls:
+            counters["rows_per_dispatch"] = round(
+                counters.get("kernel_rows", 0) / calls, 1
+            )
         return {
             "phases": dict(self.phases),
-            "counters": dict(self.counters),
+            "counters": counters,
             "layers": [
                 {"layer": layer, "seconds": seconds}
                 for layer, seconds in self.layers

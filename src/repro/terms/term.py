@@ -523,6 +523,31 @@ _ID_TABLE: list[Term] = []
 #: (quoted vs unquoted).  Maps the string payload to the class's ID.
 _EQ_IDS: dict[str, int] = {}
 
+#: Numeric lane parallel to :data:`_ID_TABLE`: index ``tid`` holds the
+#: raw Python number of a numeric :class:`Const` (the shape
+#: ``fold_arith`` accepts: ``type(term) is Const`` with an int/float
+#: payload) and None for every other term.  The vector kernels read it
+#: to run arithmetic and comparisons directly in ID space — one list
+#: subscript instead of materialize + isinstance checks per operand.
+#: Mutated in place only (``append``/``clear``), in lockstep with
+#: ``_ID_TABLE``, so closures may capture the list object.
+_NUM_TABLE: list = []
+
+#: Callbacks invoked by :func:`clear_intern_table`: modules that memoize
+#: dense IDs process-wide (the vector kernels' number→ID and set-union
+#: memos) register here so a clear cannot leave dangling IDs behind.
+_CLEAR_LISTENERS: list = []
+
+
+def register_clear_listener(fn) -> None:
+    """Call ``fn()`` whenever :func:`clear_intern_table` runs.
+
+    For process-wide caches keyed by (or holding) dense term IDs, which
+    dangle when the ID tables reset.  Idempotent registration is the
+    caller's concern; listeners must not raise.
+    """
+    _CLEAR_LISTENERS.append(fn)
+
 #: Guards dense-ID assignment so the ID sequence stays gap-free and a
 #: term's ``_tid``/``_rid`` pair is published atomically.
 _ID_LOCK = threading.Lock()
@@ -551,11 +576,17 @@ def _assign_ids(term: Term) -> None:
             if plain._tid is None:
                 ptid = len(_ID_TABLE)
                 _ID_TABLE.append(plain)
+                _NUM_TABLE.append(None)
                 plain._rid = _EQ_IDS.setdefault(plain.value, ptid)
                 plain._tid = ptid
                 plain._interned = True
         tid = len(_ID_TABLE)
         _ID_TABLE.append(term)
+        _NUM_TABLE.append(
+            term.value
+            if type(term) is Const and isinstance(term.value, (int, float))
+            else None
+        )
         if isinstance(term, Const) and isinstance(term.value, str):
             term._rid = _EQ_IDS.setdefault(term.value, tid)
         else:
@@ -686,12 +717,15 @@ def clear_intern_table() -> None:
     for the intended use between independent server workloads."""
     _INTERN_TABLE.clear()
     _ID_TABLE.clear()
+    _NUM_TABLE.clear()
     _EQ_IDS.clear()
     for term in (EMPTY_SET, BOTTOM):
         _INTERN_TABLE.setdefault(_intern_key(term), term)
         term._tid = None
         term._rid = None
         _assign_ids(term)
+    for listener in list(_CLEAR_LISTENERS):
+        listener()
 
 
 #: The empty set constant ``{}`` — interpreted as the empty SetVal.

@@ -204,3 +204,91 @@ class TestDatabase:
         db = Database([parse_atom("p(1)")])
         with pytest.raises(ValueError):
             db.add(parse_atom("p(1, 2)"))
+
+
+class TestCopyOnWrite:
+    def test_copy_shares_lanes_until_write(self):
+        rel = Relation("p", 2)
+        rel.add_all([t(1, 2), t(3, 4)])
+        clone = rel.copy()
+        # O(1) copy: both sides reference the same column buffers
+        assert clone.column(0) is rel.column(0)
+        assert clone._rowpos is rel._rowpos
+
+    def test_write_to_clone_unshares(self):
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        clone = rel.copy()
+        clone.add(t(2))
+        assert clone.column(0) is not rel.column(0)
+        assert len(rel) == 1 and len(clone) == 2
+        assert t(2) in clone and t(2) not in rel
+
+    def test_write_to_original_unshares(self):
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        clone = rel.copy()
+        rel.add(t(2))
+        assert len(rel) == 2 and len(clone) == 1
+
+    def test_discard_unshares(self):
+        rel = Relation("p", 1)
+        rel.add_all([t(1), t(2)])
+        clone = rel.copy()
+        assert clone.discard(t(1))
+        assert t(1) in rel and t(1) not in clone
+
+    def test_noop_mutations_keep_sharing(self):
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        clone = rel.copy()
+        assert not clone.add(t(1))        # duplicate: no write
+        assert not clone.discard(t(9))    # absent: no write
+        assert clone.column(0) is rel.column(0)
+
+    def test_bulk_add_rows_unshares(self):
+        from repro.engine.relation import decode_row
+
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        clone = rel.copy()
+        pairs = clone.add_rows([encode_args(t(2))], decode_row)
+        assert [args for _, args in pairs] == [t(2)]
+        assert len(rel) == 1 and len(clone) == 2
+
+    def test_unshare_leaves_exported_lane_valid(self):
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        clone = rel.copy()
+        view = rel.lane(0)
+        # the clone's unshare builds fresh buffers, so the original's
+        # exported lane stays readable and the write still succeeds
+        assert clone.add(t(2))
+        assert list(view) == list(encode_args(t(1)))
+        view.release()
+
+    def test_add_rows_dedupes_and_skips_stored(self):
+        from repro.engine.relation import decode_row
+
+        rel = Relation("p", 1)
+        rel.add(t(1))
+        rows = [
+            encode_args(t(1)),  # already stored
+            encode_args(t(2)),
+            encode_args(t(2)),  # duplicate in the batch
+            encode_args(t(3)),
+        ]
+        pairs = rel.add_rows(rows, decode_row)
+        assert [args for _, args in pairs] == [t(2), t(3)]
+        assert len(rel) == 3
+
+    def test_add_rows_maintains_existing_indexes(self):
+        from repro.engine.relation import decode_row
+
+        rel = Relation("p", 2)
+        rel.add(t(1, 2))
+        rel.id_index((0,))      # force both index families to exist
+        rel.probe_index((0,))
+        rel.add_rows([encode_args(t(1, 3)), encode_args(t(4, 5))], decode_row)
+        assert set(rel.lookup((0,), t(1))) == {t(1, 2), t(1, 3)}
+        assert len(rel.id_index((0,))[encode_args(t(1, 2))[0]]) == 2
