@@ -1,0 +1,22 @@
+"""Experiment E23: partitioned evaluation, speedup vs worker count
+
+pytest-benchmark wrapper around the shared cases in ``common.py``;
+see ``benchmarks/harness.py`` for the table-printing runner and
+DESIGN.md for the experiment index.  The social-reachability cases
+honour ``REPRO_E23_EDGES`` (default one million edges) — export a
+smaller value for a quick local run.
+"""
+
+import pytest
+
+from common import EXPERIMENTS
+
+CASES = EXPERIMENTS["E23"]()
+IDS = [f"{c['workload']}::{c['strategy']}" for c in CASES]
+
+
+@pytest.mark.parametrize("case", CASES, ids=IDS)
+def test_e23_parallel(benchmark, case):
+    result = benchmark.pedantic(case["run"], rounds=3, iterations=1)
+    benchmark.extra_info["facts"] = case["metric"](result)
+    benchmark.extra_info["strategy"] = case["strategy"]

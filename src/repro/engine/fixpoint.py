@@ -49,6 +49,19 @@ class FixpointStats:
         self.facts_derived += other.facts_derived
 
 
+def occurrence_index(rules: Sequence[Rule]) -> list[tuple[Rule, int]]:
+    """The (rule, body occurrence) pairs semi-naive rounds iterate:
+    every positive non-builtin body literal of every rule.  Shared with
+    the partitioned evaluator, whose workers walk the same index so
+    parallel rounds fire the same rule applications."""
+    index: list[tuple[Rule, int]] = []
+    for rule in rules:
+        for i, lit in enumerate(rule.body):
+            if lit.positive and not is_builtin_predicate(lit.atom.pred):
+                index.append((rule, i))
+    return index
+
+
 def _derive_any(ctx: EvalContext, db: Database, rule: Rule, plan, overrides=None):
     """One rule application, preferring the vectorized rows shape.
 
@@ -288,11 +301,7 @@ def seminaive_rounds(
     """
     ctx = ensure_context(context, db, planner)
     stats = FixpointStats()
-    occurrence_index: list[tuple[Rule, int]] = []
-    for rule in rules:
-        for i, lit in enumerate(rule.body):
-            if lit.positive and not is_builtin_predicate(lit.atom.pred):
-                occurrence_index.append((rule, i))
+    occurrences = occurrence_index(rules)
 
     while delta:
         stats.iterations += 1
@@ -300,7 +309,7 @@ def seminaive_rounds(
             ctx.refresh_sizes()
         next_delta: dict[str, object] = {}
         round_new = 0
-        for rule, occurrence in occurrence_index:
+        for rule, occurrence in occurrences:
             pred = rule.body[occurrence].atom.pred
             changed = delta.get(pred)
             if not changed:

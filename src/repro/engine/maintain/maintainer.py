@@ -51,8 +51,14 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.engine.database import Database
-from repro.engine.exec import derive_facts, enumerate_bindings
+from repro.engine.exec import (
+    RowBatch,
+    as_row_batch,
+    derive_facts,
+    enumerate_bindings,
+)
 from repro.engine.incremental import IncrementalModel, UpdateStats
+from repro.engine.relation import encode_args
 from repro.engine.maintain import DeltaBatch
 from repro.errors import EvaluationError, NotInUniverseError
 from repro.names import is_builtin_predicate
@@ -64,6 +70,24 @@ from repro.terms.term import SetVal, Term, evaluate_ground, intern_term
 
 #: per-predicate fact deltas accumulated while walking the schedule.
 Deltas = dict[str, list[Atom]]
+
+
+def _delta_batch(atoms: list[Atom]) -> RowBatch:
+    """A maintenance delta as an override-ready row batch: ID rows ride
+    along with the argument tuples, so the specialized executors consume
+    the delta without re-encoding at the maintenance boundary."""
+    return as_row_batch(atoms[0].pred, len(atoms[0].args), atoms)
+
+
+def _frontier_add(frontier: dict, fact: Atom) -> None:
+    """Append one fact to a per-predicate frontier batch."""
+    entry = frontier.get(fact.pred)
+    if entry is None:
+        entry = frontier[fact.pred] = RowBatch(fact.pred, len(fact.args))
+    row = getattr(fact, "_row", None)
+    if row is None:
+        row = encode_args(fact.args)
+    entry.add(row, fact.args)
 
 
 def _flip(rule: Rule, occurrence: int) -> Rule:
@@ -253,6 +277,8 @@ class DeltaMaintainer:
         ctx = self._model._context
         db = self._model.database
         metrics = ctx.metrics if ctx.timing else None
+        if metrics is not None and overrides:
+            self._record_dispatch(metrics, overrides)
         if ctx.timing:
             start = ctx.metrics.now()
             derived = derive_facts(
@@ -269,12 +295,29 @@ class DeltaMaintainer:
             ctx.hooks.on_rule_fired(rule, len(derived))
         return derived
 
+    @staticmethod
+    def _record_dispatch(metrics, overrides) -> None:
+        """Count one maintenance dispatch: delta sources are row
+        batches, base (old-extension) overrides plain tuple lists, so
+        the batch lengths are exactly the delta rows this application
+        consumes (feeds ``maintain_rows_per_dispatch``)."""
+        rows = sum(
+            len(source)
+            for source in overrides.values()
+            if type(source) is RowBatch
+        )
+        if rows:
+            metrics.record_maintain_dispatch(rows)
+
     def _bindings(self, plan, overrides=None):
         ctx = self._model._context
+        metrics = ctx.metrics if ctx.timing else None
+        if metrics is not None and overrides:
+            self._record_dispatch(metrics, overrides)
         return enumerate_bindings(
             self._model.database, plan, overrides=overrides,
             executor=ctx.executor,
-            metrics=ctx.metrics if ctx.timing else None,
+            metrics=metrics,
         )
 
     def _old_tuples(self, pred: str, plus: Deltas, minus: Deltas):
@@ -399,7 +442,7 @@ class DeltaMaintainer:
                     if not atoms:
                         continue
                     overrides = dict(base)
-                    overrides[occurrence] = [a.args for a in atoms]
+                    overrides[occurrence] = _delta_batch(atoms)
                     for fact in self._run(rule, plan, overrides=overrides):
                         local[fact] = local.get(fact, 0) + sign
                     stats.fixpoint.rule_firings += 1
@@ -520,7 +563,7 @@ class DeltaMaintainer:
                 if not atoms:
                     continue
                 overrides = dict(base)
-                overrides[occurrence] = [a.args for a in atoms]
+                overrides[occurrence] = _delta_batch(atoms)
                 touched |= self._accumulate(
                     state, rule, self._bindings(plan, overrides), sign
                 )
@@ -577,7 +620,7 @@ class DeltaMaintainer:
                     restored.append(atom)
 
         overdeleted: dict[Atom, None] = {}  # insertion-ordered set
-        frontier: dict[str, list[tuple[Term, ...]]] = {}
+        frontier: dict[str, RowBatch] = {}
 
         def condemn(fact: Atom) -> None:
             if fact in overdeleted:
@@ -585,7 +628,7 @@ class DeltaMaintainer:
             if not db.contains_tuple(fact.pred, fact.args):
                 return
             overdeleted[fact] = None
-            frontier.setdefault(fact.pred, []).append(fact.args)
+            _frontier_add(frontier, fact)
 
         for fact in group_removed:
             condemn(fact)
@@ -602,7 +645,7 @@ class DeltaMaintainer:
                     plan = ctx.plan_for(rule, first=i)
                     stats.fixpoint.rule_firings += 1
                     for fact in self._run(
-                        rule, plan, overrides={i: [a.args for a in atoms]}
+                        rule, plan, overrides={i: _delta_batch(atoms)}
                     ):
                         condemn(fact)
                 else:
@@ -621,7 +664,7 @@ class DeltaMaintainer:
                     stats.fixpoint.rule_firings += 1
                     for fact in self._run(
                         flipped, plan,
-                        overrides={i: [a.args for a in atoms]},
+                        overrides={i: _delta_batch(atoms)},
                         negation_db=old_neg_db,
                     ):
                         condemn(fact)
@@ -659,12 +702,12 @@ class DeltaMaintainer:
         stats.overdeleted += len(overdeleted)
 
         inserted_now: dict[Atom, None] = {}
-        up_frontier: dict[str, list[tuple[Term, ...]]] = {}
+        up_frontier: dict[str, RowBatch] = {}
 
         def add_fact(fact: Atom) -> bool:
             if db.add(fact):
                 inserted_now[fact] = None
-                up_frontier.setdefault(fact.pred, []).append(fact.args)
+                _frontier_add(up_frontier, fact)
                 return True
             return False
 
@@ -717,7 +760,7 @@ class DeltaMaintainer:
                 plan = ctx.plan_for(run_rule, first=i)
                 stats.fixpoint.rule_firings += 1
                 for fact in self._run(
-                    run_rule, plan, overrides={i: [a.args for a in atoms]}
+                    run_rule, plan, overrides={i: _delta_batch(atoms)}
                 ):
                     if add_fact(fact):
                         stats.fixpoint.facts_derived += 1

@@ -1,0 +1,87 @@
+"""Partitioned parallel evaluation: partitioner, exchange, worker pool.
+
+The subsystem behind ``evaluate(..., workers=N)``: relations and
+semi-naive deltas are hash-partitioned on a key column
+(:class:`~repro.engine.shard.partition.Partitioner`), re-shards between
+executor stages cross process boundaries through an
+:class:`~repro.engine.shard.exchange.Exchange` (codec-framed row
+batches over ``multiprocessing`` pipes, with an intern-table handshake
+so dense IDs agree across processes), and a
+:class:`~repro.engine.shard.pool.WorkerPool` drives the SCC schedule —
+independent components concurrently, recursive components as
+partitioned rounds under a global fixpoint barrier.
+
+The process-wide worker count comes from the ``REPRO_WORKERS``
+environment variable (default ``1`` — the serial engine, byte-for-byte
+the single-process code path) and can be changed with
+:func:`set_default_workers` (the benchmark harness ``--workers`` knob,
+the CLI ``--workers`` flag).  ``workers`` only engages for the default
+configuration — the semi-naive strategy under the SCC scheduler; other
+strategy/scheduler combinations keep their serial path regardless.
+
+``REPRO_MP_START`` picks the ``multiprocessing`` start method
+(``fork`` where available, else ``spawn``): forked workers inherit the
+coordinator's database replica and intern table for free and the
+handshake merely verifies the watermark; spawned workers receive the
+intern table as codec fragments and the replica as framed row batches.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+#: Hard cap on the worker count: beyond this the coordinator's merge
+#: loop is the bottleneck anyway and pipes stop paying for themselves.
+MAX_WORKERS = 64
+
+
+def _validated_workers(value) -> int:
+    try:
+        count = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"worker count must be an integer, got {value!r}")
+    if not 1 <= count <= MAX_WORKERS:
+        raise ValueError(
+            f"worker count must be between 1 and {MAX_WORKERS}, got {count}"
+        )
+    return count
+
+
+_default_workers = _validated_workers(os.environ.get("REPRO_WORKERS", "1"))
+
+
+def default_workers() -> int:
+    """The process-wide worker count used when none is requested."""
+    return _default_workers
+
+
+def set_default_workers(count) -> None:
+    """Change the process-wide worker count (harness ``--workers``)."""
+    global _default_workers
+    _default_workers = _validated_workers(count)
+
+
+def resolve_workers(workers) -> int:
+    """An explicit ``workers=`` argument, or the process default."""
+    if workers is None:
+        return _default_workers
+    return _validated_workers(workers)
+
+
+def start_method() -> str:
+    """The ``multiprocessing`` start method workers launch under."""
+    configured = os.environ.get("REPRO_MP_START")
+    if configured:
+        return configured
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+__all__ = [
+    "MAX_WORKERS",
+    "default_workers",
+    "set_default_workers",
+    "resolve_workers",
+    "start_method",
+]

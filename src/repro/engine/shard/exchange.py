@@ -1,0 +1,120 @@
+"""The exchange operator: re-sharding row batches across processes.
+
+An :class:`Exchange` owns one side of a ``multiprocessing`` pipe and
+moves semi-naive deltas — dicts of :class:`RowBatch` (or plain
+argument-tuple lists from the fallback executor path) — between the
+coordinator and a worker.  Batches are framed by the storage codec
+(:func:`repro.storage.codec.encode_row_batch`): rows whose IDs all sit
+below the intern-table watermark agreed at the handshake travel as flat
+ints, rows touching fresher terms travel as self-describing codec
+lines that re-intern on arrival.  Shuffle volume is counted on the
+sending side (``shuffle_rows`` / ``shuffle_bytes``).
+
+:meth:`Exchange.reshard` is the in-process half of the operator: when a
+batch's partitioning disagrees with the key a downstream stage joins
+on, it splits the batch by the stage's partitioner so each row lands on
+the worker owning its join key.  It is also the seam the ROADMAP's
+replica-shipping server work plugs into — a replica subscription is an
+exchange whose peer happens to live on another machine.
+"""
+
+from __future__ import annotations
+
+from repro.engine.exec.kernels import RowBatch
+from repro.engine.relation import decode_row, encode_args
+from repro.storage.codec import (
+    decode_row_batch,
+    encode_row_batch,
+    row_batch_bytes,
+)
+
+
+def batch_rows(entry) -> tuple[list[tuple[int, ...]], int]:
+    """The ID rows of one delta entry and its arity.
+
+    Entries are :class:`RowBatch`es on the vectorized path, bare
+    ``(arity, rows)`` pairs from the worker's derivation accumulator,
+    and plain argument-tuple lists on the fallback path; all carry
+    enough to recover rows without re-walking term trees
+    (``encode_args`` is one attribute load per already-interned term).
+    """
+    if type(entry) is RowBatch:
+        return entry.rows, entry.arity
+    if type(entry) is tuple:
+        arity, rows = entry
+        return rows, arity
+    rows = [encode_args(args) for args in entry]
+    return rows, (len(rows[0]) if rows else 0)
+
+
+class Exchange:
+    """One pipe endpoint speaking framed row batches."""
+
+    __slots__ = ("conn", "watermark", "metrics")
+
+    def __init__(self, conn, watermark: int, metrics=None) -> None:
+        self.conn = conn
+        self.watermark = watermark
+        self.metrics = metrics
+
+    # -- framing -----------------------------------------------------------
+
+    def encode_delta(self, delta: dict) -> list[tuple]:
+        """Frame a delta dict for the wire, counting shuffle volume."""
+        payloads = []
+        shuffled = 0
+        nbytes = 0
+        for pred, entry in delta.items():
+            rows, arity = batch_rows(entry)
+            if not rows:
+                continue
+            payload = encode_row_batch(pred, arity, rows, self.watermark)
+            shuffled += len(rows)
+            nbytes += row_batch_bytes(payload)
+            payloads.append(payload)
+        if self.metrics is not None and shuffled:
+            self.metrics.record_shuffle(shuffled, nbytes)
+        return payloads
+
+    @staticmethod
+    def decode_delta(payloads) -> dict[str, RowBatch]:
+        """Unframe wire payloads back to local-ID row batches.
+
+        Coded-lane rows intern their terms here, so the receiving
+        process may assign fresh dense IDs; the batch's args lane holds
+        the canonical decoded tuples.
+        """
+        delta: dict[str, RowBatch] = {}
+        for payload in payloads:
+            pred, arity, rows = decode_row_batch(payload)
+            batch = delta.get(pred)
+            if batch is None:
+                batch = RowBatch(pred, arity)
+                delta[pred] = batch
+            for row in rows:
+                batch.add(row, decode_row(row))
+        return delta
+
+    # -- transport ---------------------------------------------------------
+
+    def send(self, message: tuple) -> None:
+        self.conn.send(message)
+
+    def recv(self):
+        return self.conn.recv()
+
+    def poll(self, timeout: float = 0.0) -> bool:
+        return self.conn.poll(timeout)
+
+    def close(self) -> None:
+        self.conn.close()
+
+    # -- re-sharding -------------------------------------------------------
+
+    @staticmethod
+    def reshard(batch: RowBatch, partitioner) -> list[RowBatch]:
+        """Split one batch by a stage's partitioner: result ``[p]``
+        holds the rows partition ``p`` owns under the stage's join key.
+        Used whenever a delta's current partitioning (or lack of one)
+        disagrees with the key the next stage joins on."""
+        return partitioner.split_batch(batch)

@@ -1,0 +1,122 @@
+"""Consistent hash partitioning over dense-ID int lanes.
+
+A :class:`Partitioner` assigns every term ID to one of ``nparts``
+partitions.  The assignment must agree *across processes* even though
+dense IDs themselves are process-local past the handshake watermark, so
+the hash runs over the term's canonical codec fragment
+(:func:`repro.storage.codec.term_fragment` — equal terms produce equal
+bytes by construction) rather than the ID: two workers that interned a
+fresh term in different orders still route its rows to the same
+partition.  The fragment walk happens once per distinct ID (memoized),
+after which a partition split is one dict-get per row over an
+``array('q')`` column — the kernel-speed gather the columnar layout
+(PR 6/9) was built for.
+"""
+
+from __future__ import annotations
+
+from zlib import crc32
+
+from repro.engine.exec.kernels import RowBatch
+from repro.storage.codec import term_fragment
+from repro.terms.term import register_clear_listener, term_of_id
+
+#: rid → crc32 of the term's canonical codec fragment.  Shared by every
+#: partitioner (the hash is partitioner-independent; only the modulus
+#: differs), cleared with the intern table since IDs are reused.
+_HASHES: dict[int, int] = {}
+
+register_clear_listener(_HASHES.clear)
+
+
+def id_hash(rid: int) -> int:
+    """The cross-process-stable hash of one term ID."""
+    h = _HASHES.get(rid)
+    if h is None:
+        h = crc32(term_fragment(term_of_id(rid)).encode("utf-8"))
+        _HASHES[rid] = h
+    return h
+
+
+class Partitioner:
+    """Hash-partitioning policy: ``nparts`` partitions keyed on one
+    argument column (``key``, clamped to the relation's arity at use
+    sites — arity-0 and narrower relations fall back to their last
+    column or partition 0)."""
+
+    __slots__ = ("nparts", "key")
+
+    def __init__(self, nparts: int, key: int = 0) -> None:
+        if nparts < 1:
+            raise ValueError(f"need at least one partition, got {nparts}")
+        self.nparts = nparts
+        self.key = key
+
+    def part_of_id(self, rid: int) -> int:
+        """The partition owning rows whose key column holds ``rid``."""
+        return id_hash(rid) % self.nparts
+
+    def split_indices(self, lane) -> list[list[int]]:
+        """Partition the positions of one ID lane: result ``[p]`` lists
+        the row positions owned by partition ``p``, in lane order.
+
+        One memo-hit hash per row; this is the gather plan
+        :meth:`repro.engine.relation.Relation.split` executes.
+        """
+        nparts = self.nparts
+        by_part: list[list[int]] = [[] for _ in range(nparts)]
+        hashes = _HASHES
+        for pos, rid in enumerate(lane):
+            h = hashes.get(rid)
+            if h is None:
+                h = id_hash(rid)
+            by_part[h % nparts].append(pos)
+        return by_part
+
+    def split_rows(
+        self, rows, arity: int
+    ) -> list[list[tuple[int, ...]]]:
+        """Partition loose ID rows (a delta shard) by the key column."""
+        key = min(self.key, arity - 1) if arity else 0
+        by_part: list[list[tuple[int, ...]]] = [
+            [] for _ in range(self.nparts)
+        ]
+        if not arity:
+            by_part[0].extend(rows)
+            return by_part
+        nparts = self.nparts
+        hashes = _HASHES
+        for row in rows:
+            rid = row[key]
+            h = hashes.get(rid)
+            if h is None:
+                h = id_hash(rid)
+            by_part[h % nparts].append(row)
+        return by_part
+
+    def split_batch(self, batch: RowBatch) -> list[RowBatch]:
+        """Partition a :class:`RowBatch` delta, both lanes kept parallel
+        — the shape the exchange re-shards between executor stages."""
+        key = min(self.key, batch.arity - 1) if batch.arity else 0
+        parts = [RowBatch(batch.pred, batch.arity) for _ in range(self.nparts)]
+        if not batch.arity:
+            part = parts[0]
+            part.rows.extend(batch.rows)
+            part.args.extend(batch.args)
+            return parts
+        nparts = self.nparts
+        hashes = _HASHES
+        rows = batch.rows
+        args = batch.args
+        for pos, row in enumerate(rows):
+            rid = row[key]
+            h = hashes.get(rid)
+            if h is None:
+                h = id_hash(rid)
+            part = parts[h % nparts]
+            part.rows.append(row)
+            part.args.append(args[pos])
+        return parts
+
+    def __repr__(self) -> str:
+        return f"Partitioner(nparts={self.nparts}, key={self.key})"

@@ -1,0 +1,456 @@
+"""The worker-pool coordinator for partitioned evaluation.
+
+The :class:`WorkerPool` forks one process per worker *after* the EDB
+and program facts are installed, so every child starts with a full
+database replica and the coordinator's intern table (copy-on-write —
+the fork is the cheap part; the handshake merely verifies the dense-ID
+watermark).  The coordinator keeps the authoritative database: workers
+derive and ship rows back, the coordinator merges them (global dedup
+through :meth:`Database.add_rows`) and broadcasts every merged delta to
+all replicas, so each replica tracks the authoritative state in
+lockstep at every protocol step.
+
+:func:`run_schedule` drives PR 4's condensed SCC schedule through the
+pool:
+
+* **non-recursive components** are independent units of work — a
+  non-recursive SCC is one predicate with no self-loop, so its rules
+  read only completed lower components — dispatched whole to the next
+  idle worker; components without a dependency edge between them run
+  concurrently (inter-component parallelism).
+* **recursive components** engage every worker at once: round 0 shards
+  each rule's first positive occurrence by hash partition of its full
+  relation, later rounds shard the retained delta the same way, and
+  the *global fixpoint barrier* is the merge step — a round ends only
+  when all workers have replied (their exchanges drained into the
+  coordinator) and the merged delta is empty.
+* **grouping rules** (the R1 step) run on the coordinator: they read
+  strictly lower strata, fire once, and intern fresh set terms that
+  are cheapest assigned by a single process and broadcast.
+
+Failure surfaces cleanly: a worker that raises replies with its
+traceback, a worker that dies is noticed by liveness polling, and both
+become an :class:`~repro.errors.EvaluationError` on the coordinator
+after the pool is torn down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from multiprocessing.connection import wait as _wait_connections
+
+from repro.engine.fixpoint import FixpointStats
+from repro.engine.grouping import apply_grouping_rules
+from repro.engine.relation import decode_row, encode_args
+from repro.engine.shard.exchange import Exchange
+from repro.engine.shard.worker import component_rules, worker_main
+from repro.errors import EvaluationError
+from repro.names import is_builtin_predicate
+from repro.terms.term import id_table_size
+
+#: Seconds between liveness checks while waiting on worker replies.
+_POLL_INTERVAL = 0.05
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers (the pool's requirement:
+    forked children inherit program objects and the intern table; the
+    spawn path would need to re-parse the program and replay the full
+    intern table, which the exchange protocol supports but the pool
+    does not yet drive)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class WorkerPool:
+    """``nworkers`` forked evaluation processes behind duplex pipes."""
+
+    def __init__(
+        self,
+        nworkers: int,
+        db,
+        schedule,
+        planner: str = "sized-once",
+        executor: str | None = None,
+        metrics=None,
+    ) -> None:
+        if nworkers < 2:
+            raise ValueError("a worker pool needs at least two workers")
+        if not fork_available():
+            raise EvaluationError(
+                "partitioned evaluation requires the fork start method"
+            )
+        self.nworkers = nworkers
+        self.metrics = metrics
+        self.watermark = id_table_size()
+        ctx = multiprocessing.get_context("fork")
+        self.procs = []
+        self.exchanges: list[Exchange] = []
+        for wid in range(nworkers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=worker_main,
+                args=(
+                    child_conn,
+                    wid,
+                    nworkers,
+                    self.watermark,
+                    db,
+                    schedule,
+                    planner,
+                    executor,
+                    metrics is not None,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.procs.append(proc)
+            self.exchanges.append(Exchange(parent_conn, self.watermark, metrics))
+        self._alive = True
+
+    # -- transport ---------------------------------------------------------
+
+    def _send(self, wid: int, message: tuple) -> None:
+        """Send to worker ``wid``; a closed pipe (dead worker) raises
+        :class:`EvaluationError` after tearing the pool down."""
+        try:
+            self.exchanges[wid].send(message)
+        except (BrokenPipeError, OSError):
+            exitcode = self.procs[wid].exitcode
+            self.terminate()
+            raise EvaluationError(
+                f"worker {wid} hung up (exit code {exitcode})"
+            )
+
+    def _recv(self, wid: int):
+        """One reply from worker ``wid``, polling liveness while
+        waiting; tagged errors and dead workers raise."""
+        exchange = self.exchanges[wid]
+        proc = self.procs[wid]
+        while True:
+            try:
+                if exchange.poll(_POLL_INTERVAL):
+                    message = exchange.recv()
+                    break
+            except (EOFError, OSError):
+                self.terminate()
+                raise EvaluationError(f"worker {wid} hung up mid-evaluation")
+            if not proc.is_alive():
+                self.terminate()
+                raise EvaluationError(
+                    f"worker {wid} died (exit code {proc.exitcode})"
+                )
+        if message[0] == "error":
+            self.terminate()
+            raise EvaluationError(
+                f"worker {wid} failed:\n{message[2]}"
+            )
+        return message
+
+    def _wait_any(self, wids) -> list[int]:
+        """Worker IDs with a reply ready, blocking until at least one."""
+        conns = {self.exchanges[w].conn: w for w in wids}
+        while True:
+            ready = _wait_connections(list(conns), timeout=_POLL_INTERVAL)
+            if ready:
+                return [conns[c] for c in ready]
+            for wid in wids:
+                if not self.procs[wid].is_alive():
+                    self.terminate()
+                    raise EvaluationError(
+                        f"worker {wid} died (exit code "
+                        f"{self.procs[wid].exitcode})"
+                    )
+
+    def handshake(self) -> None:
+        """Verify every replica's intern-table watermark matches ours —
+        the precondition for raw-int rows on the wire."""
+        for wid in range(self.nworkers):
+            self._send(wid, ("hello",))
+        for wid in range(self.nworkers):
+            _, _, size = self._recv(wid)
+            if size != self.watermark:
+                self.terminate()
+                raise EvaluationError(
+                    f"worker {wid} intern watermark {size} != "
+                    f"coordinator {self.watermark}"
+                )
+
+    def broadcast_sync(self, delta: dict, retain: bool) -> None:
+        """Frame a merged delta once and send it to every replica.
+
+        Shuffle counters record the logical volume (one framing), not
+        payload-bytes × fan-out.
+        """
+        if not delta and not retain:
+            return
+        payloads = self.exchanges[0].encode_delta(delta)
+        for wid in range(self.nworkers):
+            self._send(wid, ("sync", payloads, retain))
+
+    def send_all(self, message: tuple) -> None:
+        for wid in range(self.nworkers):
+            self._send(wid, message)
+
+    def collect_derived(self) -> tuple[dict, int]:
+        """Barrier: wait for every worker's ``derived`` reply and pool
+        the decoded rows per predicate — ``{pred: (arity, rows)}`` —
+        plus the summed rule firings."""
+        merged: dict[str, tuple[int, list]] = {}
+        firings = 0
+        pending = set(range(self.nworkers))
+        while pending:
+            for wid in self._wait_any(pending):
+                _, _, payloads, fired = self._recv(wid)
+                firings += fired
+                for pred, batch in Exchange.decode_delta(payloads).items():
+                    entry = merged.get(pred)
+                    if entry is None:
+                        merged[pred] = (batch.arity, list(batch.rows))
+                    else:
+                        entry[1].extend(batch.rows)
+                pending.discard(wid)
+        return merged, firings
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Orderly shutdown: collect per-worker counters, then reap."""
+        if not self._alive:
+            return
+        self._alive = False
+        try:
+            self.send_all(("stop",))
+            # A worker may still be applying the last broadcast sync, so
+            # bound the wait by liveness plus a generous deadline rather
+            # than a single short poll — losing a worker's counters
+            # would silently understate the run's totals.
+            deadline = time.monotonic() + 30.0
+            for wid, exchange in enumerate(self.exchanges):
+                while not exchange.poll(_POLL_INTERVAL):
+                    if not self.procs[wid].is_alive():
+                        break
+                    if time.monotonic() > deadline:
+                        break
+                else:
+                    message = exchange.recv()
+                    if message[0] == "counters" and self.metrics is not None:
+                        _, _, counters, seconds = message
+                        self.metrics.record_worker(wid, seconds, counters)
+        except (EOFError, OSError, BrokenPipeError):
+            pass
+        self._reap()
+
+    def terminate(self) -> None:
+        """Immediate teardown (error paths)."""
+        if not self._alive:
+            return
+        self._alive = False
+        self._reap()
+
+    def _reap(self) -> None:
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs:
+            proc.join(timeout=2.0)
+        for exchange in self.exchanges:
+            try:
+                exchange.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if exc and exc[0] is not None:
+            self.terminate()
+        else:
+            self.stop()
+
+
+# -- the partitioned schedule driver ----------------------------------------
+
+
+def _component_reads(component) -> set[str]:
+    """Predicates the component's rule bodies read (builtins excluded)."""
+    reads: set[str] = set()
+    for rule in component.rules:
+        for lit in rule.body:
+            if not is_builtin_predicate(lit.atom.pred):
+                reads.add(lit.atom.pred)
+    return reads
+
+
+def _merge_into(db, merged: dict) -> tuple[dict, int]:
+    """Install pooled worker rows into the authoritative database;
+    returns the genuinely-new delta (``{pred: RowBatch-shaped pairs}``
+    ready for broadcast) and the new-fact count."""
+    delta: dict[str, tuple[int, list]] = {}
+    new = 0
+    for pred, (arity, rows) in merged.items():
+        pairs = db.add_rows(pred, arity, rows, decode_row)
+        if pairs:
+            new += len(pairs)
+            delta[pred] = (arity, [row for row, _ in pairs])
+    return delta, new
+
+
+def _run_grouping(db, component, ctx, pool) -> int:
+    """The component's R1 step on the coordinator, broadcast to all
+    replicas; returns the number of grouping facts added."""
+    grouping = [r for r in component.rules if r.is_grouping()]
+    if not grouping:
+        return 0
+    added: dict[str, tuple[int, list]] = {}
+    count = 0
+    for rule in grouping:
+        for fact in apply_grouping_rules([rule], db, context=ctx):
+            if db.add(fact):
+                count += 1
+                row = getattr(fact, "_row", None)
+                if row is None:
+                    row = encode_args(fact.args)
+                entry = added.get(fact.pred)
+                if entry is None:
+                    added[fact.pred] = (len(fact.args), [row])
+                else:
+                    entry[1].append(row)
+    if added:
+        pool.broadcast_sync(added, retain=False)
+    return count
+
+
+def _run_recursive(db, component, ctx, pool, layer: int, ci: int):
+    """One recursive component as partitioned barrier rounds."""
+    from repro.engine.evaluator import SCCStats
+
+    stats = SCCStats(component.preds, component.recursive)
+    start = time.perf_counter()
+    stats.grouping_facts = _run_grouping(db, component, ctx, pool)
+    if component_rules(component):
+        fp = FixpointStats()
+        pool.send_all(("round0", layer, ci))
+        merged, firings = pool.collect_derived()
+        fp.iterations = 1
+        fp.rule_firings = firings
+        delta, new = _merge_into(db, merged)
+        fp.facts_derived += new
+        while delta:
+            pool.broadcast_sync(delta, retain=True)
+            pool.send_all(("round", layer, ci))
+            merged, firings = pool.collect_derived()
+            fp.iterations += 1
+            fp.rule_firings += firings
+            delta, new = _merge_into(db, merged)
+            fp.facts_derived += new
+        stats.fixpoint = fp
+    stats.seconds = time.perf_counter() - start
+    if ctx.timing:
+        ctx.metrics.add_scc_time(
+            layer, component.preds, component.recursive, stats.seconds
+        )
+    return stats
+
+
+def run_schedule(db, schedule, ctx, pool: WorkerPool, layering):
+    """Drive a full SCC schedule through the pool; returns LayerStats
+    in layer order (the parallel counterpart of the evaluator's layer
+    loop)."""
+    from repro.engine.evaluator import LayerStats, SCCStats
+
+    pool.handshake()
+    layer_stats = []
+    for li in range(len(layering)):
+        stats = LayerStats(layer=li)
+        components = schedule[li]
+        if ctx.timing:
+            layer_start = ctx.metrics.now()
+        reads = [_component_reads(c) for c in components]
+        deps: list[set[int]] = [
+            {
+                i
+                for i in range(j)
+                if components[i].preds & reads[j]
+            }
+            for j in range(len(components))
+        ]
+        completed: set[int] = set()
+        layer_sccs: list = [None] * len(components)
+        remaining = list(range(len(components)))
+        running: dict[int, tuple[int, float, object]] = {}  # wid → (ci, t0, stats)
+        idle = list(range(pool.nworkers))
+
+        def finish_one() -> None:
+            for wid in pool._wait_any(list(running)):
+                ci, t0, scc = running.pop(wid)
+                _, _, payloads, firings = pool._recv(wid)
+                merged: dict[str, tuple[int, list]] = {}
+                for pred, batch in Exchange.decode_delta(payloads).items():
+                    merged[pred] = (batch.arity, list(batch.rows))
+                delta, new = _merge_into(db, merged)
+                if delta:
+                    pool.broadcast_sync(delta, retain=False)
+                scc.fixpoint = FixpointStats(
+                    iterations=1, rule_firings=firings, facts_derived=new
+                )
+                scc.seconds = time.perf_counter() - t0
+                if ctx.timing:
+                    ctx.metrics.add_scc_time(
+                        li,
+                        components[ci].preds,
+                        components[ci].recursive,
+                        scc.seconds,
+                    )
+                layer_sccs[ci] = scc
+                completed.add(ci)
+                idle.append(wid)
+
+        while remaining or running:
+            progressed = True
+            while progressed:
+                progressed = False
+                for ci in list(remaining):
+                    component = components[ci]
+                    if not deps[ci] <= completed:
+                        continue
+                    if component.recursive:
+                        # needs every worker: drain in-flight work first
+                        if running:
+                            break
+                        remaining.remove(ci)
+                        layer_sccs[ci] = _run_recursive(
+                            db, component, ctx, pool, li, ci
+                        )
+                        completed.add(ci)
+                        progressed = True
+                    elif idle:
+                        remaining.remove(ci)
+                        t0 = time.perf_counter()
+                        scc = SCCStats(component.preds, component.recursive)
+                        scc.grouping_facts = _run_grouping(
+                            db, component, ctx, pool
+                        )
+                        if component_rules(component):
+                            wid = idle.pop(0)
+                            pool._send(wid, ("component", li, ci))
+                            running[wid] = (ci, t0, scc)
+                        else:
+                            scc.seconds = time.perf_counter() - t0
+                            layer_sccs[ci] = scc
+                            completed.add(ci)
+                        progressed = True
+            if running:
+                finish_one()
+        for scc in layer_sccs:
+            if scc is None:
+                continue
+            stats.sccs.append(scc)
+            stats.grouping_facts += scc.grouping_facts
+            stats.fixpoint.merge(scc.fixpoint)
+        if ctx.timing:
+            ctx.metrics.add_layer_time(li, ctx.metrics.now() - layer_start)
+        layer_stats.append(stats)
+    return layer_stats

@@ -1,0 +1,274 @@
+"""The worker side of partitioned evaluation.
+
+A worker process is forked by :class:`~repro.engine.shard.pool.WorkerPool`
+*after* the coordinator has installed the EDB and program facts, so it
+inherits a full database replica, the compiled program objects, and the
+intern table for free (copy-on-write pages).  From then on the replica
+is mutated **only** by ``sync`` broadcasts from the coordinator — a
+worker never installs its own derivations — which keeps every replica
+in lockstep with the coordinator's authoritative database at each
+protocol step (pipes are FIFO, and every command that reads state is
+sent after the syncs it depends on).
+
+The command protocol (one request, one tagged reply; ``sync`` has no
+reply — FIFO ordering makes its application visible to every later
+command):
+
+``("hello",)`` → ``("hello", wid, id_table_size)``
+    The intern-table handshake: the coordinator checks the worker's
+    dense-ID watermark matches its own, so raw-int wire rows mean the
+    same terms on both sides.
+``("sync", payloads, retain)``
+    Apply a framed delta to the replica; with ``retain`` also keep the
+    decoded batches as the delta for the next ``round`` command.
+``("component", layer, ci)`` → ``("derived", wid, payloads, firings)``
+    Evaluate all non-grouping rules of a (non-recursive) component
+    against the replica and ship the derived rows back — the component
+    is this worker's alone, so no partitioning applies.
+``("round0", layer, ci)`` → ``("derived", ...)``
+    The partitioned first round of a recursive component: each rule's
+    first positive occurrence is overridden with THIS worker's hash
+    partition of that predicate's full relation, so the union over
+    workers equals the unsharded round.
+``("round", layer, ci)`` → ``("derived", ...)``
+    One partitioned semi-naive round: walk the component's occurrence
+    index, overriding each occurrence with this worker's partition of
+    the retained delta.
+``("stop",)`` → ``("counters", wid, counters, seconds)``
+    Report lifetime counters (folded into the coordinator's collector
+    as one aggregated family, not one line per worker) and exit.
+
+Any handler failure replies ``("error", wid, traceback_text)``; the
+coordinator surfaces it as an :class:`~repro.errors.EvaluationError`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from repro.engine.context import EvalContext
+from repro.engine.exec.kernels import RowBatch
+from repro.engine.fixpoint import _derive_any, occurrence_index
+from repro.engine.relation import decode_row, encode_args
+from repro.engine.shard.exchange import Exchange
+from repro.engine.shard.partition import Partitioner
+from repro.names import is_builtin_predicate
+from repro.observe import MetricsCollector
+from repro.terms.term import id_table_size
+
+
+def first_positive_occurrence(rule) -> int | None:
+    """The body index round 0 shards a rule on: its first positive
+    non-builtin literal, or None when the rule has none (such a rule
+    runs unsharded on one worker — it reads no partitionable input)."""
+    for i, lit in enumerate(rule.body):
+        if lit.positive and not is_builtin_predicate(lit.atom.pred):
+            return i
+    return None
+
+
+def component_rules(component) -> list:
+    """The component's non-grouping rules, in program order (grouping
+    rules run on the coordinator — they read strictly lower strata and
+    intern fresh set terms best assigned by one process)."""
+    return [r for r in component.rules if not r.is_grouping()]
+
+
+class _WorkerState:
+    """Per-process evaluation state behind the command loop."""
+
+    def __init__(self, wid, nworkers, db, schedule, planner, executor, metrics):
+        self.wid = wid
+        self.db = db
+        self.schedule = schedule
+        self.metrics = metrics
+        self.ctx = EvalContext(
+            db, planner=planner, metrics=metrics, executor=executor
+        )
+        self.partitioner = Partitioner(nworkers)
+        #: the retained delta from the last ``sync(retain=True)``,
+        #: pred → RowBatch over *local* IDs.
+        self.delta: dict[str, RowBatch] = {}
+        #: per-component occurrence index, computed once per component.
+        self._occurrences: dict[tuple[int, int], list] = {}
+
+    # -- derivation --------------------------------------------------------
+
+    def _collect(self, rule, plan, overrides, out: dict) -> None:
+        """Run one rule application, accumulating derived ID rows into
+        ``out`` (pred → (arity, rows)) without touching the replica."""
+        dr, facts = _derive_any(self.ctx, self.db, rule, plan, overrides)
+        if dr is not None:
+            if not dr.rows:
+                return
+            entry = out.get(dr.pred)
+            if entry is None:
+                out[dr.pred] = (dr.arity, list(dr.rows))
+            else:
+                entry[1].extend(dr.rows)
+        else:
+            for fact in facts:
+                row = getattr(fact, "_row", None)
+                if row is None:
+                    row = encode_args(fact.args)
+                entry = out.get(fact.pred)
+                if entry is None:
+                    out[fact.pred] = (len(fact.args), [row])
+                else:
+                    entry[1].append(row)
+
+    def _relation_shard(self, rel) -> RowBatch:
+        """This worker's hash partition of one full relation, as an
+        override-ready batch (rows + verbatim args, no re-encoding)."""
+        batch = RowBatch(rel.pred, rel.arity)
+        batch.rows = list(rel.id_rows())
+        batch.args = list(rel._decoded)
+        return self.partitioner.split_batch(batch)[self.wid]
+
+    def occurrences(self, layer: int, ci: int) -> list:
+        key = (layer, ci)
+        occs = self._occurrences.get(key)
+        if occs is None:
+            occs = occurrence_index(component_rules(self.schedule[layer][ci]))
+            self._occurrences[key] = occs
+        return occs
+
+    # -- command handlers --------------------------------------------------
+
+    def sync(self, payloads, retain: bool) -> None:
+        decoded = Exchange.decode_delta(payloads)
+        delta: dict[str, RowBatch] = {}
+        for pred, batch in decoded.items():
+            pairs = self.db.add_rows(pred, batch.arity, batch.rows, decode_row)
+            if retain and pairs:
+                kept = RowBatch(pred, batch.arity)
+                kept.extend_pairs(pairs)
+                delta[pred] = kept
+        if retain:
+            self.delta = delta
+
+    def component(self, layer: int, ci: int) -> tuple[dict, int]:
+        component = self.schedule[layer][ci]
+        out: dict = {}
+        firings = 0
+        if self.ctx.sized:
+            self.ctx.refresh_sizes()
+        for rule in component_rules(component):
+            self._collect(rule, self.ctx.plan_for(rule), None, out)
+            firings += 1
+        return out, firings
+
+    def round0(self, layer: int, ci: int) -> tuple[dict, int]:
+        component = self.schedule[layer][ci]
+        out: dict = {}
+        firings = 0
+        nworkers = self.partitioner.nparts
+        shard_cache: dict[str, RowBatch] = {}
+        if self.ctx.sized:
+            self.ctx.refresh_sizes()
+        for idx, rule in enumerate(component_rules(component)):
+            occ = first_positive_occurrence(rule)
+            if occ is None:
+                # no partitionable input: exactly one worker runs it.
+                if idx % nworkers != self.wid:
+                    continue
+                self._collect(rule, self.ctx.plan_for(rule), None, out)
+                firings += 1
+                continue
+            pred = rule.body[occ].atom.pred
+            rel = self.db.get_relation(pred)
+            if rel is None or not len(rel):
+                continue
+            shard = shard_cache.get(pred)
+            if shard is None:
+                shard = self._relation_shard(rel)
+                shard_cache[pred] = shard
+            if not len(shard):
+                continue
+            self._collect(
+                rule, self.ctx.plan_for(rule, first=occ), {occ: shard}, out
+            )
+            firings += 1
+        return out, firings
+
+    def round(self, layer: int, ci: int) -> tuple[dict, int]:
+        out: dict = {}
+        firings = 0
+        delta = self.delta
+        shard_cache: dict[str, RowBatch] = {}
+        if self.ctx.sized:
+            self.ctx.refresh_sizes()
+        for rule, occ in self.occurrences(layer, ci):
+            pred = rule.body[occ].atom.pred
+            changed = delta.get(pred)
+            if not changed:
+                continue
+            shard = shard_cache.get(pred)
+            if shard is None:
+                shard = self.partitioner.split_batch(changed)[self.wid]
+                shard_cache[pred] = shard
+            if not len(shard):
+                continue
+            self._collect(
+                rule, self.ctx.plan_for(rule, first=occ), {occ: shard}, out
+            )
+            firings += 1
+        return out, firings
+
+
+def worker_main(
+    conn,
+    wid: int,
+    nworkers: int,
+    watermark: int,
+    db,
+    schedule,
+    planner: str,
+    executor: str | None,
+    collect_metrics: bool,
+) -> None:
+    """The forked child's entry point: serve commands until ``stop``."""
+    metrics = MetricsCollector() if collect_metrics else None
+    exchange = Exchange(conn, watermark, metrics)
+    state = _WorkerState(
+        wid, nworkers, db, schedule, planner, executor, metrics
+    )
+    busy = 0.0
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        start = time.perf_counter()
+        try:
+            kind = message[0]
+            if kind == "stop":
+                counters = dict(metrics.counters) if metrics else {}
+                conn.send(("counters", wid, counters, busy))
+                break
+            if kind == "hello":
+                conn.send(("hello", wid, id_table_size()))
+            elif kind == "sync":
+                state.sync(message[1], message[2])
+            elif kind == "component":
+                out, firings = state.component(message[1], message[2])
+                conn.send(("derived", wid, exchange.encode_delta(out), firings))
+            elif kind == "round0":
+                out, firings = state.round0(message[1], message[2])
+                conn.send(("derived", wid, exchange.encode_delta(out), firings))
+            elif kind == "round":
+                out, firings = state.round(message[1], message[2])
+                conn.send(("derived", wid, exchange.encode_delta(out), firings))
+            else:
+                conn.send(("error", wid, f"unknown command {kind!r}"))
+        except Exception:
+            try:
+                conn.send(("error", wid, traceback.format_exc()))
+            except (OSError, ValueError):
+                break
+        busy += time.perf_counter() - start
+    try:
+        conn.close()
+    except OSError:
+        pass
